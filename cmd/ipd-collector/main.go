@@ -1,0 +1,238 @@
+// Command ipd-collector is the deployment shape of §5.7 in one process:
+// NetFlow v5 and IPFIX UDP collectors feeding the IPD engine
+// (statistical-time cleaning included), with an HTTP status surface for
+// dashboards. IPFIX is the IPv6-capable input (the deployment maps v6 at
+// /48).
+//
+//	ipd-collector -listen :2055 -ipfix :4739 -http :8080 -exporters exporters.csv
+//
+// The exporters file maps export source addresses to router IDs, one
+// "address,router_id" pair per line. With -trust, unknown exporters are
+// auto-registered with sequential router IDs (useful for lab setups; never
+// do this in production).
+//
+// HTTP endpoints:
+//
+//	/ranges   current mapped ranges (Appendix-B rows)
+//	/stats    collector + engine counters (JSON)
+//	/healthz  liveness
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"ipd"
+	"ipd/internal/flow"
+	"ipd/internal/ipfix"
+	"ipd/internal/netflow"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":2055", "UDP address for NetFlow v5")
+		ipfixAddr = flag.String("ipfix", "", "UDP address for IPFIX ('' disables, registered port :4739)")
+		httpAddr  = flag.String("http", ":8080", "HTTP status address ('' disables)")
+		exporters = flag.String("exporters", "", "CSV file mapping exporter address to router id")
+		trust     = flag.Bool("trust", false, "auto-register unknown exporters (lab use only)")
+		factor4   = flag.Float64("factor4", 0.01, "IPv4 n_cidr factor")
+		floor     = flag.Float64("floor", 4, "n_cidr floor")
+		q         = flag.Float64("q", 0.95, "quality threshold")
+	)
+	flag.Parse()
+	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q); err != nil {
+		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64) error {
+	cfg := ipd.DefaultConfig()
+	cfg.NCidrFactor4 = factor4
+	cfg.NCidrFloor = floor
+	cfg.Q = q
+	srv, err := ipd.NewServer(cfg, ipd.DefaultStatTimeConfig())
+	if err != nil {
+		return err
+	}
+
+	records := make(chan ipd.Record, 1<<14)
+	coll, err := netflow.NewCollector(func(rec flow.Record) {
+		select {
+		case records <- rec:
+		default: // shed load rather than block the receive loop
+		}
+	})
+	if err != nil {
+		return err
+	}
+	var ipfixColl *ipfix.Collector
+	if ipfixAddr != "" {
+		ipfixColl, err = ipfix.NewCollector(func(rec flow.Record) {
+			select {
+			case records <- rec:
+			default:
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if exportersFile != "" {
+		n, err := loadExporters(coll, ipfixColl, exportersFile)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ipd-collector: %d exporters registered\n", n)
+	}
+	if trust {
+		enableTrust(coll)
+	}
+
+	addrPort, err := coll.Listen(listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ipd-collector: NetFlow v5 on udp://%s\n", addrPort)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 4)
+	go func() { errc <- coll.Serve(ctx) }()
+	go func() { errc <- srv.Run(ctx, records) }()
+	if ipfixColl != nil {
+		ipfixPort, err := ipfixColl.Listen(ipfixAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ipd-collector: IPFIX on udp://%s\n", ipfixPort)
+		go func() { errc <- ipfixColl.Serve(ctx) }()
+	}
+
+	if httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		mux.HandleFunc("/ranges", func(w http.ResponseWriter, _ *http.Request) {
+			mapped := srv.Mapped()
+			if err := ipd.WriteOutputSnapshot(w, time.Now(), mapped, nil); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+			eng, bin := srv.Stats()
+			st := coll.Stats()
+			out := map[string]any{
+				"collector": map[string]uint64{
+					"datagrams":        st.Datagrams.Load(),
+					"records":          st.Records.Load(),
+					"malformed":        st.Malformed.Load(),
+					"unknown_exporter": st.UnknownExporter.Load(),
+				},
+				"engine": map[string]any{
+					"records":         eng.Records,
+					"cycles":          eng.Cycles,
+					"classifications": eng.Classifications,
+					"invalidations":   eng.Invalidations,
+					"expirations":     eng.Expirations,
+					"splits":          eng.Splits,
+					"joins":           eng.Joins,
+					"active_ranges":   eng.LastCycleRanges,
+				},
+				"stattime": map[string]uint64{
+					"accepted":       bin.Accepted,
+					"dropped_stale":  bin.DroppedStale,
+					"dropped_future": bin.DroppedFuture,
+				},
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(out)
+		})
+		httpSrv := &http.Server{Addr: httpAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			<-ctx.Done()
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = httpSrv.Shutdown(shutdownCtx)
+		}()
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				errc <- err
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "ipd-collector: status on http://%s\n", httpAddr)
+	}
+
+	err = <-errc
+	stop()
+	close(records)
+	if err == context.Canceled {
+		return nil
+	}
+	return err
+}
+
+// loadExporters reads "address,router_id" lines and registers them with
+// both collectors (the IPFIX one may be nil).
+func loadExporters(c *netflow.Collector, ic *ipfix.Collector, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 {
+			return n, fmt.Errorf("exporters: bad line %q", line)
+		}
+		addr, err := netip.ParseAddr(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return n, fmt.Errorf("exporters: %v", err)
+		}
+		id, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 16)
+		if err != nil {
+			return n, fmt.Errorf("exporters: %v", err)
+		}
+		c.RegisterExporter(addr, ipd.RouterID(id))
+		if ic != nil {
+			ic.RegisterExporter(addr, ipd.RouterID(id))
+		}
+		n++
+	}
+	return n, sc.Err()
+}
+
+// enableTrust auto-registers unknown exporters with sequential router IDs
+// (lab setups only; production must pre-register its border routers).
+func enableTrust(c *netflow.Collector) {
+	var mu sync.Mutex
+	next := ipd.RouterID(1)
+	c.SetUnknownPolicy(func(addr netip.Addr) (ipd.RouterID, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		id := next
+		next++
+		fmt.Fprintf(os.Stderr, "ipd-collector: auto-registered exporter %v as router %d\n", addr, id)
+		return id, true
+	})
+}

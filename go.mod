@@ -1,0 +1,3 @@
+module ipd
+
+go 1.22

@@ -1,0 +1,250 @@
+// Package core implements the IPD algorithm of §3 of the paper: a
+// traffic-based partitioning of the IP address space into dynamic "IPD
+// ranges", each classified to the ingress point (router, interface) through
+// which its traffic enters the ISP.
+//
+// The algorithm operates in two stages. Stage 1 ingests sampled flow
+// records: each source address is masked to cidr_max and counted into the
+// currently active range covering it. Stage 2 runs every t seconds of
+// statistical time: it expires stale per-IP state, decays idle classified
+// ranges, classifies ranges with a prevalent ingress (share >= q once the
+// minimum sample count n_cidr is reached), splits mixed ranges, joins
+// sibling ranges that agree, and drops classifications that are no longer
+// valid.
+//
+// The active ranges always form an exact partition of the address space of
+// each family (starting from the /0 roots), which is what makes stage 1 a
+// single longest-prefix-match per record.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ipd/internal/flow"
+)
+
+// IngressMapper folds physical ingress interfaces into logical ones; the
+// deployment uses it to treat LAG bundles as a single ingress (§3.2).
+// topology.T implements this interface.
+type IngressMapper interface {
+	Logical(flow.Ingress) flow.Ingress
+}
+
+type identityMapper struct{}
+
+func (identityMapper) Logical(in flow.Ingress) flow.Ingress { return in }
+
+// DecayFunc computes the multiplicative decay factor applied to the
+// counters of a classified range that received no traffic, given the age of
+// its last sample and the cycle length t. Factors must lie in [0, 1].
+type DecayFunc func(age, t time.Duration) float64
+
+// DefaultDecay is the deployment's decay from Table 1:
+// 1 - 0.9/((age/t)+1). Applied cumulatively across idle cycles it reduces a
+// freshly idle range hard (factor 0.1 on the first idle cycle) and ever more
+// gently afterwards, so state for silent ranges vanishes quickly.
+func DefaultDecay(age, t time.Duration) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return 1 - 0.9/(age.Seconds()/t.Seconds()+1)
+}
+
+// Config holds the IPD parameters (Table 1 of the paper). The zero value is
+// not valid; start from DefaultConfig.
+type Config struct {
+	// CIDRMax4 and CIDRMax6 are the maximum (most specific) IPD prefix
+	// lengths. Deployment defaults: /28 and /48.
+	CIDRMax4 int
+	CIDRMax6 int
+
+	// NCidrFactor4/6 scale the minimum sample count:
+	// n_cidr(s) = factor * sqrt(2^(hostBits - s)), with hostBits 32 for
+	// IPv4 and 64 for IPv6 (treating /64 as host granularity).
+	// Deployment defaults: 64 and 24.
+	NCidrFactor4 float64
+	NCidrFactor6 float64
+
+	// NCidrFloor is a lower bound on n_cidr at any prefix length. The
+	// deployment's factor-64 formula implies a floor of 256 samples at
+	// /28; laptop-scale runs with small factors set a proportional floor
+	// so that single-flow ranges never classify ("focus on high-traffic
+	// prefixes", §3.1). 0 means 1.
+	NCidrFloor float64
+
+	// Q is the quality threshold: a range is classified when its top
+	// ingress carries at least share Q of its samples. Deployment: 0.95.
+	Q float64
+
+	// T is the stage-2 cycle length (time bucket). Deployment: 60 s.
+	T time.Duration
+
+	// E is the expiration age for per-IP state in unclassified ranges.
+	// Deployment: 120 s.
+	E time.Duration
+
+	// Decay reduces counters of idle classified ranges; nil selects
+	// DefaultDecay. Setting NoDecay disables decay entirely (ablation).
+	Decay   DecayFunc
+	NoDecay bool
+
+	// CountBytes switches the classification counters from flow counts to
+	// byte counts (the paper's non-simplified variant, §3.1 design choice
+	// 2). Flow counting is the deployment default.
+	CountBytes bool
+
+	// KeepIPStateOnSplit controls whether a split redistributes the per-IP
+	// sample state into the children (deployment behaviour) or starts the
+	// children empty (ablation; slower convergence).
+	KeepIPStateOnSplit bool
+
+	// Mapper folds physical interfaces to logical ingresses (bundles);
+	// nil means identity.
+	Mapper IngressMapper
+
+	// OnEvent, when non-nil, receives classification lifecycle events
+	// (used by the case-study figures). Must not call back into the
+	// engine.
+	OnEvent func(Event)
+}
+
+// DefaultConfig returns the deployment parameterization from Table 1.
+func DefaultConfig() Config {
+	return Config{
+		CIDRMax4:           28,
+		CIDRMax6:           48,
+		NCidrFactor4:       64,
+		NCidrFactor6:       24,
+		Q:                  0.95,
+		T:                  time.Minute,
+		E:                  2 * time.Minute,
+		KeepIPStateOnSplit: true,
+	}
+}
+
+// Validate checks the configuration, mirroring the constraints found in the
+// paper's factor screening (Appendix A: q <= 0.5 yields ambiguous
+// classifications and is rejected; out-of-range cidr_max values fail).
+func (c *Config) Validate() error {
+	if c.CIDRMax4 < 1 || c.CIDRMax4 > 32 {
+		return fmt.Errorf("core: CIDRMax4 %d out of range [1,32]", c.CIDRMax4)
+	}
+	if c.CIDRMax6 < 1 || c.CIDRMax6 > 128 {
+		return fmt.Errorf("core: CIDRMax6 %d out of range [1,128]", c.CIDRMax6)
+	}
+	if c.NCidrFactor4 <= 0 || c.NCidrFactor6 <= 0 {
+		return fmt.Errorf("core: n_cidr factors must be positive (got %v, %v)", c.NCidrFactor4, c.NCidrFactor6)
+	}
+	if c.NCidrFloor < 0 {
+		return fmt.Errorf("core: NCidrFloor %v must be >= 0", c.NCidrFloor)
+	}
+	if !(c.Q > 0.5 && c.Q <= 1) {
+		return fmt.Errorf("core: Q %v must be in (0.5, 1]", c.Q)
+	}
+	if c.T <= 0 {
+		return fmt.Errorf("core: T %v must be positive", c.T)
+	}
+	if c.E <= 0 {
+		return fmt.Errorf("core: E %v must be positive", c.E)
+	}
+	return nil
+}
+
+// NCidr returns the minimum sample count for a range of the given prefix
+// length and family (the paper's n_cidr; verified against the Appendix B
+// trace: with factor 24, /16 -> 6144, /23 -> 543, /26 -> 192, /28 -> 96).
+func (c *Config) NCidr(bits int, v6 bool) float64 {
+	factor, host := c.NCidrFactor4, 32
+	if v6 {
+		factor, host = c.NCidrFactor6, 64
+	}
+	if bits > host {
+		bits = host
+	}
+	n := math.Round(factor * math.Sqrt(math.Pow(2, float64(host-bits))))
+	if n < c.NCidrFloor {
+		n = c.NCidrFloor
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (c *Config) cidrMax(v6 bool) int {
+	if v6 {
+		return c.CIDRMax6
+	}
+	return c.CIDRMax4
+}
+
+func (c *Config) decay(age time.Duration) float64 {
+	if c.NoDecay {
+		return 1
+	}
+	f := c.Decay
+	if f == nil {
+		f = DefaultDecay
+	}
+	d := f(age, c.T)
+	if d < 0 {
+		return 0
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+func (c *Config) mapper() IngressMapper {
+	if c.Mapper == nil {
+		return identityMapper{}
+	}
+	return c.Mapper
+}
+
+// EventKind enumerates classification lifecycle events.
+type EventKind uint8
+
+const (
+	// EventClassified : a range gained a prevalent ingress.
+	EventClassified EventKind = iota
+	// EventInvalidated : a classified range lost its prevalent ingress
+	// (share fell below Q) and was dropped back to unclassified.
+	EventInvalidated
+	// EventExpired : a classified range decayed away (no traffic).
+	EventExpired
+	// EventSplit : a mixed range was split into its two children.
+	EventSplit
+	// EventJoined : two sibling ranges were merged into their parent.
+	EventJoined
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventClassified:
+		return "classified"
+	case EventInvalidated:
+		return "invalidated"
+	case EventExpired:
+		return "expired"
+	case EventSplit:
+		return "split"
+	case EventJoined:
+		return "joined"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is a classification lifecycle notification.
+type Event struct {
+	Kind EventKind
+	// Prefix is the affected range.
+	Prefix string
+	// Ingress is the relevant ingress (classified/invalidated/joined).
+	Ingress flow.Ingress
+	// At is the statistical time of the stage-2 cycle that emitted it.
+	At time.Time
+}

@@ -1,0 +1,515 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"ipd/internal/flow"
+	"ipd/internal/netaddr"
+	"ipd/internal/trie"
+)
+
+// ipState is the per-masked-IP sample state kept inside *unclassified*
+// ranges. It is what allows a split to redistribute samples exactly and the
+// expiry step to remove source-IP information older than e (§3.2: "the
+// state of each (masked) IP must be held for each range until
+// reclassified").
+type ipState struct {
+	counters map[flow.Ingress]float64
+	total    float64
+	lastSeen time.Time
+}
+
+// rangeState is one active IPD range. Active ranges always partition the
+// address space of their family.
+type rangeState struct {
+	prefix netip.Prefix
+	v6     bool
+
+	classified   bool
+	ingress      flow.Ingress
+	classifiedAt time.Time
+
+	// counters hold per-(logical-)ingress sample counts; total is their
+	// sum. For classified ranges this is all that remains (plus lastSeen).
+	counters map[flow.Ingress]float64
+	total    float64
+	lastSeen time.Time
+
+	// ips is per-masked-IP state; nil for classified ranges.
+	ips map[netaddr.Key]*ipState
+
+	// bornAt is when this range (or its current empty incarnation) was
+	// created; empty sibling pairs are only collapsed after they have been
+	// empty-idle for E, which prevents a split/join oscillation.
+	bornAt time.Time
+
+	// byteTotal tracks bytes regardless of the counting mode, for the
+	// flow/byte-count correlation study.
+	byteTotal float64
+}
+
+func newRangeState(p netip.Prefix) *rangeState {
+	return &rangeState{
+		prefix:   p,
+		v6:       !p.Addr().Is4(),
+		counters: make(map[flow.Ingress]float64),
+		ips:      make(map[netaddr.Key]*ipState),
+	}
+}
+
+// top returns the ingress with the highest counter and its share of the
+// total. Ties break deterministically toward the lowest (router, iface).
+func (rs *rangeState) top() (flow.Ingress, float64) {
+	var (
+		best  flow.Ingress
+		bestC = -1.0
+	)
+	for in, c := range rs.counters {
+		if c > bestC || (c == bestC && lessIngress(in, best)) {
+			best, bestC = in, c
+		}
+	}
+	if rs.total <= 0 || bestC <= 0 {
+		return best, 0
+	}
+	return best, bestC / rs.total
+}
+
+func lessIngress(a, b flow.Ingress) bool {
+	if a.Router != b.Router {
+		return a.Router < b.Router
+	}
+	return a.Iface < b.Iface
+}
+
+// Stats are cumulative engine counters; they back the §5.7 resource
+// discussion and the Appendix A resource metric.
+type Stats struct {
+	// Records is the number of accepted flow records; RecordsV6 the IPv6
+	// subset. RecordsDropped counts records with unusable addresses.
+	Records        uint64
+	RecordsV6      uint64
+	RecordsDropped uint64
+	// FlowsTotal / BytesTotal accumulate the two candidate counter bases.
+	FlowsTotal uint64
+	BytesTotal uint64
+	// Stage-2 lifecycle counters.
+	Cycles          uint64
+	Splits          uint64
+	Joins           uint64
+	Classifications uint64
+	Invalidations   uint64
+	Expirations     uint64
+	// LastCycleRanges is the number of active ranges after the last cycle;
+	// LastCycleDuration its wall-clock runtime (the appendix's runtime
+	// metric).
+	LastCycleRanges   int
+	LastCycleDuration time.Duration
+}
+
+// Engine is a deterministic, virtual-time IPD instance. It is not safe for
+// concurrent use; Server wraps it with the paper's two-thread structure.
+type Engine struct {
+	cfg    Config
+	mapper IngressMapper
+
+	active *trie.Trie[*rangeState]
+
+	now       time.Time // statistical time = max accepted timestamp
+	lastCycle time.Time // start of the current cycle window
+	started   bool
+
+	stats Stats
+}
+
+// NewEngine validates cfg and returns an engine with the two /0 root ranges
+// active.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:    cfg,
+		mapper: cfg.mapper(),
+		active: trie.New[*rangeState](),
+	}
+	root4 := netip.PrefixFrom(netip.IPv4Unspecified(), 0)
+	root6 := netip.PrefixFrom(netip.IPv6Unspecified(), 0)
+	e.active.Insert(root4, newRangeState(root4))
+	e.active.Insert(root6, newRangeState(root6))
+	return e, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns a snapshot of the cumulative counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Now returns the engine's statistical time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// RangeCount returns the number of active ranges (the appendix's memory
+// proxy: state is linear in active ranges plus per-IP entries).
+func (e *Engine) RangeCount() int { return e.active.Len() }
+
+// IPStateCount returns the total number of per-IP entries held in
+// unclassified ranges.
+func (e *Engine) IPStateCount() int {
+	n := 0
+	e.active.Walk(func(_ netip.Prefix, rs *rangeState) bool {
+		n += len(rs.ips)
+		return true
+	})
+	return n
+}
+
+// Observe ingests one flow record (stage 1). Records should already have
+// passed statistical-time cleaning; wildly out-of-order input degrades
+// expiry precision but nothing else.
+func (e *Engine) Observe(rec flow.Record) {
+	if !rec.Valid() {
+		e.stats.RecordsDropped++
+		return
+	}
+	src := rec.Src.Unmap()
+	v6 := !src.Is4()
+	masked, ok := netaddr.Mask(src, e.cfg.cidrMax(v6))
+	if !ok {
+		e.stats.RecordsDropped++
+		return
+	}
+	_, rs, ok := e.active.Lookup(masked.Addr())
+	if !ok {
+		// Cannot happen while the partition invariant holds; count rather
+		// than panic so a bug degrades instead of killing the pipeline.
+		e.stats.RecordsDropped++
+		return
+	}
+	logical := e.mapper.Logical(rec.In)
+	w := 1.0
+	if e.cfg.CountBytes {
+		w = float64(rec.Bytes)
+		if w <= 0 {
+			w = 1
+		}
+	}
+	rs.total += w
+	rs.counters[logical] += w
+	rs.byteTotal += float64(rec.Bytes)
+	if rec.Ts.After(rs.lastSeen) {
+		rs.lastSeen = rec.Ts
+	}
+	if !rs.classified {
+		k := netaddr.KeyOf(masked)
+		st := rs.ips[k]
+		if st == nil {
+			st = &ipState{counters: make(map[flow.Ingress]float64)}
+			rs.ips[k] = st
+		}
+		st.total += w
+		st.counters[logical] += w
+		if rec.Ts.After(st.lastSeen) {
+			st.lastSeen = rec.Ts
+		}
+	}
+	e.stats.Records++
+	if v6 {
+		e.stats.RecordsV6++
+	}
+	e.stats.FlowsTotal++
+	e.stats.BytesTotal += uint64(rec.Bytes)
+	if rec.Ts.After(e.now) {
+		e.now = rec.Ts
+	}
+	if !e.started {
+		e.started = true
+		e.lastCycle = rec.Ts.Truncate(e.cfg.T)
+	}
+}
+
+// Feed is Observe followed by AdvanceTo(statistical now): the convenience
+// entry point for serial drivers.
+func (e *Engine) Feed(rec flow.Record) {
+	e.Observe(rec)
+	e.AdvanceTo(e.now)
+}
+
+// AdvanceTo moves statistical time forward to ts, running one stage-2 cycle
+// per elapsed T boundary (so a long gap runs the intermediate decay cycles
+// it should).
+func (e *Engine) AdvanceTo(ts time.Time) {
+	if !e.started {
+		return
+	}
+	if ts.After(e.now) {
+		e.now = ts
+	}
+	for next := e.lastCycle.Add(e.cfg.T); !next.After(e.now); next = e.lastCycle.Add(e.cfg.T) {
+		e.runCycle(next)
+		e.lastCycle = next
+	}
+}
+
+// ForceCycle runs a stage-2 cycle immediately at the engine's current
+// statistical time (used by tests and by end-of-trace flushes).
+func (e *Engine) ForceCycle() {
+	if !e.started {
+		return
+	}
+	e.runCycle(e.now)
+}
+
+func (e *Engine) emit(kind EventKind, rs *rangeState, in flow.Ingress, at time.Time) {
+	if e.cfg.OnEvent == nil {
+		return
+	}
+	e.cfg.OnEvent(Event{Kind: kind, Prefix: rs.prefix.String(), Ingress: in, At: at})
+}
+
+// runCycle is stage 2 (Algorithm 1 lines 5-19).
+func (e *Engine) runCycle(now time.Time) {
+	start := time.Now()
+	cycleStart := now.Add(-e.cfg.T)
+
+	// Collect the current active set once; splits mutate the trie.
+	ranges := make([]*rangeState, 0, e.active.Len())
+	e.active.Walk(func(_ netip.Prefix, rs *rangeState) bool {
+		ranges = append(ranges, rs)
+		return true
+	})
+
+	for _, rs := range ranges {
+		if rs.classified {
+			e.cycleClassified(rs, now, cycleStart)
+		} else {
+			e.cycleUnclassified(rs, now)
+		}
+	}
+
+	e.joinPass(now)
+
+	e.stats.Cycles++
+	e.stats.LastCycleRanges = e.active.Len()
+	e.stats.LastCycleDuration = time.Since(start)
+}
+
+// cycleClassified handles lines 16-19: decay idle ranges, drop expired or
+// invalidated classifications.
+func (e *Engine) cycleClassified(rs *rangeState, now, cycleStart time.Time) {
+	if rs.lastSeen.Before(cycleStart) {
+		// No traffic during the past cycle: decay.
+		d := e.cfg.decay(now.Sub(rs.lastSeen))
+		for in := range rs.counters {
+			rs.counters[in] *= d
+		}
+		rs.total *= d
+		// The cumulative decay product shrinks roughly like (idle
+		// cycles)^-0.9, so small ranges vanish within minutes of going
+		// quiet while heavy ranges linger proportionally longer — the
+		// §3.2 intent ("ranges are quickly removed from classification
+		// when no new traffic is received") without dropping a range
+		// that merely skipped one minute.
+		if rs.total < 1 {
+			e.stats.Expirations++
+			e.emit(EventExpired, rs, rs.ingress, now)
+			e.unclassify(rs, now)
+			return
+		}
+	}
+	if c := rs.counters[rs.ingress]; rs.total > 0 && c/rs.total < e.cfg.Q {
+		// Prevalent ingress no longer valid: drop the range (line 19).
+		e.stats.Invalidations++
+		e.emit(EventInvalidated, rs, rs.ingress, now)
+		e.unclassify(rs, now)
+	}
+}
+
+// unclassify resets a range to empty unclassified state. Fresh traffic
+// rebuilds it; the join pass collapses empty sibling pairs upward.
+func (e *Engine) unclassify(rs *rangeState, now time.Time) {
+	rs.classified = false
+	rs.ingress = flow.Ingress{}
+	rs.classifiedAt = time.Time{}
+	rs.counters = make(map[flow.Ingress]float64)
+	rs.total = 0
+	rs.byteTotal = 0
+	rs.ips = make(map[netaddr.Key]*ipState)
+	rs.bornAt = now
+}
+
+// cycleUnclassified handles lines 7-15: expiry, classification, split.
+func (e *Engine) cycleUnclassified(rs *rangeState, now time.Time) {
+	// Remove source-IP information older than E.
+	for k, st := range rs.ips {
+		if now.Sub(st.lastSeen) > e.cfg.E {
+			for in, c := range st.counters {
+				rs.counters[in] -= c
+				if rs.counters[in] <= 1e-9 {
+					delete(rs.counters, in)
+				}
+			}
+			rs.total -= st.total
+			delete(rs.ips, k)
+		}
+	}
+	if rs.total < 0 {
+		rs.total = 0
+	}
+
+	if rs.total < e.cfg.NCidr(rs.prefix.Bits(), rs.v6) {
+		return // not enough samples yet (line 8)
+	}
+	in, share := rs.top()
+	if share >= e.cfg.Q {
+		// Single ingress prevalent: classify (lines 9-10) and drop all
+		// per-IP state (§3.2 "once a prevalent ingress is found, all
+		// state is removed").
+		rs.classified = true
+		rs.ingress = in
+		rs.classifiedAt = now
+		rs.ips = nil
+		e.stats.Classifications++
+		e.emit(EventClassified, rs, in, now)
+		return
+	}
+	if rs.prefix.Bits() < e.cfg.cidrMax(rs.v6) {
+		e.split(rs, now)
+	}
+	// At cidr_max with mixed ingress: keep monitoring (the join pass is
+	// what "try to join", line 15, can still do for such ranges' parents).
+}
+
+// split replaces rs with its two children (line 13), redistributing the
+// per-IP state so no samples are lost.
+func (e *Engine) split(rs *rangeState, now time.Time) {
+	lo, hi, ok := netaddr.Children(rs.prefix)
+	if !ok {
+		return
+	}
+	cl, ch := newRangeState(lo), newRangeState(hi)
+	cl.bornAt, ch.bornAt = now, now
+	if e.cfg.KeepIPStateOnSplit {
+		bit := rs.prefix.Bits()
+		for k, st := range rs.ips {
+			child := cl
+			if netaddr.BitAt(k.Prefix().Addr(), bit) {
+				child = ch
+			}
+			child.ips[k] = st
+			child.total += st.total
+			for in, c := range st.counters {
+				child.counters[in] += c
+			}
+			if st.lastSeen.After(child.lastSeen) {
+				child.lastSeen = st.lastSeen
+			}
+		}
+	}
+	e.active.Delete(rs.prefix)
+	e.active.Insert(lo, cl)
+	e.active.Insert(hi, ch)
+	e.stats.Splits++
+	e.emit(EventSplit, rs, flow.Ingress{}, now)
+}
+
+// joinPass merges sibling ranges bottom-up: two classified siblings with the
+// same ingress whose combined samples satisfy the parent's n_cidr become the
+// classified parent; two empty unclassified siblings collapse into an empty
+// parent (state cleanup). Repeats until a fixpoint so merges cascade upward.
+func (e *Engine) joinPass(now time.Time) {
+	for {
+		prefixes := e.active.Prefixes()
+		// Deepest first, so cascades can continue within one sweep.
+		sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Bits() > prefixes[j].Bits() })
+		changed := false
+		for _, p := range prefixes {
+			rs, ok := e.active.Get(p)
+			if !ok {
+				continue // already merged this sweep
+			}
+			if !netaddr.IsLowChild(p) || p.Bits() == 0 {
+				continue // visit each pair once, via its low child
+			}
+			sibPfx, ok := netaddr.Sibling(p)
+			if !ok {
+				continue
+			}
+			sib, ok := e.active.Get(sibPfx)
+			if !ok {
+				continue // sibling currently subdivided
+			}
+			parentPfx, _ := netaddr.Parent(p)
+			if merged := e.tryJoin(rs, sib, parentPfx, now); merged != nil {
+				e.active.Delete(p)
+				e.active.Delete(sibPfx)
+				e.active.Insert(parentPfx, merged)
+				e.stats.Joins++
+				e.emit(EventJoined, merged, merged.ingress, now)
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// tryJoin returns the merged parent range if lo and hi are mergeable, else
+// nil.
+func (e *Engine) tryJoin(lo, hi *rangeState, parent netip.Prefix, now time.Time) *rangeState {
+	// Case 1: both empty and unclassified -> empty parent.
+	if !lo.classified && !hi.classified && lo.total == 0 && hi.total == 0 &&
+		len(lo.ips) == 0 && len(hi.ips) == 0 {
+		if now.Sub(lo.bornAt) < e.cfg.E || now.Sub(hi.bornAt) < e.cfg.E {
+			return nil // fresh emptiness; don't undo a recent split
+		}
+		m := newRangeState(parent)
+		m.bornAt = now
+		return m
+	}
+	// Case 2: both classified with the same ingress and enough combined
+	// samples for the parent.
+	if lo.classified && hi.classified && lo.ingress == hi.ingress {
+		combined := lo.total + hi.total
+		if combined >= e.cfg.NCidr(parent.Bits(), lo.v6) {
+			m := newRangeState(parent)
+			m.classified = true
+			m.ingress = lo.ingress
+			m.ips = nil
+			m.total = combined
+			m.byteTotal = lo.byteTotal + hi.byteTotal
+			for in, c := range lo.counters {
+				m.counters[in] += c
+			}
+			for in, c := range hi.counters {
+				m.counters[in] += c
+			}
+			m.lastSeen = lo.lastSeen
+			if hi.lastSeen.After(m.lastSeen) {
+				m.lastSeen = hi.lastSeen
+			}
+			m.classifiedAt = lo.classifiedAt
+			if hi.classifiedAt.Before(m.classifiedAt) {
+				m.classifiedAt = hi.classifiedAt
+			}
+			// The merged range must still be prevalent; with identical
+			// ingresses it always is, but guard against pathological
+			// counter mixes.
+			if c := m.counters[m.ingress]; m.total > 0 && c/m.total < e.cfg.Q {
+				return nil
+			}
+			return m
+		}
+	}
+	return nil
+}
+
+// String summarizes the engine state for debugging.
+func (e *Engine) String() string {
+	return fmt.Sprintf("ipd.Engine{ranges: %d, now: %s, cycles: %d}",
+		e.active.Len(), e.now.Format(time.RFC3339), e.stats.Cycles)
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+
+	"ipd/internal/flow"
+	"ipd/internal/stattime"
+	"ipd/internal/trie"
+)
+
+// Server wraps an Engine with the deployment's structure (§3.2: stage 1 and
+// stage 2 run in parallel threads; §3.1: a statistical-time pre-processing
+// step cleans router clock drift). Records stream in over a channel; the
+// statistical-time binner segments them into buckets; each completed bucket
+// is ingested and stage-2 cycles run as statistical time crosses T
+// boundaries. Snapshots may be taken concurrently from other goroutines.
+type Server struct {
+	mu  sync.Mutex
+	eng *Engine
+	bin *stattime.Binner
+}
+
+// NewServer builds a server from the IPD configuration and a
+// statistical-time configuration. The binner's bucket length is forced to
+// divide into the cycle semantics by simply using it as-is; the usual setup
+// is stattime.Bucket == cfg.T.
+func NewServer(cfg Config, st stattime.Config) (*Server, error) {
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{eng: eng}
+	bin, err := stattime.NewBinner(st, s.ingestBucket)
+	if err != nil {
+		return nil, err
+	}
+	s.bin = bin
+	return s, nil
+}
+
+// ingestBucket runs under s.mu (Run holds the lock around Offer/Flush).
+func (s *Server) ingestBucket(b stattime.Bucket) {
+	for _, rec := range b.Records {
+		s.eng.Observe(rec)
+	}
+	s.eng.AdvanceTo(s.eng.Now())
+}
+
+// Run consumes records until in is closed or ctx is cancelled, then flushes
+// remaining buckets and runs a final cycle. It returns ctx.Err() on
+// cancellation and nil on clean end of stream.
+func (s *Server) Run(ctx context.Context, in <-chan flow.Record) error {
+	for {
+		select {
+		case <-ctx.Done():
+			s.finish()
+			return ctx.Err()
+		case rec, ok := <-in:
+			if !ok {
+				s.finish()
+				return nil
+			}
+			s.mu.Lock()
+			s.bin.Offer(rec)
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *Server) finish() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bin.Flush()
+	s.eng.ForceCycle()
+}
+
+// Snapshot returns all active ranges (safe concurrently with Run).
+func (s *Server) Snapshot() []RangeInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Snapshot()
+}
+
+// Mapped returns the classified ranges (safe concurrently with Run).
+func (s *Server) Mapped() []RangeInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Mapped()
+}
+
+// LookupTable builds an LPM table from the current classified ranges (safe
+// concurrently with Run).
+func (s *Server) LookupTable() *trie.Trie[flow.Ingress] {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.LookupTable()
+}
+
+// Range returns the active range covering addr (safe concurrently with
+// Run).
+func (s *Server) Range(addr netip.Addr) (RangeInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Range(addr)
+}
+
+// Stats returns engine and binner counters (safe concurrently with Run).
+func (s *Server) Stats() (Stats, stattime.Stats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Stats(), s.bin.Stats()
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"ipd/internal/flow"
+	"ipd/internal/stattime"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	st := stattime.DefaultConfig()
+	s, err := NewServer(testConfig(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	s := testServer(t)
+	in := make(chan flow.Record, 1024)
+	done := make(chan error, 1)
+	go func() { done <- s.Run(context.Background(), in) }()
+
+	a := netip.MustParseAddr("10.0.0.0").As4()
+	ts := base
+	for cycle := 0; cycle < 4; cycle++ {
+		for i := 0; i < 100; i++ {
+			a[3] = byte(i)
+			in <- flow.Record{Ts: ts, Src: netip.AddrFrom4(a), In: inA, Bytes: 100}
+		}
+		ts = ts.Add(time.Minute)
+	}
+	close(in)
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	mapped := s.Mapped()
+	if len(mapped) != 1 || mapped[0].Ingress != inA {
+		t.Fatalf("mapped = %+v", mapped)
+	}
+	lt := s.LookupTable()
+	if _, got, ok := lt.Lookup(netip.MustParseAddr("10.0.0.5")); !ok || got != inA {
+		t.Errorf("LookupTable = %v ok=%v", got, ok)
+	}
+	if ri, ok := s.Range(netip.MustParseAddr("10.0.0.5")); !ok || !ri.Classified {
+		t.Errorf("Range = %+v ok=%v", ri, ok)
+	}
+	eng, bin := s.Stats()
+	if eng.Records != 400 || bin.Accepted != 400 {
+		t.Errorf("stats: engine %d, binner %d", eng.Records, bin.Accepted)
+	}
+}
+
+func TestServerContextCancel(t *testing.T) {
+	s := testServer(t)
+	in := make(chan flow.Record)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx, in) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Run = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+}
+
+// TestServerConcurrentSnapshots hammers snapshots while records stream in;
+// run with -race this validates the locking.
+func TestServerConcurrentSnapshots(t *testing.T) {
+	s := testServer(t)
+	in := make(chan flow.Record, 256)
+	done := make(chan error, 1)
+	go func() { done <- s.Run(context.Background(), in) }()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Snapshot()
+				s.Mapped()
+				s.LookupTable()
+				s.Stats()
+			}
+		}()
+	}
+
+	a := netip.MustParseAddr("77.0.0.0").As4()
+	ts := base
+	for cycle := 0; cycle < 10; cycle++ {
+		for i := 0; i < 200; i++ {
+			a[3] = byte(i)
+			a[2] = byte(cycle)
+			in <- flow.Record{Ts: ts, Src: netip.AddrFrom4(a), In: inB, Bytes: 64}
+		}
+		ts = ts.Add(30 * time.Second)
+	}
+	close(in)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	eng, _ := s.Stats()
+	if eng.Records != 2000 {
+		t.Errorf("Records = %d", eng.Records)
+	}
+}

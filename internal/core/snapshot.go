@@ -1,0 +1,114 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"ipd/internal/flow"
+	"ipd/internal/netaddr"
+	"ipd/internal/trie"
+)
+
+// RangeInfo is the externally visible state of one IPD range — one row of
+// the paper's raw output trace (Appendix B, Table 3).
+type RangeInfo struct {
+	// Prefix is the range.
+	Prefix netip.Prefix
+	// Classified reports whether a prevalent ingress is assigned.
+	Classified bool
+	// Ingress is the prevalent (classified) or current top ingress.
+	Ingress flow.Ingress
+	// Confidence is the paper's s_ingress: the top ingress's share.
+	Confidence float64
+	// Samples is s_ipcount: the total sample counter.
+	Samples float64
+	// NCidr is the minimum sample count for this range size.
+	NCidr float64
+	// LastSeen is the timestamp of the newest contributing sample.
+	LastSeen time.Time
+	// ClassifiedAt is when the prevalent ingress was assigned (zero when
+	// unclassified).
+	ClassifiedAt time.Time
+	// Counters lists all ingress points and their sample counts (the
+	// parenthesized list in Table 3).
+	Counters map[flow.Ingress]float64
+	// Bytes is the byte total for the flow/byte correlation study.
+	Bytes float64
+}
+
+// info converts internal state to the public view.
+func (e *Engine) info(rs *rangeState) RangeInfo {
+	in, share := rs.top()
+	ri := RangeInfo{
+		Prefix:       rs.prefix,
+		Classified:   rs.classified,
+		Ingress:      in,
+		Confidence:   share,
+		Samples:      rs.total,
+		NCidr:        e.cfg.NCidr(rs.prefix.Bits(), rs.v6),
+		LastSeen:     rs.lastSeen,
+		ClassifiedAt: rs.classifiedAt,
+		Counters:     make(map[flow.Ingress]float64, len(rs.counters)),
+		Bytes:        rs.byteTotal,
+	}
+	if rs.classified {
+		ri.Ingress = rs.ingress
+		if rs.total > 0 {
+			ri.Confidence = rs.counters[rs.ingress] / rs.total
+		}
+	}
+	for k, v := range rs.counters {
+		ri.Counters[k] = v
+	}
+	return ri
+}
+
+// Snapshot returns all active ranges sorted by (family, address, length).
+func (e *Engine) Snapshot() []RangeInfo {
+	out := make([]RangeInfo, 0, e.active.Len())
+	e.active.Walk(func(_ netip.Prefix, rs *rangeState) bool {
+		out = append(out, e.info(rs))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		return netaddr.KeyOf(out[i].Prefix).Less(netaddr.KeyOf(out[j].Prefix))
+	})
+	return out
+}
+
+// Mapped returns only the classified ranges — the stage-2 output that is
+// "further filtered to include only prevalent ingress points" in deployment.
+func (e *Engine) Mapped() []RangeInfo {
+	all := e.Snapshot()
+	out := all[:0]
+	for _, ri := range all {
+		if ri.Classified {
+			out = append(out, ri)
+		}
+	}
+	return out
+}
+
+// Range returns the active range covering addr, if any.
+func (e *Engine) Range(addr netip.Addr) (RangeInfo, bool) {
+	_, rs, ok := e.active.Lookup(addr.Unmap())
+	if !ok {
+		return RangeInfo{}, false
+	}
+	return e.info(rs), true
+}
+
+// LookupTable builds the longest-prefix-match table from the currently
+// classified ranges. This is exactly the validation device of §5.1: "we
+// create a Longest Prefix Match (LPM) lookup table from the IPD output".
+func (e *Engine) LookupTable() *trie.Trie[flow.Ingress] {
+	t := trie.New[flow.Ingress]()
+	e.active.Walk(func(p netip.Prefix, rs *rangeState) bool {
+		if rs.classified {
+			t.Insert(p, rs.ingress)
+		}
+		return true
+	})
+	return t
+}

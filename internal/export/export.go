@@ -1,0 +1,224 @@
+// Package export encodes and parses the raw IPD output trace format of
+// Appendix B (Table 3) of the paper:
+//
+//	timestamp ip s_ingress s_ipcount n_cidr range ingress
+//	1605571200 4 0.997 4812701 6144 x.y.0.0/16 C2-R2.4(C2-R2.4=4798963,C2-R3.54=12220)
+//
+// The ingress column names the most prevalent ingress candidate first and
+// lists *all* ingress points with their sample counts in parentheses. Six
+// years of rows in this format are the paper's main longitudinal dataset;
+// the experiment harness both writes and re-reads it.
+package export
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ipd/internal/core"
+	"ipd/internal/flow"
+)
+
+// Labeler renders an ingress point as a trace label (e.g. "C2-R30.1").
+// topology.T's Label method satisfies this; PlainLabel is the fallback.
+type Labeler func(flow.Ingress) string
+
+// PlainLabel renders an ingress without country information ("R30.1").
+func PlainLabel(in flow.Ingress) string { return in.String() }
+
+// IngressCount is one entry of the parenthesized per-ingress list.
+type IngressCount struct {
+	Label string
+	Count float64
+}
+
+// Row is one output trace row.
+type Row struct {
+	// Timestamp is the unix time of the snapshot.
+	Timestamp int64
+	// IPVersion is 4 or 6.
+	IPVersion int
+	// SIngress is the confidence (share of the top ingress).
+	SIngress float64
+	// SIPCount is the total sample counter.
+	SIPCount float64
+	// NCidr is the minimum sample count for the range size.
+	NCidr float64
+	// Range is the IPD range.
+	Range netip.Prefix
+	// Top is the label of the most prevalent ingress candidate.
+	Top string
+	// Counters lists all ingresses by descending count (ties by label).
+	Counters []IngressCount
+}
+
+// FromRangeInfo converts an engine range to a trace row.
+func FromRangeInfo(ts time.Time, ri core.RangeInfo, label Labeler) Row {
+	if label == nil {
+		label = PlainLabel
+	}
+	row := Row{
+		Timestamp: ts.Unix(),
+		IPVersion: 4,
+		SIngress:  ri.Confidence,
+		SIPCount:  ri.Samples,
+		NCidr:     ri.NCidr,
+		Range:     ri.Prefix,
+		Top:       label(ri.Ingress),
+	}
+	if !ri.Prefix.Addr().Is4() {
+		row.IPVersion = 6
+	}
+	for in, c := range ri.Counters {
+		row.Counters = append(row.Counters, IngressCount{Label: label(in), Count: c})
+	}
+	sort.Slice(row.Counters, func(i, j int) bool {
+		if row.Counters[i].Count != row.Counters[j].Count {
+			return row.Counters[i].Count > row.Counters[j].Count
+		}
+		return row.Counters[i].Label < row.Counters[j].Label
+	})
+	return row
+}
+
+// Encode renders the row as one trace line (no trailing newline).
+func (r Row) Encode() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d %d %.3f %d %d %s %s(",
+		r.Timestamp, r.IPVersion, r.SIngress, int64(r.SIPCount), int64(r.NCidr), r.Range, r.Top)
+	for i, ic := range r.Counters {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%d", ic.Label, int64(ic.Count))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ParseRow parses one trace line.
+func ParseRow(line string) (Row, error) {
+	var row Row
+	fields := strings.Fields(line)
+	if len(fields) != 7 {
+		return row, fmt.Errorf("export: want 7 fields, got %d in %q", len(fields), line)
+	}
+	var err error
+	if row.Timestamp, err = strconv.ParseInt(fields[0], 10, 64); err != nil {
+		return row, fmt.Errorf("export: bad timestamp %q: %v", fields[0], err)
+	}
+	if row.IPVersion, err = strconv.Atoi(fields[1]); err != nil || (row.IPVersion != 4 && row.IPVersion != 6) {
+		return row, fmt.Errorf("export: bad ip version %q", fields[1])
+	}
+	if row.SIngress, err = strconv.ParseFloat(fields[2], 64); err != nil {
+		return row, fmt.Errorf("export: bad s_ingress %q: %v", fields[2], err)
+	}
+	if row.SIPCount, err = strconv.ParseFloat(fields[3], 64); err != nil {
+		return row, fmt.Errorf("export: bad s_ipcount %q: %v", fields[3], err)
+	}
+	if row.NCidr, err = strconv.ParseFloat(fields[4], 64); err != nil {
+		return row, fmt.Errorf("export: bad n_cidr %q: %v", fields[4], err)
+	}
+	if row.Range, err = netip.ParsePrefix(fields[5]); err != nil {
+		return row, fmt.Errorf("export: bad range %q: %v", fields[5], err)
+	}
+	ing := fields[6]
+	open := strings.IndexByte(ing, '(')
+	if open < 0 || !strings.HasSuffix(ing, ")") {
+		return row, fmt.Errorf("export: malformed ingress column %q", ing)
+	}
+	row.Top = ing[:open]
+	inner := ing[open+1 : len(ing)-1]
+	if inner != "" {
+		for _, part := range strings.Split(inner, ",") {
+			eq := strings.LastIndexByte(part, '=')
+			if eq < 0 {
+				return row, fmt.Errorf("export: malformed counter %q", part)
+			}
+			c, err := strconv.ParseFloat(part[eq+1:], 64)
+			if err != nil {
+				return row, fmt.Errorf("export: bad counter value %q: %v", part, err)
+			}
+			row.Counters = append(row.Counters, IngressCount{Label: part[:eq], Count: c})
+		}
+	}
+	return row, nil
+}
+
+// ParseIngressLabel parses "C2-R30.1" or "R30.1" back into an ingress and
+// an optional country number (0 when absent).
+func ParseIngressLabel(s string) (flow.Ingress, int, error) {
+	country := 0
+	rest := s
+	if strings.HasPrefix(s, "C") {
+		dash := strings.IndexByte(s, '-')
+		if dash > 0 {
+			c, err := strconv.Atoi(s[1:dash])
+			if err != nil {
+				return flow.Ingress{}, 0, fmt.Errorf("export: bad country in %q", s)
+			}
+			country = c
+			rest = s[dash+1:]
+		}
+	}
+	if !strings.HasPrefix(rest, "R") {
+		return flow.Ingress{}, 0, fmt.Errorf("export: bad ingress label %q", s)
+	}
+	dot := strings.IndexByte(rest, '.')
+	if dot < 0 {
+		return flow.Ingress{}, 0, fmt.Errorf("export: missing interface in %q", s)
+	}
+	router, err := strconv.ParseUint(rest[1:dot], 10, 16)
+	if err != nil {
+		return flow.Ingress{}, 0, fmt.Errorf("export: bad router in %q: %v", s, err)
+	}
+	iface, err := strconv.ParseUint(rest[dot+1:], 10, 16)
+	if err != nil {
+		return flow.Ingress{}, 0, fmt.Errorf("export: bad interface in %q: %v", s, err)
+	}
+	return flow.Ingress{Router: flow.RouterID(router), Iface: flow.IfaceID(iface)}, country, nil
+}
+
+// WriteSnapshot writes one row per range.
+func WriteSnapshot(w io.Writer, ts time.Time, infos []core.RangeInfo, label Labeler) error {
+	bw := bufio.NewWriter(w)
+	for _, ri := range infos {
+		if _, err := bw.WriteString(FromRangeInfo(ts, ri, label).Encode()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAll parses a whole trace stream; blank lines and '#' comments are
+// skipped.
+func ReadAll(r io.Reader) ([]Row, error) {
+	var rows []Row
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		row, err := ParseRow(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,169 @@
+package export
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"ipd/internal/core"
+	"ipd/internal/flow"
+)
+
+func sampleInfo() core.RangeInfo {
+	return core.RangeInfo{
+		Prefix:     netip.MustParsePrefix("198.51.0.0/16"),
+		Classified: true,
+		Ingress:    flow.Ingress{Router: 2, Iface: 4},
+		Confidence: 0.997,
+		Samples:    4812701,
+		NCidr:      6144,
+		Counters: map[flow.Ingress]float64{
+			{Router: 2, Iface: 4}:  4798963,
+			{Router: 3, Iface: 54}: 12220,
+			{Router: 9, Iface: 1}:  1518,
+		},
+	}
+}
+
+func TestEncodeMatchesPaperShape(t *testing.T) {
+	ts := time.Unix(1605571200, 0).UTC()
+	row := FromRangeInfo(ts, sampleInfo(), PlainLabel)
+	got := row.Encode()
+	want := "1605571200 4 0.997 4812701 6144 198.51.0.0/16 R2.4(R2.4=4798963,R3.54=12220,R9.1=1518)"
+	if got != want {
+		t.Errorf("Encode:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestCountersSortedDescending(t *testing.T) {
+	row := FromRangeInfo(time.Unix(0, 0), sampleInfo(), nil)
+	if len(row.Counters) != 3 {
+		t.Fatalf("counters = %v", row.Counters)
+	}
+	for i := 1; i < len(row.Counters); i++ {
+		if row.Counters[i].Count > row.Counters[i-1].Count {
+			t.Fatalf("counters not sorted: %v", row.Counters)
+		}
+	}
+	if row.Top != "R2.4" {
+		t.Errorf("Top = %q", row.Top)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	ts := time.Unix(1605571200, 0).UTC()
+	row := FromRangeInfo(ts, sampleInfo(), PlainLabel)
+	parsed, err := ParseRow(row.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Timestamp != row.Timestamp || parsed.IPVersion != 4 ||
+		parsed.Range != row.Range || parsed.Top != row.Top ||
+		len(parsed.Counters) != len(row.Counters) {
+		t.Errorf("round trip: %+v vs %+v", parsed, row)
+	}
+	if parsed.SIPCount != 4812701 || parsed.NCidr != 6144 {
+		t.Errorf("counts: %+v", parsed)
+	}
+}
+
+func TestIPv6Row(t *testing.T) {
+	ri := core.RangeInfo{
+		Prefix:     netip.MustParsePrefix("2001:db8::/48"),
+		Classified: true,
+		Ingress:    flow.Ingress{Router: 7, Iface: 7},
+		Confidence: 1,
+		Samples:    10,
+		NCidr:      5,
+		Counters:   map[flow.Ingress]float64{{Router: 7, Iface: 7}: 10},
+	}
+	row := FromRangeInfo(time.Unix(1, 0), ri, nil)
+	if row.IPVersion != 6 {
+		t.Errorf("IPVersion = %d", row.IPVersion)
+	}
+	parsed, err := ParseRow(row.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.IPVersion != 6 || parsed.Range != ri.Prefix {
+		t.Errorf("parsed = %+v", parsed)
+	}
+}
+
+func TestParseRowErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"1 4 0.9 10 5 1.2.3.0/24",                // missing ingress
+		"x 4 0.9 10 5 1.2.3.0/24 R1.1(R1.1=10)",  // bad ts
+		"1 5 0.9 10 5 1.2.3.0/24 R1.1(R1.1=10)",  // bad version
+		"1 4 zz 10 5 1.2.3.0/24 R1.1(R1.1=10)",   // bad s_ingress
+		"1 4 0.9 zz 5 1.2.3.0/24 R1.1(R1.1=10)",  // bad s_ipcount
+		"1 4 0.9 10 zz 1.2.3.0/24 R1.1(R1.1=10)", // bad n_cidr
+		"1 4 0.9 10 5 nonsense R1.1(R1.1=10)",    // bad range
+		"1 4 0.9 10 5 1.2.3.0/24 R1.1[R1.1=10]",  // missing parens
+		"1 4 0.9 10 5 1.2.3.0/24 R1.1(R1.1)",     // missing =
+		"1 4 0.9 10 5 1.2.3.0/24 R1.1(R1.1=ten)", // bad count
+	}
+	for _, line := range bad {
+		if _, err := ParseRow(line); err == nil {
+			t.Errorf("ParseRow(%q) should fail", line)
+		}
+	}
+}
+
+func TestParseIngressLabel(t *testing.T) {
+	in, country, err := ParseIngressLabel("C2-R30.1")
+	if err != nil || country != 2 || in != (flow.Ingress{Router: 30, Iface: 1}) {
+		t.Errorf("C2-R30.1 -> %v %d %v", in, country, err)
+	}
+	in, country, err = ParseIngressLabel("R5.9")
+	if err != nil || country != 0 || in != (flow.Ingress{Router: 5, Iface: 9}) {
+		t.Errorf("R5.9 -> %v %d %v", in, country, err)
+	}
+	for _, bad := range []string{"", "X1.2", "Cx-R1.2", "R12", "Rx.2", "R1.x", "C2-Q1.2"} {
+		if _, _, err := ParseIngressLabel(bad); err == nil {
+			t.Errorf("ParseIngressLabel(%q) should fail", bad)
+		}
+	}
+}
+
+func TestWriteSnapshotReadAll(t *testing.T) {
+	ts := time.Unix(1605571200, 0).UTC()
+	infos := []core.RangeInfo{sampleInfo(), sampleInfo()}
+	infos[1].Prefix = netip.MustParsePrefix("203.0.0.0/12")
+	var sb strings.Builder
+	sb.WriteString("# header comment\n\n")
+	if err := WriteSnapshot(&sb, ts, infos, nil); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ReadAll(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].Range != infos[1].Prefix {
+		t.Errorf("row 1 = %+v", rows[1])
+	}
+	// Corrupt stream reports line numbers.
+	if _, err := ReadAll(strings.NewReader("garbage line\n")); err == nil {
+		t.Error("ReadAll of garbage should fail")
+	}
+}
+
+func TestEmptyCountersEncode(t *testing.T) {
+	ri := core.RangeInfo{
+		Prefix:   netip.MustParsePrefix("10.0.0.0/8"),
+		Counters: map[flow.Ingress]float64{},
+	}
+	row := FromRangeInfo(time.Unix(0, 0), ri, nil)
+	parsed, err := ParseRow(row.Encode())
+	if err != nil {
+		t.Fatalf("empty counters: %v (line %q)", err, row.Encode())
+	}
+	if len(parsed.Counters) != 0 {
+		t.Errorf("parsed counters = %v", parsed.Counters)
+	}
+}

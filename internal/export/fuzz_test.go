@@ -1,0 +1,49 @@
+package export
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRow ensures the trace parser never panics and that accepted rows
+// re-encode to something it accepts again.
+func FuzzParseRow(f *testing.F) {
+	f.Add("1605571200 4 0.997 4812701 6144 10.0.0.0/16 R2.4(R2.4=4798963,R3.54=12220)")
+	f.Add("1 6 1.000 10 5 2001:db8::/48 C1-R7.7(C1-R7.7=10)")
+	f.Add("")
+	f.Add("1 4 0.9 10 5 1.2.3.0/24 R1.1()")
+	f.Add("x y z")
+	f.Fuzz(func(t *testing.T, line string) {
+		row, err := ParseRow(line)
+		if err != nil {
+			return
+		}
+		again, err := ParseRow(row.Encode())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", row.Encode(), err)
+		}
+		if again.Range != row.Range || again.IPVersion != row.IPVersion {
+			t.Fatalf("unstable round trip: %+v vs %+v", again, row)
+		}
+	})
+}
+
+// FuzzParseIngressLabel ensures label parsing never panics and accepted
+// labels round-trip through the plain renderer.
+func FuzzParseIngressLabel(f *testing.F) {
+	f.Add("R2.4")
+	f.Add("C2-R30.1")
+	f.Add("")
+	f.Add("C-R.")
+	f.Fuzz(func(t *testing.T, s string) {
+		in, country, err := ParseIngressLabel(s)
+		if err != nil {
+			return
+		}
+		if country == 0 && !strings.HasPrefix(s, "C") {
+			if got := PlainLabel(in); got != s {
+				t.Fatalf("plain label %q round-tripped to %q", s, got)
+			}
+		}
+	})
+}

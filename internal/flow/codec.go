@@ -1,0 +1,291 @@
+package flow
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Binary wire format (NetFlow-v5 inspired, version tag 0x4950 "IP"):
+//
+//	stream  = header record*
+//	header  = magic(4) version(2) reserved(2)
+//	record  = flags(1) ts_unix_nanos(8) src(4|16) dst(4|16)
+//	          router(2) iface(2) bytes(4) packets(4)
+//
+// flags bit0: src is IPv6; bit1: dst is IPv6; bit2: dst present.
+// Records are variable-size only through the address family; everything else
+// is fixed, so decoding needs no allocation beyond the addresses.
+
+const (
+	magic   = 0x49504431 // "IPD1"
+	version = 1
+
+	flagSrc6   = 1 << 0
+	flagDst6   = 1 << 1
+	flagHasDst = 1 << 2
+)
+
+// ErrBadMagic is returned when a stream does not start with the IPD1 header.
+var ErrBadMagic = errors.New("flow: bad stream magic")
+
+// ErrBadVersion is returned for unknown stream versions.
+var ErrBadVersion = errors.New("flow: unsupported stream version")
+
+// Writer encodes records to the binary wire format.
+type Writer struct {
+	w           *bufio.Writer
+	headerDone  bool
+	recordCount int
+}
+
+// NewWriter returns a Writer emitting to w. The stream header is written
+// lazily on the first record (or on Flush).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (w *Writer) header() error {
+	if w.headerDone {
+		return nil
+	}
+	var h [8]byte
+	binary.BigEndian.PutUint32(h[0:], magic)
+	binary.BigEndian.PutUint16(h[4:], version)
+	if _, err := w.w.Write(h[:]); err != nil {
+		return err
+	}
+	w.headerDone = true
+	return nil
+}
+
+// Write encodes one record.
+func (w *Writer) Write(r Record) error {
+	if !r.Valid() {
+		return fmt.Errorf("flow: invalid record %+v", r)
+	}
+	if err := w.header(); err != nil {
+		return err
+	}
+	var buf [1 + 8 + 16 + 16 + 2 + 2 + 4 + 4]byte
+	n := 0
+	flags := byte(0)
+	src := r.Src.Unmap()
+	if !src.Is4() {
+		flags |= flagSrc6
+	}
+	dst := r.Dst
+	if dst.IsValid() {
+		flags |= flagHasDst
+		dst = dst.Unmap()
+		if !dst.Is4() {
+			flags |= flagDst6
+		}
+	}
+	buf[n] = flags
+	n++
+	binary.BigEndian.PutUint64(buf[n:], uint64(r.Ts.UnixNano()))
+	n += 8
+	if src.Is4() {
+		a := src.As4()
+		n += copy(buf[n:], a[:])
+	} else {
+		a := src.As16()
+		n += copy(buf[n:], a[:])
+	}
+	if flags&flagHasDst != 0 {
+		if dst.Is4() {
+			a := dst.As4()
+			n += copy(buf[n:], a[:])
+		} else {
+			a := dst.As16()
+			n += copy(buf[n:], a[:])
+		}
+	}
+	binary.BigEndian.PutUint16(buf[n:], uint16(r.In.Router))
+	n += 2
+	binary.BigEndian.PutUint16(buf[n:], uint16(r.In.Iface))
+	n += 2
+	binary.BigEndian.PutUint32(buf[n:], r.Bytes)
+	n += 4
+	binary.BigEndian.PutUint32(buf[n:], r.Packets)
+	n += 4
+	w.recordCount++
+	_, err := w.w.Write(buf[:n])
+	return err
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int { return w.recordCount }
+
+// Flush writes any buffered data (and the header, for empty streams).
+func (w *Writer) Flush() error {
+	if err := w.header(); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes records from the binary wire format.
+type Reader struct {
+	r          *bufio.Reader
+	headerDone bool
+}
+
+// NewReader returns a Reader consuming from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (rd *Reader) readHeader() error {
+	var h [8]byte
+	if _, err := io.ReadFull(rd.r, h[:]); err != nil {
+		return err
+	}
+	if binary.BigEndian.Uint32(h[0:]) != magic {
+		return ErrBadMagic
+	}
+	if binary.BigEndian.Uint16(h[4:]) != version {
+		return ErrBadVersion
+	}
+	rd.headerDone = true
+	return nil
+}
+
+// Read decodes the next record. It returns io.EOF at a clean end of stream
+// and io.ErrUnexpectedEOF for a truncated record.
+func (rd *Reader) Read() (Record, error) {
+	var rec Record
+	if !rd.headerDone {
+		if err := rd.readHeader(); err != nil {
+			return rec, err
+		}
+	}
+	flags, err := rd.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return rec, io.EOF
+		}
+		return rec, err
+	}
+	var fixed [8]byte
+	if _, err := io.ReadFull(rd.r, fixed[:]); err != nil {
+		return rec, unexpected(err)
+	}
+	rec.Ts = time.Unix(0, int64(binary.BigEndian.Uint64(fixed[:]))).UTC()
+	rec.Src, err = rd.readAddr(flags&flagSrc6 != 0)
+	if err != nil {
+		return rec, unexpected(err)
+	}
+	if flags&flagHasDst != 0 {
+		rec.Dst, err = rd.readAddr(flags&flagDst6 != 0)
+		if err != nil {
+			return rec, unexpected(err)
+		}
+	}
+	var tail [12]byte
+	if _, err := io.ReadFull(rd.r, tail[:]); err != nil {
+		return rec, unexpected(err)
+	}
+	rec.In.Router = RouterID(binary.BigEndian.Uint16(tail[0:]))
+	rec.In.Iface = IfaceID(binary.BigEndian.Uint16(tail[2:]))
+	rec.Bytes = binary.BigEndian.Uint32(tail[4:])
+	rec.Packets = binary.BigEndian.Uint32(tail[8:])
+	return rec, nil
+}
+
+func (rd *Reader) readAddr(v6 bool) (netip.Addr, error) {
+	if v6 {
+		var b [16]byte
+		if _, err := io.ReadFull(rd.r, b[:]); err != nil {
+			return netip.Addr{}, err
+		}
+		return netip.AddrFrom16(b), nil
+	}
+	var b [4]byte
+	if _, err := io.ReadFull(rd.r, b[:]); err != nil {
+		return netip.Addr{}, err
+	}
+	return netip.AddrFrom4(b), nil
+}
+
+func unexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// CSVHeader is the column order used by the text codec.
+const CSVHeader = "ts_unix_nanos,src,dst,router,iface,bytes,packets"
+
+// AppendCSV appends the CSV encoding of r to dst and returns it.
+func AppendCSV(dst []byte, r Record) []byte {
+	dst = strconv.AppendInt(dst, r.Ts.UnixNano(), 10)
+	dst = append(dst, ',')
+	dst = r.Src.AppendTo(dst)
+	dst = append(dst, ',')
+	if r.Dst.IsValid() {
+		dst = r.Dst.AppendTo(dst)
+	}
+	dst = append(dst, ',')
+	dst = strconv.AppendUint(dst, uint64(r.In.Router), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendUint(dst, uint64(r.In.Iface), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendUint(dst, uint64(r.Bytes), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendUint(dst, uint64(r.Packets), 10)
+	dst = append(dst, '\n')
+	return dst
+}
+
+// ParseCSV parses one CSV line (without trailing newline) into a Record.
+func ParseCSV(line string) (Record, error) {
+	var rec Record
+	fields := strings.Split(line, ",")
+	if len(fields) != 7 {
+		return rec, fmt.Errorf("flow: want 7 CSV fields, got %d in %q", len(fields), line)
+	}
+	ns, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return rec, fmt.Errorf("flow: bad timestamp %q: %v", fields[0], err)
+	}
+	rec.Ts = time.Unix(0, ns).UTC()
+	rec.Src, err = netip.ParseAddr(fields[1])
+	if err != nil {
+		return rec, fmt.Errorf("flow: bad src %q: %v", fields[1], err)
+	}
+	if fields[2] != "" {
+		rec.Dst, err = netip.ParseAddr(fields[2])
+		if err != nil {
+			return rec, fmt.Errorf("flow: bad dst %q: %v", fields[2], err)
+		}
+	}
+	router, err := strconv.ParseUint(fields[3], 10, 16)
+	if err != nil {
+		return rec, fmt.Errorf("flow: bad router %q: %v", fields[3], err)
+	}
+	iface, err := strconv.ParseUint(fields[4], 10, 16)
+	if err != nil {
+		return rec, fmt.Errorf("flow: bad iface %q: %v", fields[4], err)
+	}
+	bytes, err := strconv.ParseUint(fields[5], 10, 32)
+	if err != nil {
+		return rec, fmt.Errorf("flow: bad bytes %q: %v", fields[5], err)
+	}
+	packets, err := strconv.ParseUint(fields[6], 10, 32)
+	if err != nil {
+		return rec, fmt.Errorf("flow: bad packets %q: %v", fields[6], err)
+	}
+	rec.In = Ingress{Router: RouterID(router), Iface: IfaceID(iface)}
+	rec.Bytes = uint32(bytes)
+	rec.Packets = uint32(packets)
+	return rec, nil
+}

@@ -1,0 +1,91 @@
+// Package flow models the sampled flow-level traffic traces that IPD
+// consumes (§3.1 of the paper: "Input data: sampled flow-level traffic").
+//
+// Real deployments receive NetFlow v5/v9 or IPFIX from hundreds of border
+// routers. This package provides the record model, a compact NetFlow-v5-
+// inspired binary wire codec (fixed-size records with a small header), a
+// human-readable CSV codec, and a deterministic 1-out-of-n packet sampler.
+// Only the fields IPD actually uses are carried: the algorithm needs the
+// timestamp, the source address, and the ingress (router, interface); byte
+// and packet counters ride along for the flow-vs-byte-count design study.
+package flow
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// RouterID identifies a border router of the ISP.
+type RouterID uint16
+
+// IfaceID identifies an interface (or logical bundle member) on a router.
+type IfaceID uint16
+
+// Ingress identifies the physical entry point of a flow: a (router,
+// interface) pair, the granularity the paper's IPD resolves to.
+type Ingress struct {
+	Router RouterID
+	Iface  IfaceID
+}
+
+// String renders the ingress like the paper's output traces (e.g. "R12.3").
+func (in Ingress) String() string {
+	return fmt.Sprintf("R%d.%d", in.Router, in.Iface)
+}
+
+// Record is a single sampled flow record as exported by a border router.
+type Record struct {
+	// Ts is the router-assigned timestamp. Router clocks drift; the
+	// stattime stage cleans this up before the core algorithm sees it.
+	Ts time.Time
+	// Src is the flow's source address (the address IPD clusters on).
+	Src netip.Addr
+	// Dst is the destination address. IPD deliberately does not track
+	// destinations (state explosion, §2); it is carried for the router-level
+	// load-balancing extension and for generators.
+	Dst netip.Addr
+	// In is the ingress point the record was captured at.
+	In Ingress
+	// Bytes and Packets are the sampled counters from the exporter.
+	Bytes   uint32
+	Packets uint32
+}
+
+// Valid reports whether the record carries the minimum fields IPD needs.
+func (r Record) Valid() bool {
+	return r.Src.IsValid() && !r.Ts.IsZero()
+}
+
+// IsIPv6 reports the source address family (4-in-6 counts as IPv4).
+func (r Record) IsIPv6() bool { return !r.Src.Unmap().Is4() }
+
+// Sampler models the 1-out-of-n random packet sampling applied by routers
+// (§3.1: n ranges from 1,000 to 10,000; unsampled data is never available).
+// It is deterministic for a given seed so experiments are reproducible.
+type Sampler struct {
+	// N is the sampling denominator; N <= 1 passes everything.
+	N     int
+	state uint64
+}
+
+// NewSampler returns a sampler with rate 1/n seeded deterministically.
+func NewSampler(n int, seed uint64) *Sampler {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Sampler{N: n, state: seed}
+}
+
+// Keep reports whether the next packet survives sampling.
+func (s *Sampler) Keep() bool {
+	if s.N <= 1 {
+		return true
+	}
+	// xorshift64* — cheap, deterministic, good enough for packet sampling.
+	s.state ^= s.state >> 12
+	s.state ^= s.state << 25
+	s.state ^= s.state >> 27
+	v := s.state * 0x2545f4914f6cdd1d
+	return v%uint64(s.N) == 0
+}

@@ -1,0 +1,298 @@
+package flow
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleRecord() Record {
+	return Record{
+		Ts:      time.Unix(1605571200, 123456789).UTC(),
+		Src:     netip.MustParseAddr("203.0.113.9"),
+		Dst:     netip.MustParseAddr("198.51.100.200"),
+		In:      Ingress{Router: 12, Iface: 3},
+		Bytes:   1500,
+		Packets: 1,
+	}
+}
+
+func TestIngressString(t *testing.T) {
+	if got := (Ingress{Router: 12, Iface: 3}).String(); got != "R12.3" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRecordValid(t *testing.T) {
+	r := sampleRecord()
+	if !r.Valid() {
+		t.Error("sample record should be valid")
+	}
+	r.Src = netip.Addr{}
+	if r.Valid() {
+		t.Error("record without src should be invalid")
+	}
+	r = sampleRecord()
+	r.Ts = time.Time{}
+	if r.Valid() {
+		t.Error("record without ts should be invalid")
+	}
+}
+
+func TestRecordIsIPv6(t *testing.T) {
+	r := sampleRecord()
+	if r.IsIPv6() {
+		t.Error("v4 record reported as v6")
+	}
+	r.Src = netip.MustParseAddr("2001:db8::1")
+	if !r.IsIPv6() {
+		t.Error("v6 record reported as v4")
+	}
+	r.Src = netip.AddrFrom16(netip.MustParseAddr("::ffff:1.2.3.4").As16())
+	if r.IsIPv6() {
+		t.Error("4-in-6 record should count as IPv4")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	recs := []Record{
+		sampleRecord(),
+		{ // IPv6 src, no dst
+			Ts:    time.Unix(1700000000, 0).UTC(),
+			Src:   netip.MustParseAddr("2001:db8:1:2::3"),
+			In:    Ingress{Router: 65535, Iface: 65535},
+			Bytes: math.MaxUint32, Packets: 7,
+		},
+		{ // mixed families
+			Ts:  time.Unix(1, 1).UTC(),
+			Src: netip.MustParseAddr("10.0.0.1"),
+			Dst: netip.MustParseAddr("2001:db8::9"),
+			In:  Ingress{Router: 0, Iface: 0},
+		},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if w.Count() != len(recs) {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	rd := NewReader(&buf)
+	for i, want := range recs {
+		got, err := rd.Read()
+		if err != nil {
+			t.Fatalf("Read[%d]: %v", i, err)
+		}
+		if !got.Ts.Equal(want.Ts) || got.Src != want.Src.Unmap() || got.Dst != want.Dst ||
+			got.In != want.In || got.Bytes != want.Bytes || got.Packets != want.Packets {
+			t.Errorf("record %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := rd.Read(); err != io.EOF {
+		t.Fatalf("trailing Read err = %v, want io.EOF", err)
+	}
+}
+
+func TestWriteInvalidRecord(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.Write(Record{}); err == nil {
+		t.Error("Write of invalid record should fail")
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	rd := NewReader(&buf)
+	if _, err := rd.Read(); err != io.EOF {
+		t.Fatalf("Read on empty stream = %v, want io.EOF", err)
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	rd := NewReader(strings.NewReader("XXXXYYYY"))
+	if _, err := rd.Read(); err != ErrBadMagic {
+		t.Errorf("bad magic err = %v", err)
+	}
+	// Correct magic, wrong version.
+	bad := []byte{0x49, 0x50, 0x44, 0x31, 0x00, 0x99, 0, 0}
+	rd = NewReader(bytes.NewReader(bad))
+	if _, err := rd.Read(); err != ErrBadVersion {
+		t.Errorf("bad version err = %v", err)
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(sampleRecord()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{9, 12, len(full) - 1} {
+		rd := NewReader(bytes.NewReader(full[:cut]))
+		if _, err := rd.Read(); err != io.ErrUnexpectedEOF {
+			t.Errorf("truncated at %d: err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestPropertyBinaryRoundTrip(t *testing.T) {
+	f := func(a, b, c, d byte, router, iface uint16, nbytes, pkts uint32, secs uint32, hasDst bool) bool {
+		rec := Record{
+			Ts:      time.Unix(int64(secs), 0).UTC(),
+			Src:     netip.AddrFrom4([4]byte{a, b, c, d}),
+			In:      Ingress{Router: RouterID(router), Iface: IfaceID(iface)},
+			Bytes:   nbytes,
+			Packets: pkts,
+		}
+		if hasDst {
+			rec.Dst = netip.AddrFrom4([4]byte{d, c, b, a})
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(rec); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := NewReader(&buf).Read()
+		if err != nil {
+			return false
+		}
+		return got.Ts.Equal(rec.Ts) && got.Src == rec.Src && got.Dst == rec.Dst &&
+			got.In == rec.In && got.Bytes == rec.Bytes && got.Packets == rec.Packets
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	recs := []Record{
+		sampleRecord(),
+		{Ts: time.Unix(5, 0).UTC(), Src: netip.MustParseAddr("2001:db8::1"), In: Ingress{Router: 1, Iface: 2}},
+	}
+	for _, want := range recs {
+		line := string(AppendCSV(nil, want))
+		got, err := ParseCSV(strings.TrimSuffix(line, "\n"))
+		if err != nil {
+			t.Fatalf("ParseCSV(%q): %v", line, err)
+		}
+		if !got.Ts.Equal(want.Ts) || got.Src != want.Src || got.Dst != want.Dst || got.In != want.In {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"1,2,3",
+		"x,1.2.3.4,,1,2,3,4",
+		"1,not-an-ip,,1,2,3,4",
+		"1,1.2.3.4,bogus,1,2,3,4",
+		"1,1.2.3.4,,999999,2,3,4",
+		"1,1.2.3.4,,1,999999,3,4",
+		"1,1.2.3.4,,1,2,99999999999,4",
+		"1,1.2.3.4,,1,2,3,99999999999",
+	}
+	for _, line := range bad {
+		if _, err := ParseCSV(line); err == nil {
+			t.Errorf("ParseCSV(%q) should fail", line)
+		}
+	}
+}
+
+func TestSamplerRate(t *testing.T) {
+	for _, n := range []int{100, 1000} {
+		s := NewSampler(n, 1)
+		kept := 0
+		total := n * 2000
+		for i := 0; i < total; i++ {
+			if s.Keep() {
+				kept++
+			}
+		}
+		got := float64(kept) / float64(total)
+		want := 1 / float64(n)
+		if got < want*0.8 || got > want*1.2 {
+			t.Errorf("sampler 1/%d kept %.5f of packets, want ~%.5f", n, got, want)
+		}
+	}
+}
+
+func TestSamplerPassthroughAndDeterminism(t *testing.T) {
+	s := NewSampler(1, 0)
+	for i := 0; i < 100; i++ {
+		if !s.Keep() {
+			t.Fatal("1/1 sampler must keep everything")
+		}
+	}
+	a, b := NewSampler(1000, 7), NewSampler(1000, 7)
+	for i := 0; i < 100000; i++ {
+		if a.Keep() != b.Keep() {
+			t.Fatal("same-seed samplers diverged")
+		}
+	}
+}
+
+func BenchmarkBinaryEncode(b *testing.B) {
+	w := NewWriter(io.Discard)
+	rec := sampleRecord()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryDecode(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		var a [4]byte
+		r.Read(a[:])
+		rec := Record{
+			Ts:  time.Unix(int64(i), 0),
+			Src: netip.AddrFrom4(a),
+			In:  Ingress{Router: RouterID(r.Intn(100)), Iface: IfaceID(r.Intn(16))},
+		}
+		if err := w.Write(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w.Flush()
+	data := buf.Bytes()
+	b.ResetTimer()
+	rd := NewReader(bytes.NewReader(data))
+	for i := 0; i < b.N; i++ {
+		if _, err := rd.Read(); err == io.EOF {
+			rd = NewReader(bytes.NewReader(data))
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package flow
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzParseCSV ensures the CSV parser never panics and accepted lines
+// round-trip.
+func FuzzParseCSV(f *testing.F) {
+	f.Add("1605571200000000000,203.0.113.9,198.51.100.200,12,3,1500,1")
+	f.Add("5,2001:db8::1,,1,2,0,0")
+	f.Add("")
+	f.Add(",,,,,,")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseCSV(line)
+		if err != nil {
+			return
+		}
+		again, err := ParseCSV(strings.TrimSuffix(string(AppendCSV(nil, rec)), "\n"))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if again.Src != rec.Src || !again.Ts.Equal(rec.Ts) {
+			t.Fatalf("unstable round trip: %+v vs %+v", again, rec)
+		}
+	})
+}
+
+// FuzzBinaryReader ensures the binary trace reader never panics on
+// arbitrary bytes.
+func FuzzBinaryReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Write(Record{Ts: time.Unix(1605571200, 0), Src: netip.MustParseAddr("1.2.3.4"), In: Ingress{Router: 1, Iface: 1}})
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x49, 0x50, 0x44, 0x31, 0, 1, 0, 0, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := NewReader(bytes.NewReader(data))
+		for i := 0; i < 100; i++ {
+			if _, err := rd.Read(); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package ipfix
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"ipd/internal/flow"
+)
+
+// CollectorStats counts collector activity.
+type CollectorStats struct {
+	Messages        atomic.Uint64
+	Records         atomic.Uint64
+	Malformed       atomic.Uint64
+	UnknownExporter atomic.Uint64
+	// UnknownTemplate counts data sets that arrived before their template
+	// (they are dropped, as RFC 7011 collectors commonly do over UDP).
+	UnknownTemplate atomic.Uint64
+	SkippedRecords  atomic.Uint64
+}
+
+// Collector receives IPFIX messages over UDP, resolves templates per
+// exporter, and delivers flow records to a sink. It is the IPv6-capable
+// sibling of the NetFlow v5 collector.
+type Collector struct {
+	mu        sync.RWMutex
+	exporters map[netip.Addr]flow.RouterID
+	caches    map[netip.Addr]*Cache
+
+	sink  func(flow.Record)
+	stats CollectorStats
+	conn  *net.UDPConn
+}
+
+// NewCollector returns a collector delivering records to sink.
+func NewCollector(sink func(flow.Record)) (*Collector, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("ipfix: sink must not be nil")
+	}
+	return &Collector{
+		exporters: make(map[netip.Addr]flow.RouterID),
+		caches:    make(map[netip.Addr]*Cache),
+		sink:      sink,
+	}, nil
+}
+
+// RegisterExporter maps an export source address to a router.
+func (c *Collector) RegisterExporter(addr netip.Addr, router flow.RouterID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.exporters[addr.Unmap()] = router
+}
+
+// Stats returns the live counters.
+func (c *Collector) Stats() *CollectorStats { return &c.stats }
+
+// Listen binds the UDP socket (the IPFIX registered port is 4739).
+func (c *Collector) Listen(addr string) (netip.AddrPort, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return netip.AddrPort{}, err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return netip.AddrPort{}, err
+	}
+	c.conn = conn
+	return conn.LocalAddr().(*net.UDPAddr).AddrPort(), nil
+}
+
+// Serve reads messages until ctx is cancelled.
+func (c *Collector) Serve(ctx context.Context) error {
+	if c.conn == nil {
+		return fmt.Errorf("ipfix: Serve before Listen")
+	}
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.conn.Close()
+		case <-done:
+		}
+	}()
+	buf := make([]byte, 1<<16)
+	for {
+		n, remote, err := c.conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		c.HandleMessage(buf[:n], remote.Addr())
+	}
+}
+
+// HandleMessage processes one raw IPFIX message from the given exporter
+// address (exposed for socketless pipelines and tests).
+func (c *Collector) HandleMessage(b []byte, from netip.Addr) {
+	from = from.Unmap()
+	c.mu.RLock()
+	router, ok := c.exporters[from]
+	c.mu.RUnlock()
+	if !ok {
+		c.stats.UnknownExporter.Add(1)
+		return
+	}
+	msg, err := DecodeMessage(b)
+	if err != nil {
+		c.stats.Malformed.Add(1)
+		return
+	}
+	c.mu.Lock()
+	cache := c.caches[from]
+	if cache == nil {
+		cache = NewCache()
+		c.caches[from] = cache
+	}
+	cache.Add(msg.DomainID, msg.Templates)
+	c.mu.Unlock()
+
+	c.stats.Messages.Add(1)
+	for _, ds := range msg.DataSets {
+		c.mu.RLock()
+		tmpl, ok := cache.Lookup(msg.DomainID, ds.TemplateID)
+		c.mu.RUnlock()
+		if !ok {
+			c.stats.UnknownTemplate.Add(1)
+			continue
+		}
+		recs, skipped, err := DecodeRecords(msg, tmpl, ds, router)
+		if err != nil {
+			c.stats.Malformed.Add(1)
+			continue
+		}
+		c.stats.SkippedRecords.Add(uint64(skipped))
+		for _, rec := range recs {
+			c.sink(rec)
+			c.stats.Records.Add(1)
+		}
+	}
+}

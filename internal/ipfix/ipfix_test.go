@@ -1,0 +1,286 @@
+package ipfix
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"testing"
+	"time"
+
+	"ipd/internal/flow"
+)
+
+var exportTime = uint32(1605571200)
+
+func v4Record(i byte) flow.Record {
+	return flow.Record{
+		Ts:      time.UnixMilli(1605571200123).UTC(),
+		Src:     netip.AddrFrom4([4]byte{203, 0, 113, i}),
+		Dst:     netip.AddrFrom4([4]byte{100, 64, 1, 1}),
+		In:      flow.Ingress{Iface: 7},
+		Bytes:   1500,
+		Packets: 2,
+	}
+}
+
+func v6Record(i byte) flow.Record {
+	return flow.Record{
+		Ts:      time.UnixMilli(1605571200456).UTC(),
+		Src:     netip.MustParseAddr("2001:db8::1").Prev().Next(), // normalized
+		Dst:     netip.MustParseAddr("2001:db8:ffff::9"),
+		In:      flow.Ingress{Iface: 9},
+		Bytes:   900,
+		Packets: 1,
+	}
+}
+
+func TestTemplateThenDataRoundTrip(t *testing.T) {
+	mb := NewMessageBuilder(42)
+	tmplMsg, err := mb.TemplateMessage(exportTime, DefaultTemplateV4, DefaultTemplateV6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []flow.Record{v4Record(1), v4Record(2), v4Record(3)}
+	dataMsg, err := mb.DataMessage(exportTime, DefaultTemplateV4, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewCache()
+	m1, err := DecodeMessage(tmplMsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1.Templates) != 2 || len(m1.DataSets) != 0 {
+		t.Fatalf("template message: %+v", m1)
+	}
+	cache.Add(m1.DomainID, m1.Templates)
+	if cache.Len() != 2 {
+		t.Fatalf("cache len = %d", cache.Len())
+	}
+
+	m2, err := DecodeMessage(dataMsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.DomainID != 42 || m2.Sequence != 1 {
+		t.Errorf("header: domain=%d seq=%d", m2.DomainID, m2.Sequence)
+	}
+	if len(m2.DataSets) != 1 {
+		t.Fatalf("data sets = %d", len(m2.DataSets))
+	}
+	tmpl, ok := cache.Lookup(m2.DomainID, m2.DataSets[0].TemplateID)
+	if !ok {
+		t.Fatal("template not cached")
+	}
+	out, skipped, err := DecodeRecords(m2, tmpl, m2.DataSets[0], 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(out) != 3 {
+		t.Fatalf("decoded %d records, %d skipped", len(out), skipped)
+	}
+	want := recs[0]
+	got := out[0]
+	if got.Src != want.Src || got.Dst != want.Dst {
+		t.Errorf("addresses: %+v", got)
+	}
+	if got.In != (flow.Ingress{Router: 9, Iface: 7}) {
+		t.Errorf("ingress = %v", got.In)
+	}
+	if got.Bytes != 1500 || got.Packets != 2 {
+		t.Errorf("counters: %+v", got)
+	}
+	if !got.Ts.Equal(want.Ts) {
+		t.Errorf("ts = %v, want %v (flowStartMilliseconds)", got.Ts, want.Ts)
+	}
+}
+
+func TestIPv6RoundTrip(t *testing.T) {
+	mb := NewMessageBuilder(7)
+	cache := NewCache()
+	tmplMsg, _ := mb.TemplateMessage(exportTime, DefaultTemplateV6)
+	m, err := DecodeMessage(tmplMsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Add(m.DomainID, m.Templates)
+
+	dataMsg, err := mb.DataMessage(exportTime, DefaultTemplateV6, []flow.Record{v6Record(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := DecodeMessage(dataMsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl, _ := cache.Lookup(7, m2.DataSets[0].TemplateID)
+	out, _, err := DecodeRecords(m2, tmpl, m2.DataSets[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Src != netip.MustParseAddr("2001:db8::1") {
+		t.Fatalf("v6 decode: %+v", out)
+	}
+	if out[0].Dst != netip.MustParseAddr("2001:db8:ffff::9") {
+		t.Errorf("v6 dst = %v", out[0].Dst)
+	}
+}
+
+func TestFamilyMismatchRejected(t *testing.T) {
+	mb := NewMessageBuilder(1)
+	if _, err := mb.DataMessage(exportTime, DefaultTemplateV4, []flow.Record{v6Record(1)}); err == nil {
+		t.Error("v6 record under v4 template should fail")
+	}
+	if _, err := mb.DataMessage(exportTime, DefaultTemplateV6, []flow.Record{v4Record(1)}); err == nil {
+		t.Error("v4 record under v6 template should fail")
+	}
+	if _, err := mb.DataMessage(exportTime, DefaultTemplateV4, nil); err == nil {
+		t.Error("empty data message should fail")
+	}
+	if _, err := mb.TemplateMessage(exportTime, Template{ID: 100}); err == nil {
+		t.Error("template id < 256 should fail")
+	}
+}
+
+func TestUnknownElementsSkipped(t *testing.T) {
+	// A template with an element the converter does not know (e.g.
+	// protocolIdentifier=4, 1 byte): decoding still yields the record.
+	tmpl := Template{ID: 300, Fields: []FieldSpec{
+		{ID: IESourceIPv4Address, Length: 4},
+		{ID: 4, Length: 1}, // protocolIdentifier
+		{ID: IEOctetDeltaCount, Length: 4},
+	}}
+	mb := NewMessageBuilder(1)
+	msg, err := mb.DataMessage(exportTime, tmpl, []flow.Record{v4Record(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := DecodeMessage(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := DecodeRecords(m, tmpl, m.DataSets[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Src != netip.AddrFrom4([4]byte{203, 0, 113, 5}) {
+		t.Fatalf("decode with unknown IE: %+v", out)
+	}
+	// 4-byte octetDeltaCount decodes via beUint.
+	if out[0].Bytes != 1500 {
+		t.Errorf("bytes = %d", out[0].Bytes)
+	}
+	// Without flowStartMilliseconds the export time is used.
+	if !out[0].Ts.Equal(time.Unix(int64(exportTime), 0).UTC()) {
+		t.Errorf("ts = %v", out[0].Ts)
+	}
+}
+
+func TestTemplateWithdrawal(t *testing.T) {
+	cache := NewCache()
+	cache.Add(1, []Template{DefaultTemplateV4})
+	if _, ok := cache.Lookup(1, 256); !ok {
+		t.Fatal("template missing")
+	}
+	// A zero-field template withdraws.
+	cache.Add(1, []Template{{ID: 256}})
+	if _, ok := cache.Lookup(1, 256); ok {
+		t.Fatal("withdrawal ignored")
+	}
+	// Domains are independent.
+	cache.Add(2, []Template{DefaultTemplateV4})
+	if _, ok := cache.Lookup(1, 256); ok {
+		t.Fatal("cross-domain leak")
+	}
+}
+
+func TestDecodeMessageValidation(t *testing.T) {
+	mb := NewMessageBuilder(1)
+	good, _ := mb.TemplateMessage(exportTime, DefaultTemplateV4)
+
+	badVersion := append([]byte(nil), good...)
+	binary.BigEndian.PutUint16(badVersion[0:], 9)
+	badLen := append([]byte(nil), good...)
+	binary.BigEndian.PutUint16(badLen[2:], uint16(len(good)+10))
+	badSet := append([]byte(nil), good...)
+	binary.BigEndian.PutUint16(badSet[16:], 5) // reserved set id
+
+	cases := map[string][]byte{
+		"short":       good[:10],
+		"bad version": badVersion,
+		"bad length":  badLen,
+		"reserved id": badSet,
+	}
+	for name, b := range cases {
+		if _, err := DecodeMessage(b); err == nil {
+			t.Errorf("%s should fail", name)
+		}
+	}
+	if _, err := DecodeMessage(good); err != nil {
+		t.Errorf("good message rejected: %v", err)
+	}
+}
+
+func TestEnterpriseAndVariableFieldsRejected(t *testing.T) {
+	// Hand-build a template set with an enterprise bit.
+	build := func(ie, length uint16) []byte {
+		var body []byte
+		body = binary.BigEndian.AppendUint16(body, 256) // template id
+		body = binary.BigEndian.AppendUint16(body, 1)   // field count
+		body = binary.BigEndian.AppendUint16(body, ie)
+		body = binary.BigEndian.AppendUint16(body, length)
+		var msg []byte
+		msg = binary.BigEndian.AppendUint16(msg, Version)
+		msg = binary.BigEndian.AppendUint16(msg, uint16(MessageHeaderLen+SetHeaderLen+len(body)))
+		msg = binary.BigEndian.AppendUint32(msg, exportTime)
+		msg = binary.BigEndian.AppendUint32(msg, 0)
+		msg = binary.BigEndian.AppendUint32(msg, 1)
+		msg = binary.BigEndian.AppendUint16(msg, TemplateSetID)
+		msg = binary.BigEndian.AppendUint16(msg, uint16(SetHeaderLen+len(body)))
+		return append(msg, body...)
+	}
+	if _, err := DecodeMessage(build(0x8000|8, 4)); err == nil {
+		t.Error("enterprise element should be rejected")
+	}
+	if _, err := DecodeMessage(build(8, 0xFFFF)); err == nil {
+		t.Error("variable-length element should be rejected")
+	}
+}
+
+func TestDataBeforeTemplate(t *testing.T) {
+	mb := NewMessageBuilder(1)
+	dataMsg, err := mb.DataMessage(exportTime, DefaultTemplateV4, []flow.Record{v4Record(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := DecodeMessage(dataMsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache()
+	if _, ok := cache.Lookup(m.DomainID, m.DataSets[0].TemplateID); ok {
+		t.Fatal("template should be unknown before it is announced")
+	}
+}
+
+func FuzzDecodeMessage(f *testing.F) {
+	mb := NewMessageBuilder(1)
+	tm, _ := mb.TemplateMessage(exportTime, DefaultTemplateV4)
+	dm, _ := mb.DataMessage(exportTime, DefaultTemplateV4, []flow.Record{v4Record(1)})
+	f.Add(tm)
+	f.Add(dm)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		for _, tmpl := range m.Templates {
+			_ = tmpl.recordLen()
+		}
+		for _, ds := range m.DataSets {
+			// Decoding against an arbitrary known template must not panic.
+			_, _, _ = DecodeRecords(m, DefaultTemplateV4, ds, 1)
+		}
+	})
+}

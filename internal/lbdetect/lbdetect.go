@@ -1,0 +1,320 @@
+// Package lbdetect implements the extension the paper sketches in §5.8 and
+// its conclusion but deliberately leaves out of the deployed IPD:
+// detecting router-level load balancing "by tracking the (source,
+// destination) IP address pairs".
+//
+// The deployed algorithm cannot classify prefixes whose neighbor balances
+// flows across two routers (the share per router stays ≈ 0.5 < q at every
+// split depth). The distinguishing signal, as the paper observes, requires
+// destinations: with CDN-style mapping, one (source, destination) pair
+// always enters through one router, while with router-level load balancing
+// the *same* pair alternates between routers flow by flow.
+//
+// The Detector therefore keeps a bounded sample of (source unit,
+// destination unit) pairs and counts per-pair ingress routers and
+// router-to-router alternations. Source units whose pairs are predominantly
+// multi-router with frequent alternation are flagged, and agreeing units
+// are aggregated into LB groups. A Mapper can fold a group's routers into
+// one logical ingress, which restores classifiability — the quadratic-state
+// trade-off the paper describes is made explicit here via the MaxPairs
+// bound.
+//
+// Intended usage mirrors the paper's operational incident: IPD first fails
+// to classify the load-balanced space (ranges stay mixed at cidr_max), and
+// the detector is then pointed at that *unclassifiable residue* — feed it
+// only records whose source has no LPM mapping. Running it over all traffic
+// also works but requires the source aggregation to be at least as fine as
+// the neighbors' mapping granularity to avoid mistaking fine-grained CDN
+// mappings for flow-level balancing.
+package lbdetect
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"ipd/internal/flow"
+	"ipd/internal/netaddr"
+)
+
+// Config bounds and tunes the detector.
+type Config struct {
+	// SrcBits aggregates sources. It must be at least as fine as the
+	// neighbors' mapping granularity (i.e. cidr_max, default /28), or
+	// fine-grained CDN mappings inside one source unit masquerade as
+	// balancing. DstBits aggregates destinations (default /12).
+	SrcBits int
+	DstBits int
+	// MinPairFlows is the minimum flows a (src, dst) pair needs before it
+	// votes (default 6).
+	MinPairFlows int
+	// MinPairs is the minimum voting pairs a source unit needs before it
+	// can be flagged (default 4).
+	MinPairs int
+	// BalancedShare is the per-pair dominant-router share at or below
+	// which the pair votes "balanced" (default 0.8: a pair whose flows
+	// split ≤80/20 across routers is not single-homed).
+	BalancedShare float64
+	// VoteShare is the fraction of voting pairs that must be balanced to
+	// flag the source unit (default 0.7).
+	VoteShare float64
+	// MinAlternations is the minimum number of router-to-router switches a
+	// pair must show (in arrival order) to vote balanced; in addition, at
+	// least a third of the pair's flows must alternate (default 4).
+	MinAlternations int
+	// MinCoMinutes is the number of distinct minutes in which the pair saw
+	// two or more routers. This is the decisive discriminator: per-flow
+	// load balancing makes the routers co-occur within the same minute
+	// constantly, while sequential remaps (a CDN moving the block between
+	// epochs) and stray noise flows almost never do (default 2).
+	MinCoMinutes int
+	// MaxPairs bounds the tracked (src, dst) state — the quadratic-memory
+	// trade-off of §5.8 (default 1<<20). New pairs beyond the bound are
+	// ignored.
+	MaxPairs int
+}
+
+// DefaultConfig returns the defaults described above.
+func DefaultConfig() Config {
+	return Config{
+		SrcBits:         28, // match cidr_max: finer than any mapping unit
+		DstBits:         12,
+		MinPairFlows:    8,
+		MinPairs:        1,
+		BalancedShare:   0.8,
+		VoteShare:       0.7,
+		MinAlternations: 4,
+		MinCoMinutes:    2,
+		MaxPairs:        1 << 20,
+	}
+}
+
+func (c Config) validate() error {
+	if c.SrcBits < 1 || c.SrcBits > 32 || c.DstBits < 1 || c.DstBits > 32 {
+		return fmt.Errorf("lbdetect: src/dst bits out of range: %d/%d", c.SrcBits, c.DstBits)
+	}
+	if c.MinPairFlows < 2 {
+		return fmt.Errorf("lbdetect: MinPairFlows %d must be >= 2", c.MinPairFlows)
+	}
+	if c.MinPairs < 1 {
+		return fmt.Errorf("lbdetect: MinPairs %d must be >= 1", c.MinPairs)
+	}
+	if !(c.BalancedShare > 0.5 && c.BalancedShare < 1) {
+		return fmt.Errorf("lbdetect: BalancedShare %v must be in (0.5, 1)", c.BalancedShare)
+	}
+	if !(c.VoteShare > 0 && c.VoteShare <= 1) {
+		return fmt.Errorf("lbdetect: VoteShare %v must be in (0, 1]", c.VoteShare)
+	}
+	if c.MinAlternations < 1 {
+		return fmt.Errorf("lbdetect: MinAlternations %d must be >= 1", c.MinAlternations)
+	}
+	if c.MinCoMinutes < 1 {
+		return fmt.Errorf("lbdetect: MinCoMinutes %d must be >= 1", c.MinCoMinutes)
+	}
+	if c.MaxPairs < 1 {
+		return fmt.Errorf("lbdetect: MaxPairs %d must be >= 1", c.MaxPairs)
+	}
+	return nil
+}
+
+type pairKey struct {
+	src, dst netaddr.Key
+}
+
+type pairState struct {
+	perRouter    map[flow.RouterID]int
+	total        int
+	last         flow.RouterID
+	alternations int
+
+	// minute-co-occurrence tracking
+	curMinute   int64
+	minuteFirst flow.RouterID
+	minuteMulti bool
+	coMinutes   int
+}
+
+// Detector accumulates (source, destination) pair evidence.
+type Detector struct {
+	cfg     Config
+	pairs   map[pairKey]*pairState
+	dropped int
+}
+
+// New returns a detector for cfg.
+func New(cfg Config) (*Detector, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{cfg: cfg, pairs: make(map[pairKey]*pairState)}, nil
+}
+
+// Observe folds one flow record; records without a destination are ignored
+// (pairs are the whole point).
+func (d *Detector) Observe(rec flow.Record) {
+	if !rec.Src.IsValid() || !rec.Dst.IsValid() {
+		return
+	}
+	sp, ok1 := netaddr.Mask(rec.Src, d.cfg.SrcBits)
+	dp, ok2 := netaddr.Mask(rec.Dst, d.cfg.DstBits)
+	if !ok1 || !ok2 {
+		return
+	}
+	k := pairKey{src: netaddr.KeyOf(sp), dst: netaddr.KeyOf(dp)}
+	st := d.pairs[k]
+	if st == nil {
+		if len(d.pairs) >= d.cfg.MaxPairs {
+			d.dropped++
+			return
+		}
+		st = &pairState{perRouter: make(map[flow.RouterID]int)}
+		d.pairs[k] = st
+	}
+	if st.total > 0 && rec.In.Router != st.last {
+		st.alternations++
+	}
+	st.last = rec.In.Router
+	minute := rec.Ts.Unix() / 60
+	switch {
+	case st.total == 0 || minute != st.curMinute:
+		if st.total > 0 && st.minuteMulti {
+			st.coMinutes++
+		}
+		st.curMinute = minute
+		st.minuteFirst = rec.In.Router
+		st.minuteMulti = false
+	case rec.In.Router != st.minuteFirst:
+		st.minuteMulti = true
+	}
+	st.perRouter[rec.In.Router]++
+	st.total++
+}
+
+// coMinutesTotal includes the still-open minute.
+func (st *pairState) coMinutesTotal() int {
+	if st.minuteMulti {
+		return st.coMinutes + 1
+	}
+	return st.coMinutes
+}
+
+// DroppedPairs reports pairs ignored due to the MaxPairs bound.
+func (d *Detector) DroppedPairs() int { return d.dropped }
+
+// TrackedPairs reports the live pair-state size (the §5.8 memory cost).
+func (d *Detector) TrackedPairs() int { return len(d.pairs) }
+
+// Group is one detected load-balancing group: a set of routers sharing the
+// given source units' flows.
+type Group struct {
+	// Routers is the sorted router set (>= 2).
+	Routers []flow.RouterID
+	// SrcUnits are the flagged source prefixes, sorted.
+	SrcUnits []netip.Prefix
+}
+
+// Groups evaluates the evidence: per source unit, pairs with enough flows
+// vote; units where the balanced vote passes VoteShare are flagged, and
+// flagged units with the same router set merge into one group.
+func (d *Detector) Groups() []Group {
+	type verdict struct {
+		balanced, voting int
+		routers          map[flow.RouterID]bool
+	}
+	bySrc := make(map[netaddr.Key]*verdict)
+	for k, st := range d.pairs {
+		if st.total < d.cfg.MinPairFlows {
+			continue
+		}
+		v := bySrc[k.src]
+		if v == nil {
+			v = &verdict{routers: make(map[flow.RouterID]bool)}
+			bySrc[k.src] = v
+		}
+		v.voting++
+		top := 0
+		for r, c := range st.perRouter {
+			if c > top {
+				top = c
+			}
+			_ = r
+		}
+		if len(st.perRouter) >= 2 && st.alternations >= d.cfg.MinAlternations &&
+			3*st.alternations >= st.total &&
+			st.coMinutesTotal() >= d.cfg.MinCoMinutes &&
+			float64(top)/float64(st.total) <= d.cfg.BalancedShare {
+			v.balanced++
+			for r := range st.perRouter {
+				v.routers[r] = true
+			}
+		}
+	}
+
+	byRouters := make(map[string]*Group)
+	for src, v := range bySrc {
+		if v.voting < d.cfg.MinPairs {
+			continue
+		}
+		if float64(v.balanced)/float64(v.voting) < d.cfg.VoteShare {
+			continue
+		}
+		routers := make([]flow.RouterID, 0, len(v.routers))
+		for r := range v.routers {
+			routers = append(routers, r)
+		}
+		sort.Slice(routers, func(i, j int) bool { return routers[i] < routers[j] })
+		if len(routers) < 2 {
+			continue
+		}
+		sig := fmt.Sprint(routers)
+		g := byRouters[sig]
+		if g == nil {
+			g = &Group{Routers: routers}
+			byRouters[sig] = g
+		}
+		g.SrcUnits = append(g.SrcUnits, src.Prefix())
+	}
+	out := make([]Group, 0, len(byRouters))
+	for _, g := range byRouters {
+		sort.Slice(g.SrcUnits, func(i, j int) bool {
+			return netaddr.KeyOf(g.SrcUnits[i]).Less(netaddr.KeyOf(g.SrcUnits[j]))
+		})
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Routers[0] < out[j].Routers[0] })
+	return out
+}
+
+// Mapper folds the routers of detected groups into one logical ingress (the
+// group's lowest router, interface 0 — a synthetic "router bundle"), and
+// delegates everything else to next (nil = identity). Feeding the engine
+// through this mapper makes load-balanced prefixes classifiable, the §5.8
+// future-work behaviour.
+type Mapper struct {
+	next   func(flow.Ingress) flow.Ingress
+	folded map[flow.RouterID]flow.RouterID
+}
+
+// NewMapper builds a mapper from detected groups over an optional next
+// mapper (e.g. the topology's LAG folding).
+func NewMapper(groups []Group, next func(flow.Ingress) flow.Ingress) *Mapper {
+	m := &Mapper{next: next, folded: make(map[flow.RouterID]flow.RouterID)}
+	for _, g := range groups {
+		canon := g.Routers[0]
+		for _, r := range g.Routers {
+			m.folded[r] = canon
+		}
+	}
+	return m
+}
+
+// Logical implements core.IngressMapper.
+func (m *Mapper) Logical(in flow.Ingress) flow.Ingress {
+	if m.next != nil {
+		in = m.next(in)
+	}
+	if canon, ok := m.folded[in.Router]; ok {
+		return flow.Ingress{Router: canon, Iface: 0}
+	}
+	return in
+}

@@ -1,0 +1,300 @@
+package lbdetect
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"ipd/internal/core"
+	"ipd/internal/flow"
+	"ipd/internal/trafficgen"
+)
+
+var t0 = time.Unix(1_600_000_000, 0).UTC()
+
+func rec(src, dst string, router flow.RouterID) flow.Record {
+	return recAt(t0, src, dst, router)
+}
+
+func recAt(ts time.Time, src, dst string, router flow.RouterID) flow.Record {
+	return flow.Record{
+		Ts:  ts,
+		Src: netip.MustParseAddr(src),
+		Dst: netip.MustParseAddr(dst),
+		In:  flow.Ingress{Router: router, Iface: 1},
+	}
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SrcBits = 24
+	cfg.DstBits = 24
+	cfg.MinPairFlows = 4
+	cfg.MinPairs = 2
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.SrcBits = 0 },
+		func(c *Config) { c.DstBits = 33 },
+		func(c *Config) { c.MinPairFlows = 1 },
+		func(c *Config) { c.MinPairs = 0 },
+		func(c *Config) { c.BalancedShare = 0.5 },
+		func(c *Config) { c.BalancedShare = 1 },
+		func(c *Config) { c.VoteShare = 0 },
+		func(c *Config) { c.MinAlternations = 0 },
+		func(c *Config) { c.MinCoMinutes = 0 },
+		func(c *Config) { c.MaxPairs = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetectsLoadBalancing(t *testing.T) {
+	d, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load-balanced source 10.0.0.0/24: every (src,dst) pair alternates
+	// between routers 5 and 6.
+	for pair := 0; pair < 4; pair++ {
+		dst := netip.AddrFrom4([4]byte{100, 64, byte(pair), 1}).String()
+		for i := 0; i < 8; i++ {
+			r := flow.RouterID(5 + i%2)
+			// Flows spread across minutes: both routers co-occur in each.
+			d.Observe(recAt(t0.Add(time.Duration(i/2)*time.Minute), "10.0.0.7", dst, r))
+		}
+	}
+	// Single-homed source 20.0.0.0/24: each pair sticks to one router.
+	for pair := 0; pair < 4; pair++ {
+		dst := netip.AddrFrom4([4]byte{100, 64, byte(pair), 1}).String()
+		for i := 0; i < 8; i++ {
+			d.Observe(rec("20.0.0.7", dst, 9))
+		}
+	}
+	groups := d.Groups()
+	if len(groups) != 1 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	g := groups[0]
+	if len(g.Routers) != 2 || g.Routers[0] != 5 || g.Routers[1] != 6 {
+		t.Errorf("routers = %v", g.Routers)
+	}
+	if len(g.SrcUnits) != 1 || g.SrcUnits[0] != netip.MustParsePrefix("10.0.0.0/24") {
+		t.Errorf("src units = %v", g.SrcUnits)
+	}
+}
+
+func TestCDNStyleMappingNotFlagged(t *testing.T) {
+	d, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different source units use different routers (CDN mapping), but each
+	// (src,dst) pair is single-router: no LB.
+	for unit := 0; unit < 4; unit++ {
+		src := netip.AddrFrom4([4]byte{10, 0, byte(unit), 1}).String()
+		router := flow.RouterID(1 + unit%2)
+		for pair := 0; pair < 4; pair++ {
+			dst := netip.AddrFrom4([4]byte{100, 64, byte(pair), 1}).String()
+			for i := 0; i < 8; i++ {
+				d.Observe(rec(src, dst, router))
+			}
+		}
+	}
+	if groups := d.Groups(); len(groups) != 0 {
+		t.Errorf("CDN-style mapping flagged as LB: %+v", groups)
+	}
+}
+
+func TestIgnoresRecordsWithoutDst(t *testing.T) {
+	d, _ := New(testConfig())
+	d.Observe(flow.Record{Ts: t0, Src: netip.MustParseAddr("10.0.0.1"), In: flow.Ingress{Router: 1, Iface: 1}})
+	if d.TrackedPairs() != 0 {
+		t.Error("record without destination must not create pair state")
+	}
+}
+
+func TestMaxPairsBound(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxPairs = 2
+	d, _ := New(cfg)
+	for i := 0; i < 5; i++ {
+		dst := netip.AddrFrom4([4]byte{100, 64, byte(i), 1}).String()
+		d.Observe(rec("10.0.0.1", dst, 1))
+	}
+	if d.TrackedPairs() != 2 {
+		t.Errorf("tracked = %d, want 2", d.TrackedPairs())
+	}
+	if d.DroppedPairs() != 3 {
+		t.Errorf("dropped = %d, want 3", d.DroppedPairs())
+	}
+}
+
+func TestMapperFoldsGroups(t *testing.T) {
+	groups := []Group{{Routers: []flow.RouterID{5, 6}}}
+	next := func(in flow.Ingress) flow.Ingress {
+		if in.Iface == 2 { // pretend 1 and 2 are a LAG
+			in.Iface = 1
+		}
+		return in
+	}
+	m := NewMapper(groups, next)
+	// Both LB routers fold to the synthetic (5, 0).
+	if got := m.Logical(flow.Ingress{Router: 6, Iface: 3}); got != (flow.Ingress{Router: 5, Iface: 0}) {
+		t.Errorf("fold = %v", got)
+	}
+	if got := m.Logical(flow.Ingress{Router: 5, Iface: 1}); got != (flow.Ingress{Router: 5, Iface: 0}) {
+		t.Errorf("fold = %v", got)
+	}
+	// Unrelated routers pass through (after next).
+	if got := m.Logical(flow.Ingress{Router: 9, Iface: 2}); got != (flow.Ingress{Router: 9, Iface: 1}) {
+		t.Errorf("passthrough = %v", got)
+	}
+	// Nil next works.
+	m2 := NewMapper(groups, nil)
+	if got := m2.Logical(flow.Ingress{Router: 9, Iface: 2}); got != (flow.Ingress{Router: 9, Iface: 2}) {
+		t.Errorf("identity = %v", got)
+	}
+}
+
+// TestEndToEndWithScenario runs the detector on the synthetic scenario and
+// verifies it finds exactly the load-balanced AS, then shows that feeding
+// the engine through the resulting mapper makes that AS's space
+// classifiable — the §5.8 future-work behaviour.
+func TestEndToEndWithScenario(t *testing.T) {
+	scn, err := trafficgen.NewScenario(trafficgen.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lbAS *trafficgen.AS
+	for _, a := range scn.ASes {
+		if a.LoadBalanced {
+			lbAS = a
+			break
+		}
+	}
+	if lbAS == nil {
+		t.Fatal("no LB AS in scenario")
+	}
+
+	gen := trafficgen.GenConfig{FlowsPerMinute: 8000, NoiseFraction: 0.002, Seed: 1, Diurnal: false}
+	start := scn.Start.Add(20 * time.Hour)
+	var records []flow.Record
+	if err := scn.Stream(start, start.Add(40*time.Minute), gen, func(r flow.Record) bool {
+		records = append(records, r)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 1 (the paper's incident): run IPD without LB handling; the
+	// balanced space stays unclassifiable.
+	residueCfg := core.DefaultConfig()
+	residueCfg.NCidrFactor4 = 0.01
+	residueCfg.NCidrFloor = 4
+	residueCfg.Mapper = scn.Topo
+	residueEng, err := core.NewEngine(residueCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		residueEng.Feed(r)
+	}
+	residueEng.ForceCycle()
+	residueTable := residueEng.LookupTable()
+
+	// Step 2: point the detector at the unclassifiable residue only.
+	det, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		if _, _, mapped := residueTable.Lookup(r.Src); !mapped {
+			det.Observe(r)
+		}
+	}
+	groups := det.Groups()
+	if len(groups) == 0 {
+		t.Fatal("detector found no LB groups")
+	}
+	wantRouters := map[flow.RouterID]bool{
+		lbAS.Links[0].Router: true,
+		lbAS.Links[1].Router: true,
+	}
+	foundLB := false
+	for _, g := range groups {
+		match := len(g.Routers) == 2 && wantRouters[g.Routers[0]] && wantRouters[g.Routers[1]]
+		if match {
+			foundLB = true
+			// Flagged units must belong to the LB AS.
+			for _, u := range g.SrcUnits {
+				owner, ok := scn.ASOf(u.Addr())
+				if !ok || owner != lbAS {
+					t.Errorf("flagged unit %v belongs to %v, not the LB AS", u, owner)
+				}
+			}
+		} else {
+			// Residue filtering keeps transient remap windows out of the
+			// evidence; anything else flagged here is a real bug.
+			t.Errorf("unexpected LB group %+v", g)
+		}
+	}
+	if !foundLB {
+		t.Fatalf("the LB AS's router pair was not detected; groups = %+v", groups)
+	}
+
+	// Engine runs: without the mapper the LB space stays unmapped; with it,
+	// the space classifies.
+	mappedFraction := func(mapper core.IngressMapper) float64 {
+		cfg := core.DefaultConfig()
+		cfg.NCidrFactor4 = 0.01
+		cfg.NCidrFloor = 4
+		cfg.Mapper = mapper
+		eng, err := core.NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range records {
+			eng.Feed(r)
+		}
+		eng.ForceCycle()
+		table := eng.LookupTable()
+		hits, total := 0, 0
+		for _, r := range records[len(records)-20000:] {
+			owner, ok := scn.ASOf(r.Src)
+			if !ok || owner != lbAS {
+				continue
+			}
+			total++
+			if _, _, ok := table.Lookup(r.Src); ok {
+				hits++
+			}
+		}
+		if total == 0 {
+			t.Fatal("no LB AS flows in the tail")
+		}
+		return float64(hits) / float64(total)
+	}
+
+	without := mappedFraction(scn.Topo)
+	with := mappedFraction(NewMapper(groups, scn.Topo.Logical))
+	if without > 0.3 {
+		t.Errorf("without detection, LB space should be mostly unmapped; got %.2f", without)
+	}
+	if with < 0.8 {
+		t.Errorf("with detection, LB space should classify; got %.2f", with)
+	}
+	if with <= without {
+		t.Errorf("detection did not help: %.2f -> %.2f", without, with)
+	}
+}

@@ -1,0 +1,412 @@
+// Package metrics provides the statistics used throughout the paper's
+// evaluation and Appendix A parameter study: empirical CDFs and quantiles,
+// Kolmogorov–Smirnov distances against reference distributions (normal,
+// lognormal, Weibull, Pareto — the candidates the appendix explores for the
+// "ideal" prefix-stability distribution), Pearson correlation (used for the
+// CDN miss analysis and the flow/byte-count correlation), and one-way ANOVA
+// with F-distribution p-values (the appendix's factor-screening method).
+//
+// Everything is stdlib-only; the special functions needed for the F
+// distribution (log-gamma, regularized incomplete beta) are implemented
+// here with standard numerical recipes.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (NaN for n < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// series. It returns NaN for mismatched lengths, n < 2, or zero variance.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// CDF is an empirical cumulative distribution over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs (copied and sorted).
+func NewCDF(xs []float64) CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return CDF{sorted: s}
+}
+
+// Len returns the sample size.
+func (c CDF) Len() int { return len(c.sorted) }
+
+// At returns the empirical probability P[X <= x].
+func (c CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(c.sorted, x)
+	// Advance over equal values: SearchFloat64s returns the first index
+	// with sorted[i] >= x; P[X <= x] counts equal values too.
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank.
+func (c CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	i := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.sorted[i]
+}
+
+// Points returns up to n evenly spaced (x, P[X<=x]) points for plotting.
+func (c CDF) Points(n int) [][2]float64 {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(c.sorted) {
+		n = len(c.sorted)
+	}
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (i + 1) * len(c.sorted) / n
+		x := c.sorted[idx-1]
+		out = append(out, [2]float64{x, float64(idx) / float64(len(c.sorted))})
+	}
+	return out
+}
+
+// Dist is a continuous reference distribution.
+type Dist interface {
+	// CDFAt returns P[X <= x].
+	CDFAt(x float64) float64
+	// Name identifies the family for reports.
+	Name() string
+}
+
+// Normal is a Gaussian distribution.
+type Normal struct{ Mu, Sigma float64 }
+
+// CDFAt implements Dist.
+func (d Normal) CDFAt(x float64) float64 {
+	return 0.5 * math.Erfc(-(x-d.Mu)/(d.Sigma*math.Sqrt2))
+}
+
+// Name implements Dist.
+func (d Normal) Name() string { return "normal" }
+
+// LogNormal has ln(X) ~ Normal(Mu, Sigma).
+type LogNormal struct{ Mu, Sigma float64 }
+
+// CDFAt implements Dist.
+func (d LogNormal) CDFAt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return Normal{d.Mu, d.Sigma}.CDFAt(math.Log(x))
+}
+
+// Name implements Dist.
+func (d LogNormal) Name() string { return "lognormal" }
+
+// Weibull with shape K and scale Lambda.
+type Weibull struct{ K, Lambda float64 }
+
+// CDFAt implements Dist.
+func (d Weibull) CDFAt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-math.Pow(x/d.Lambda, d.K))
+}
+
+// Name implements Dist.
+func (d Weibull) Name() string { return "weibull" }
+
+// Pareto with minimum Xm and tail index Alpha.
+type Pareto struct{ Xm, Alpha float64 }
+
+// CDFAt implements Dist.
+func (d Pareto) CDFAt(x float64) float64 {
+	if x < d.Xm {
+		return 0
+	}
+	return 1 - math.Pow(d.Xm/x, d.Alpha)
+}
+
+// Name implements Dist.
+func (d Pareto) Name() string { return "pareto" }
+
+// KSDistance returns the Kolmogorov–Smirnov statistic between a sample and a
+// reference distribution: sup_x |F_emp(x) - F(x)|.
+func KSDistance(sample []float64, d Dist) float64 {
+	n := len(sample)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	maxD := 0.0
+	for i, x := range s {
+		f := d.CDFAt(x)
+		lo := math.Abs(f - float64(i)/float64(n))
+		hi := math.Abs(float64(i+1)/float64(n) - f)
+		if lo > maxD {
+			maxD = lo
+		}
+		if hi > maxD {
+			maxD = hi
+		}
+	}
+	return maxD
+}
+
+// KSTwoSample returns the two-sample KS statistic between samples a and b.
+func KSTwoSample(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.NaN()
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	var i, j int
+	maxD := 0.0
+	for i < len(sa) && j < len(sb) {
+		var x float64
+		if sa[i] <= sb[j] {
+			x = sa[i]
+		} else {
+			x = sb[j]
+		}
+		for i < len(sa) && sa[i] <= x {
+			i++
+		}
+		for j < len(sb) && sb[j] <= x {
+			j++
+		}
+		d := math.Abs(float64(i)/float64(len(sa)) - float64(j)/float64(len(sb)))
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// FitLogNormal estimates lognormal parameters from positive samples by
+// method of moments on log values. Non-positive values are ignored.
+func FitLogNormal(xs []float64) LogNormal {
+	var logs []float64
+	for _, x := range xs {
+		if x > 0 {
+			logs = append(logs, math.Log(x))
+		}
+	}
+	if len(logs) < 2 {
+		return LogNormal{Mu: 0, Sigma: 1}
+	}
+	return LogNormal{Mu: Mean(logs), Sigma: math.Max(StdDev(logs), 1e-12)}
+}
+
+// AnovaResult is the outcome of a one-way ANOVA.
+type AnovaResult struct {
+	// F is the F statistic (between-group MS / within-group MS).
+	F float64
+	// P is the right-tail p-value under the F(df1, df2) distribution.
+	P float64
+	// EtaSq is the effect size SS_between / SS_total.
+	EtaSq float64
+	// DF1, DF2 are the degrees of freedom.
+	DF1, DF2 int
+}
+
+// OneWayANOVA tests whether the group means differ systematically — the
+// appendix's method for deciding which IPD parameters ("factors") matter.
+func OneWayANOVA(groups [][]float64) (AnovaResult, error) {
+	k := len(groups)
+	if k < 2 {
+		return AnovaResult{}, fmt.Errorf("metrics: ANOVA needs >= 2 groups, got %d", k)
+	}
+	n := 0
+	var all []float64
+	for i, g := range groups {
+		if len(g) == 0 {
+			return AnovaResult{}, fmt.Errorf("metrics: ANOVA group %d is empty", i)
+		}
+		n += len(g)
+		all = append(all, g...)
+	}
+	if n <= k {
+		return AnovaResult{}, fmt.Errorf("metrics: ANOVA needs more observations (%d) than groups (%d)", n, k)
+	}
+	grand := Mean(all)
+	var ssb, ssw float64
+	for _, g := range groups {
+		m := Mean(g)
+		d := m - grand
+		ssb += float64(len(g)) * d * d
+		for _, x := range g {
+			e := x - m
+			ssw += e * e
+		}
+	}
+	df1, df2 := k-1, n-k
+	sst := ssb + ssw
+	res := AnovaResult{DF1: df1, DF2: df2}
+	if sst > 0 {
+		res.EtaSq = ssb / sst
+	}
+	if ssw == 0 {
+		if ssb == 0 {
+			// All values identical: no effect.
+			res.F, res.P = 0, 1
+			return res, nil
+		}
+		res.F, res.P = math.Inf(1), 0
+		return res, nil
+	}
+	res.F = (ssb / float64(df1)) / (ssw / float64(df2))
+	res.P = FSurvival(res.F, df1, df2)
+	return res, nil
+}
+
+// FSurvival returns P[F(df1,df2) > f], the right-tail probability of the F
+// distribution, via the regularized incomplete beta function.
+func FSurvival(f float64, df1, df2 int) float64 {
+	if math.IsNaN(f) || f < 0 {
+		return math.NaN()
+	}
+	if f == 0 {
+		return 1
+	}
+	if math.IsInf(f, 1) {
+		return 0
+	}
+	d1, d2 := float64(df1), float64(df2)
+	x := d2 / (d2 + d1*f)
+	return regIncBeta(d2/2, d1/2, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

@@ -1,0 +1,267 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, "Mean", Mean(xs), 5, 1e-12)
+	approx(t, "Variance", Variance(xs), 32.0/7, 1e-12)
+	approx(t, "StdDev", StdDev(xs), math.Sqrt(32.0/7), 1e-12)
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance([]float64{1})) {
+		t.Error("degenerate inputs should be NaN")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	approx(t, "perfect corr", Pearson(x, y), 1, 1e-12)
+	yneg := []float64{10, 8, 6, 4, 2}
+	approx(t, "perfect anticorr", Pearson(x, yneg), -1, 1e-12)
+	if !math.IsNaN(Pearson(x, []float64{1})) {
+		t.Error("length mismatch should be NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})) {
+		t.Error("zero variance should be NaN")
+	}
+	// Noisy correlation stays high.
+	r := rand.New(rand.NewSource(3))
+	var a, b []float64
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		a = append(a, v)
+		b = append(b, 2*v+0.05*r.NormFloat64())
+	}
+	if got := Pearson(a, b); got < 0.95 {
+		t.Errorf("noisy corr = %v, want > 0.95", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3, 10})
+	if c.Len() != 5 {
+		t.Fatal("Len")
+	}
+	approx(t, "At(0)", c.At(0), 0, 0)
+	approx(t, "At(2)", c.At(2), 0.6, 1e-12)
+	approx(t, "At(9.9)", c.At(9.9), 0.8, 1e-12)
+	approx(t, "At(10)", c.At(10), 1, 0)
+	approx(t, "Quantile(0)", c.Quantile(0), 1, 0)
+	approx(t, "Quantile(0.5)", c.Quantile(0.5), 2, 0)
+	approx(t, "Quantile(1)", c.Quantile(1), 10, 0)
+	if !math.IsNaN(NewCDF(nil).At(1)) || !math.IsNaN(NewCDF(nil).Quantile(0.5)) {
+		t.Error("empty CDF should be NaN")
+	}
+	pts := c.Points(5)
+	if len(pts) != 5 || pts[4][1] != 1 {
+		t.Errorf("Points = %v", pts)
+	}
+	if NewCDF(nil).Points(3) != nil {
+		t.Error("empty Points should be nil")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	n := Normal{Mu: 0, Sigma: 1}
+	approx(t, "Phi(0)", n.CDFAt(0), 0.5, 1e-12)
+	approx(t, "Phi(1.96)", n.CDFAt(1.96), 0.975, 1e-3)
+	approx(t, "Phi(-1.96)", n.CDFAt(-1.96), 0.025, 1e-3)
+	if n.Name() != "normal" {
+		t.Error("Name")
+	}
+}
+
+func TestOtherDistributions(t *testing.T) {
+	ln := LogNormal{Mu: 0, Sigma: 1}
+	approx(t, "lognormal median", ln.CDFAt(1), 0.5, 1e-12)
+	if ln.CDFAt(-1) != 0 || ln.CDFAt(0) != 0 {
+		t.Error("lognormal support")
+	}
+	w := Weibull{K: 1, Lambda: 2} // exponential with mean 2
+	approx(t, "weibull", w.CDFAt(2), 1-math.Exp(-1), 1e-12)
+	if w.CDFAt(-1) != 0 {
+		t.Error("weibull support")
+	}
+	p := Pareto{Xm: 1, Alpha: 2}
+	if p.CDFAt(0.5) != 0 {
+		t.Error("pareto support")
+	}
+	approx(t, "pareto", p.CDFAt(2), 0.75, 1e-12)
+	for _, d := range []Dist{ln, w, p} {
+		if d.Name() == "" {
+			t.Error("empty Name")
+		}
+	}
+}
+
+func TestKSDistanceExactFit(t *testing.T) {
+	// A large sample drawn from N(0,1) should have a small KS distance to
+	// N(0,1) and a large one to N(3,1).
+	r := rand.New(rand.NewSource(7))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	good := KSDistance(xs, Normal{0, 1})
+	bad := KSDistance(xs, Normal{3, 1})
+	if good > 0.03 {
+		t.Errorf("KS to true dist = %v, want < 0.03", good)
+	}
+	if bad < 0.5 {
+		t.Errorf("KS to wrong dist = %v, want > 0.5", bad)
+	}
+	if !math.IsNaN(KSDistance(nil, Normal{0, 1})) {
+		t.Error("empty sample should be NaN")
+	}
+}
+
+func TestKSTwoSample(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	a := make([]float64, 3000)
+	b := make([]float64, 3000)
+	c := make([]float64, 3000)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64()
+		c[i] = r.NormFloat64() + 2
+	}
+	if d := KSTwoSample(a, b); d > 0.05 {
+		t.Errorf("same-dist KS = %v", d)
+	}
+	if d := KSTwoSample(a, c); d < 0.5 {
+		t.Errorf("shifted-dist KS = %v", d)
+	}
+	if !math.IsNaN(KSTwoSample(nil, a)) {
+		t.Error("empty input should be NaN")
+	}
+	// Identical samples have distance 0.
+	if d := KSTwoSample(a, a); d != 0 {
+		t.Errorf("identical KS = %v", d)
+	}
+}
+
+func TestFitLogNormal(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = math.Exp(1.5 + 0.5*r.NormFloat64())
+	}
+	fit := FitLogNormal(xs)
+	approx(t, "mu", fit.Mu, 1.5, 0.05)
+	approx(t, "sigma", fit.Sigma, 0.5, 0.05)
+	// Degenerate input gets a sane default.
+	d := FitLogNormal([]float64{-1, 0})
+	if d.Sigma <= 0 {
+		t.Error("default sigma must be positive")
+	}
+}
+
+func TestFSurvival(t *testing.T) {
+	// df1=2 has the closed form P[F>f] = (1 + 2f/df2)^(-df2/2).
+	approx(t, "F(1;1,1)", FSurvival(1, 1, 1), 0.5, 1e-6)
+	approx(t, "F(4;2,10)", FSurvival(4, 2, 10), math.Pow(1.8, -5), 1e-9)
+	approx(t, "F(1;2,20)", FSurvival(1, 2, 20), math.Pow(1.1, -10), 1e-9)
+	// Cross-checked by Monte Carlo (5M draws: 0.77271).
+	approx(t, "F(0.5;5,20)", FSurvival(0.5, 5, 20), 0.77260, 1e-3)
+	if FSurvival(0, 2, 2) != 1 {
+		t.Error("F(0) should be 1")
+	}
+	if FSurvival(math.Inf(1), 2, 2) != 0 {
+		t.Error("F(inf) should be 0")
+	}
+	if !math.IsNaN(FSurvival(-1, 2, 2)) {
+		t.Error("negative f should be NaN")
+	}
+}
+
+func TestOneWayANOVA(t *testing.T) {
+	// Clearly different means: significant.
+	res, err := OneWayANOVA([][]float64{
+		{1, 1.1, 0.9, 1.05, 0.95},
+		{5, 5.1, 4.9, 5.05, 4.95},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("distinct groups p = %v, want tiny", res.P)
+	}
+	if res.EtaSq < 0.9 {
+		t.Errorf("EtaSq = %v, want near 1", res.EtaSq)
+	}
+	if res.DF1 != 1 || res.DF2 != 8 {
+		t.Errorf("df = %d,%d", res.DF1, res.DF2)
+	}
+
+	// Same distribution: not significant.
+	r := rand.New(rand.NewSource(13))
+	g := make([][]float64, 3)
+	for i := range g {
+		for j := 0; j < 50; j++ {
+			g[i] = append(g[i], r.NormFloat64())
+		}
+	}
+	res, err = OneWayANOVA(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Errorf("same-dist p = %v, want > 0.01", res.P)
+	}
+
+	// Degenerate inputs.
+	if _, err := OneWayANOVA([][]float64{{1, 2}}); err == nil {
+		t.Error("one group should error")
+	}
+	if _, err := OneWayANOVA([][]float64{{1, 2}, {}}); err == nil {
+		t.Error("empty group should error")
+	}
+	if _, err := OneWayANOVA([][]float64{{1}, {2}}); err == nil {
+		t.Error("n <= k should error")
+	}
+
+	// All identical values: F=0, p=1.
+	res, err = OneWayANOVA([][]float64{{2, 2}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F != 0 || res.P != 1 {
+		t.Errorf("identical values: F=%v p=%v", res.F, res.P)
+	}
+
+	// Zero within-group variance but distinct means: infinitely significant.
+	res, err = OneWayANOVA([][]float64{{1, 1}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.F, 1) || res.P != 0 {
+		t.Errorf("separated constants: F=%v p=%v", res.F, res.P)
+	}
+}
+
+func TestKSPropertyBounds(t *testing.T) {
+	// KS distance is always in [0, 1].
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * float64(1+r.Intn(5))
+		}
+		d := KSDistance(xs, Normal{Mu: r.NormFloat64(), Sigma: 0.5 + r.Float64()})
+		if d < 0 || d > 1 {
+			t.Fatalf("KS out of bounds: %v", d)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package netflow
+
+import "testing"
+
+// FuzzDecode ensures the v5 decoder never panics and that decoded datagrams
+// re-encode.
+func FuzzDecode(f *testing.F) {
+	good, _ := (&Datagram{Header: sampleHeader(), Records: []Record{sampleRecord()}}).Encode()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if _, err := d.Encode(); err != nil {
+			t.Fatalf("decoded datagram failed to re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,196 @@
+// Package stattime implements the "statistical time" pre-processing step of
+// §3.1 of the paper: router clocks on thousands of devices drift, so the
+// pipeline infers a time axis from the flow data itself instead of trusting
+// any wall clock. Traffic is segmented into uniform buckets; the current
+// position on the time axis is the maximum plausible timestamp observed so
+// far; records too far outside the current range are discarded, as are whole
+// buckets that do not meet an activity threshold.
+//
+// The paper notes this "might exclude some data but ensures consistency
+// despite clock drifts" — the Binner exposes drop counters so operators can
+// watch exactly how much.
+package stattime
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ipd/internal/flow"
+)
+
+// Config parameterizes a Binner.
+type Config struct {
+	// Bucket is the uniform bucket length (the paper's t, default 60 s).
+	Bucket time.Duration
+	// MinActivity is the minimum number of records a bucket needs to be
+	// emitted; under-threshold buckets are discarded entirely.
+	MinActivity int
+	// MaxSkew bounds how far a record's timestamp may run ahead of the
+	// inferred statistical time before it is treated as a clock error and
+	// dropped (instead of yanking the time axis forward). Records older
+	// than the oldest open bucket are always dropped as stale.
+	MaxSkew time.Duration
+	// MaxOpenBuckets bounds buffered, not-yet-flushed buckets (late data
+	// tolerance). Older buckets are flushed as time advances.
+	MaxOpenBuckets int
+}
+
+// DefaultConfig mirrors the deployment defaults.
+func DefaultConfig() Config {
+	return Config{
+		Bucket:         time.Minute,
+		MinActivity:    1,
+		MaxSkew:        5 * time.Minute,
+		MaxOpenBuckets: 3,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Bucket <= 0 {
+		return fmt.Errorf("stattime: Bucket must be positive, got %v", c.Bucket)
+	}
+	if c.MinActivity < 0 {
+		return fmt.Errorf("stattime: MinActivity must be >= 0, got %d", c.MinActivity)
+	}
+	if c.MaxSkew < 0 {
+		return fmt.Errorf("stattime: MaxSkew must be >= 0, got %v", c.MaxSkew)
+	}
+	if c.MaxOpenBuckets < 1 {
+		return fmt.Errorf("stattime: MaxOpenBuckets must be >= 1, got %d", c.MaxOpenBuckets)
+	}
+	return nil
+}
+
+// Stats counts records handled by a Binner.
+type Stats struct {
+	// Accepted records were assigned to a bucket.
+	Accepted uint64
+	// DroppedStale records were older than the oldest open bucket.
+	DroppedStale uint64
+	// DroppedFuture records ran further than MaxSkew ahead of statistical
+	// time.
+	DroppedFuture uint64
+	// DroppedInactive records were in buckets discarded for low activity.
+	DroppedInactive uint64
+	// BucketsEmitted and BucketsDiscarded count flushed buckets.
+	BucketsEmitted   uint64
+	BucketsDiscarded uint64
+}
+
+// Bucket is one emitted statistical-time interval.
+type Bucket struct {
+	// Start is the bucket's inclusive start on the statistical time axis.
+	Start time.Time
+	// Records are the accepted records, in arrival order.
+	Records []flow.Record
+}
+
+// End returns the bucket's exclusive end given the configured length.
+func (b Bucket) End(length time.Duration) time.Time { return b.Start.Add(length) }
+
+// Binner segments a flow stream into statistical-time buckets. It is not
+// safe for concurrent use; run one Binner per ingest goroutine and merge
+// downstream (the IPD engine's stage 1 is per-reader anyway).
+type Binner struct {
+	cfg   Config
+	emit  func(Bucket)
+	stats Stats
+
+	// inferred statistical "now": max accepted timestamp so far.
+	now time.Time
+	// open buckets keyed by bucket start (unix nanos of aligned start).
+	open map[int64]*Bucket
+}
+
+// NewBinner returns a Binner that calls emit for every bucket that survives
+// the activity threshold, in increasing start order.
+func NewBinner(cfg Config, emit func(Bucket)) (*Binner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if emit == nil {
+		return nil, fmt.Errorf("stattime: emit callback must not be nil")
+	}
+	return &Binner{cfg: cfg, emit: emit, open: make(map[int64]*Bucket)}, nil
+}
+
+// Stats returns a snapshot of the drop counters.
+func (b *Binner) Stats() Stats { return b.stats }
+
+// Now returns the current statistical time (zero before any accepted
+// record).
+func (b *Binner) Now() time.Time { return b.now }
+
+func (b *Binner) align(ts time.Time) time.Time {
+	return ts.Truncate(b.cfg.Bucket)
+}
+
+// Offer feeds one record. It returns true if the record was accepted into a
+// bucket.
+func (b *Binner) Offer(rec flow.Record) bool {
+	if !rec.Valid() {
+		b.stats.DroppedStale++
+		return false
+	}
+	ts := rec.Ts
+	if b.now.IsZero() {
+		b.now = ts
+	}
+	if ts.After(b.now) {
+		if ts.Sub(b.now) > b.cfg.MaxSkew {
+			// A clock running far ahead must not drag the whole axis with
+			// it; sequence inference beats trusting any single router.
+			b.stats.DroppedFuture++
+			return false
+		}
+		b.now = ts
+	}
+	start := b.align(ts)
+	oldest := b.align(b.now).Add(-time.Duration(b.cfg.MaxOpenBuckets-1) * b.cfg.Bucket)
+	if start.Before(oldest) {
+		b.stats.DroppedStale++
+		return false
+	}
+	key := start.UnixNano()
+	bk := b.open[key]
+	if bk == nil {
+		bk = &Bucket{Start: start}
+		b.open[key] = bk
+	}
+	bk.Records = append(bk.Records, rec)
+	b.stats.Accepted++
+	b.flushBefore(oldest)
+	return true
+}
+
+// flushBefore emits (or discards) all open buckets strictly older than
+// cutoff, oldest first.
+func (b *Binner) flushBefore(cutoff time.Time) {
+	var keys []int64
+	for k := range b.open {
+		if time.Unix(0, k).Before(cutoff) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		b.finish(b.open[k])
+		delete(b.open, k)
+	}
+}
+
+func (b *Binner) finish(bk *Bucket) {
+	if len(bk.Records) < b.cfg.MinActivity {
+		b.stats.BucketsDiscarded++
+		b.stats.DroppedInactive += uint64(len(bk.Records))
+		return
+	}
+	b.stats.BucketsEmitted++
+	b.emit(*bk)
+}
+
+// Flush emits all remaining open buckets (end of stream), oldest first.
+func (b *Binner) Flush() {
+	b.flushBefore(time.Unix(0, 1<<62))
+}

@@ -1,0 +1,97 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ipd/internal/flow"
+)
+
+// Spec parameterizes a synthetic tier-1 footprint. The defaults approximate
+// the shape of the paper's deployment (an international network with
+// hundreds of border routers across many PoPs) at laptop scale.
+type Spec struct {
+	// Countries is the number of countries in the footprint.
+	Countries int
+	// PoPsPerCountry is the number of PoPs per country.
+	PoPsPerCountry int
+	// RoutersPerPoP is the number of border routers per PoP.
+	RoutersPerPoP int
+	// IfacesPerRouter is the number of border interfaces per router.
+	IfacesPerRouter int
+	// BundleFraction is the fraction of routers that get one 2-interface
+	// LAG (paper §5.1.2: bundles exist and matter for the miss analysis).
+	BundleFraction float64
+	// Seed drives all random choices; same spec + seed => same topology.
+	Seed int64
+}
+
+// DefaultSpec returns a laptop-scale tier-1 footprint: 4 countries × 3 PoPs
+// × 4 routers × 8 interfaces = 384 border interfaces.
+func DefaultSpec() Spec {
+	return Spec{
+		Countries:       4,
+		PoPsPerCountry:  3,
+		RoutersPerPoP:   4,
+		IfacesPerRouter: 8,
+		BundleFraction:  0.25,
+		Seed:            1,
+	}
+}
+
+// Build materializes the spec into a topology. Interfaces are created
+// without neighbor attachment (Neighbor 0 / LinkUnknown); callers such as
+// the traffic generator attach ASes afterwards via AttachNeighbor.
+func Build(spec Spec) (*T, error) {
+	if spec.Countries <= 0 || spec.PoPsPerCountry <= 0 || spec.RoutersPerPoP <= 0 || spec.IfacesPerRouter <= 0 {
+		return nil, fmt.Errorf("topology: non-positive dimension in spec %+v", spec)
+	}
+	nRouters := spec.Countries * spec.PoPsPerCountry * spec.RoutersPerPoP
+	if nRouters > 1<<16-1 {
+		return nil, fmt.Errorf("topology: %d routers exceed RouterID space", nRouters)
+	}
+	t := New()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	popID := PoPID(0)
+	routerID := flow.RouterID(1)
+	for c := 0; c < spec.Countries; c++ {
+		for p := 0; p < spec.PoPsPerCountry; p++ {
+			popID++
+			if err := t.AddPoP(popID, CountryID(c+1)); err != nil {
+				return nil, err
+			}
+			for r := 0; r < spec.RoutersPerPoP; r++ {
+				if err := t.AddRouter(routerID, popID); err != nil {
+					return nil, err
+				}
+				for i := 0; i < spec.IfacesPerRouter; i++ {
+					in := flow.Ingress{Router: routerID, Iface: flow.IfaceID(i + 1)}
+					if err := t.AddInterface(in, 0, LinkUnknown); err != nil {
+						return nil, err
+					}
+				}
+				if spec.IfacesPerRouter >= 2 && rng.Float64() < spec.BundleFraction {
+					a := flow.Ingress{Router: routerID, Iface: 1}
+					b := flow.Ingress{Router: routerID, Iface: 2}
+					if _, err := t.MakeBundle(a, b); err != nil {
+						return nil, err
+					}
+				}
+				routerID++
+			}
+		}
+	}
+	return t, nil
+}
+
+// AttachNeighbor assigns neighbor AS and link class to an existing
+// interface. It overwrites previous attachment (interfaces start detached).
+func (t *T) AttachNeighbor(in flow.Ingress, asn ASN, class LinkClass) error {
+	itf, ok := t.ifaces[in]
+	if !ok {
+		return fmt.Errorf("topology: unknown interface %v", in)
+	}
+	itf.Neighbor = asn
+	itf.Class = class
+	return nil
+}

@@ -1,0 +1,324 @@
+// Package topology models the ISP-side network inventory that the paper's
+// deployment obtained from the tier-1 ISP: countries, points of presence
+// (PoPs), border routers, interfaces, link bundles (LAGs treated as one
+// logical ingress, §3.2), link classifications (e.g. PNI, §4), and the
+// mapping of interfaces to the neighboring ASes attached to them.
+//
+// The model supports the three analyses the paper derives from it:
+// the miss taxonomy of §5.1.2 (interface miss vs router miss vs PoP miss
+// needs router→PoP→country relations), the bundle folding of stage 1, and
+// the link-class filters of §5.4 and §5.6 (PNI / peering classification).
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"ipd/internal/flow"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+func (a ASN) String() string { return fmt.Sprintf("AS%d", uint32(a)) }
+
+// PoPID identifies a point of presence.
+type PoPID uint16
+
+// CountryID identifies a country in the ISP footprint.
+type CountryID uint8
+
+func (c CountryID) String() string { return fmt.Sprintf("C%d", uint8(c)) }
+
+// LinkClass categorizes the commercial relationship of a border link.
+type LinkClass uint8
+
+const (
+	// LinkUnknown is the zero value.
+	LinkUnknown LinkClass = iota
+	// LinkPNI is a private network interconnect (direct private link).
+	LinkPNI
+	// LinkPublicPeering is settlement-free peering at a public fabric.
+	LinkPublicPeering
+	// LinkTransit is a paid transit link.
+	LinkTransit
+	// LinkCustomer is a customer access link.
+	LinkCustomer
+)
+
+var linkClassNames = map[LinkClass]string{
+	LinkUnknown:       "unknown",
+	LinkPNI:           "pni",
+	LinkPublicPeering: "public-peering",
+	LinkTransit:       "transit",
+	LinkCustomer:      "customer",
+}
+
+func (c LinkClass) String() string {
+	if s, ok := linkClassNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("LinkClass(%d)", uint8(c))
+}
+
+// BundleID identifies a LAG on a router; 0 means "not bundled".
+type BundleID uint32
+
+// Router is a border router located at a PoP.
+type Router struct {
+	ID  flow.RouterID
+	PoP PoPID
+}
+
+// PoP is a point of presence in a country.
+type PoP struct {
+	ID      PoPID
+	Country CountryID
+}
+
+// Interface is a border interface: the attachment point of one neighbor link.
+type Interface struct {
+	In       flow.Ingress
+	Neighbor ASN
+	Class    LinkClass
+	Bundle   BundleID
+}
+
+// T is an ISP topology. Construct with New and populate with AddPoP,
+// AddRouter, AddInterface, and MakeBundle. T is immutable after construction
+// from the IPD engine's point of view and safe for concurrent reads.
+type T struct {
+	pops    map[PoPID]PoP
+	routers map[flow.RouterID]Router
+	ifaces  map[flow.Ingress]*Interface
+
+	bundles    map[BundleID][]flow.Ingress
+	nextBundle BundleID
+}
+
+// New returns an empty topology.
+func New() *T {
+	return &T{
+		pops:       make(map[PoPID]PoP),
+		routers:    make(map[flow.RouterID]Router),
+		ifaces:     make(map[flow.Ingress]*Interface),
+		bundles:    make(map[BundleID][]flow.Ingress),
+		nextBundle: 1,
+	}
+}
+
+// AddPoP registers a PoP. Re-adding an existing ID is an error.
+func (t *T) AddPoP(id PoPID, country CountryID) error {
+	if _, ok := t.pops[id]; ok {
+		return fmt.Errorf("topology: duplicate PoP %d", id)
+	}
+	t.pops[id] = PoP{ID: id, Country: country}
+	return nil
+}
+
+// AddRouter registers a router at a known PoP.
+func (t *T) AddRouter(id flow.RouterID, pop PoPID) error {
+	if _, ok := t.routers[id]; ok {
+		return fmt.Errorf("topology: duplicate router %d", id)
+	}
+	if _, ok := t.pops[pop]; !ok {
+		return fmt.Errorf("topology: router %d references unknown PoP %d", id, pop)
+	}
+	t.routers[id] = Router{ID: id, PoP: pop}
+	return nil
+}
+
+// AddInterface registers a border interface on a known router, attached to
+// the given neighbor AS with the given link class.
+func (t *T) AddInterface(in flow.Ingress, neighbor ASN, class LinkClass) error {
+	if _, ok := t.routers[in.Router]; !ok {
+		return fmt.Errorf("topology: interface %v references unknown router", in)
+	}
+	if _, ok := t.ifaces[in]; ok {
+		return fmt.Errorf("topology: duplicate interface %v", in)
+	}
+	t.ifaces[in] = &Interface{In: in, Neighbor: neighbor, Class: class}
+	return nil
+}
+
+// MakeBundle groups interfaces of one router into a LAG. All members must
+// exist, belong to the same router, and not already be bundled.
+func (t *T) MakeBundle(members ...flow.Ingress) (BundleID, error) {
+	if len(members) < 2 {
+		return 0, fmt.Errorf("topology: bundle needs >= 2 members, got %d", len(members))
+	}
+	router := members[0].Router
+	for _, m := range members {
+		itf, ok := t.ifaces[m]
+		if !ok {
+			return 0, fmt.Errorf("topology: bundle member %v unknown", m)
+		}
+		if m.Router != router {
+			return 0, fmt.Errorf("topology: bundle spans routers %d and %d", router, m.Router)
+		}
+		if itf.Bundle != 0 {
+			return 0, fmt.Errorf("topology: member %v already in bundle %d", m, itf.Bundle)
+		}
+	}
+	id := t.nextBundle
+	t.nextBundle++
+	sorted := append([]flow.Ingress(nil), members...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Iface < sorted[j].Iface })
+	for _, m := range sorted {
+		t.ifaces[m].Bundle = id
+	}
+	t.bundles[id] = sorted
+	return id, nil
+}
+
+// Logical folds a physical ingress to its logical ingress: bundled
+// interfaces map to the bundle's lowest-numbered member (the representative
+// the paper's "bundles" notion implies), everything else maps to itself.
+// Unknown interfaces are returned unchanged so the engine stays robust to
+// inventory gaps.
+func (t *T) Logical(in flow.Ingress) flow.Ingress {
+	itf, ok := t.ifaces[in]
+	if !ok || itf.Bundle == 0 {
+		return in
+	}
+	return t.bundles[itf.Bundle][0]
+}
+
+// BundleMembers returns the member interfaces of a bundle (sorted by iface
+// id) or nil.
+func (t *T) BundleMembers(id BundleID) []flow.Ingress {
+	return append([]flow.Ingress(nil), t.bundles[id]...)
+}
+
+// Interface returns the interface record for in.
+func (t *T) Interface(in flow.Ingress) (Interface, bool) {
+	itf, ok := t.ifaces[in]
+	if !ok {
+		return Interface{}, false
+	}
+	return *itf, true
+}
+
+// Router returns the router record.
+func (t *T) Router(id flow.RouterID) (Router, bool) {
+	r, ok := t.routers[id]
+	return r, ok
+}
+
+// PoPOf returns the PoP a router sits at.
+func (t *T) PoPOf(id flow.RouterID) (PoP, bool) {
+	r, ok := t.routers[id]
+	if !ok {
+		return PoP{}, false
+	}
+	p, ok := t.pops[r.PoP]
+	return p, ok
+}
+
+// CountryOf returns the country a router sits in.
+func (t *T) CountryOf(id flow.RouterID) (CountryID, bool) {
+	p, ok := t.PoPOf(id)
+	if !ok {
+		return 0, false
+	}
+	return p.Country, true
+}
+
+// Interfaces returns all interfaces sorted by (router, iface).
+func (t *T) Interfaces() []Interface {
+	out := make([]Interface, 0, len(t.ifaces))
+	for _, itf := range t.ifaces {
+		out = append(out, *itf)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].In.Router != out[j].In.Router {
+			return out[i].In.Router < out[j].In.Router
+		}
+		return out[i].In.Iface < out[j].In.Iface
+	})
+	return out
+}
+
+// InterfacesOf returns the interfaces attached to neighbor AS asn, sorted.
+func (t *T) InterfacesOf(asn ASN) []Interface {
+	var out []Interface
+	for _, itf := range t.Interfaces() {
+		if itf.Neighbor == asn {
+			out = append(out, itf)
+		}
+	}
+	return out
+}
+
+// Routers returns all router IDs sorted.
+func (t *T) Routers() []flow.RouterID {
+	out := make([]flow.RouterID, 0, len(t.routers))
+	for id := range t.routers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumPoPs returns the number of PoPs.
+func (t *T) NumPoPs() int { return len(t.pops) }
+
+// MissKind classifies a misprediction relative to ground truth, per §5.1.2
+// of the paper.
+type MissKind uint8
+
+const (
+	// MissNone : prediction matches ground truth.
+	MissNone MissKind = iota
+	// MissInterface : same router, different interface.
+	MissInterface
+	// MissRouter : different router within the same PoP.
+	MissRouter
+	// MissPoP : different PoP (different geolocation).
+	MissPoP
+)
+
+func (k MissKind) String() string {
+	switch k {
+	case MissNone:
+		return "hit"
+	case MissInterface:
+		return "interface-miss"
+	case MissRouter:
+		return "router-miss"
+	case MissPoP:
+		return "pop-miss"
+	}
+	return fmt.Sprintf("MissKind(%d)", uint8(k))
+}
+
+// ClassifyMiss compares a predicted ingress against the ground-truth ingress
+// and returns the paper's miss taxonomy. Bundles are folded first: hitting a
+// different member of the same LAG is a hit. Unknown routers are classified
+// as PoP misses (most conservative).
+func (t *T) ClassifyMiss(predicted, actual flow.Ingress) MissKind {
+	if t.Logical(predicted) == t.Logical(actual) {
+		return MissNone
+	}
+	if predicted.Router == actual.Router {
+		return MissInterface
+	}
+	pp, ok1 := t.PoPOf(predicted.Router)
+	ap, ok2 := t.PoPOf(actual.Router)
+	if !ok1 || !ok2 {
+		return MissPoP
+	}
+	if pp.ID == ap.ID {
+		return MissRouter
+	}
+	return MissPoP
+}
+
+// Label renders an ingress like the paper's figures: "C2-R30.1" (country,
+// router, interface).
+func (t *T) Label(in flow.Ingress) string {
+	if c, ok := t.CountryOf(in.Router); ok {
+		return fmt.Sprintf("%s-%s", c, in)
+	}
+	return in.String()
+}

@@ -1,0 +1,260 @@
+package topology
+
+import (
+	"testing"
+
+	"ipd/internal/flow"
+)
+
+// smallT builds a 2-country, 2-PoP, hand-wired topology for tests:
+//
+//	PoP 1 (C1): router 1 (ifaces 1,2,3; 1+2 bundled), router 2 (iface 1)
+//	PoP 2 (C2): router 3 (iface 1)
+func smallT(t *testing.T) *T {
+	t.Helper()
+	tp := New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(tp.AddPoP(1, 1))
+	must(tp.AddPoP(2, 2))
+	must(tp.AddRouter(1, 1))
+	must(tp.AddRouter(2, 1))
+	must(tp.AddRouter(3, 2))
+	for _, in := range []flow.Ingress{{Router: 1, Iface: 1}, {Router: 1, Iface: 2}, {Router: 1, Iface: 3}} {
+		must(tp.AddInterface(in, 64500, LinkPNI))
+	}
+	must(tp.AddInterface(flow.Ingress{Router: 2, Iface: 1}, 64501, LinkTransit))
+	must(tp.AddInterface(flow.Ingress{Router: 3, Iface: 1}, 64500, LinkPublicPeering))
+	if _, err := tp.MakeBundle(flow.Ingress{Router: 1, Iface: 2}, flow.Ingress{Router: 1, Iface: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestConstructionValidation(t *testing.T) {
+	tp := New()
+	if err := tp.AddRouter(1, 99); err == nil {
+		t.Error("AddRouter with unknown PoP should fail")
+	}
+	if err := tp.AddPoP(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddPoP(1, 1); err == nil {
+		t.Error("duplicate PoP should fail")
+	}
+	if err := tp.AddRouter(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddRouter(1, 1); err == nil {
+		t.Error("duplicate router should fail")
+	}
+	in := flow.Ingress{Router: 1, Iface: 1}
+	if err := tp.AddInterface(in, 1, LinkPNI); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddInterface(in, 1, LinkPNI); err == nil {
+		t.Error("duplicate interface should fail")
+	}
+	if err := tp.AddInterface(flow.Ingress{Router: 9, Iface: 1}, 1, LinkPNI); err == nil {
+		t.Error("interface on unknown router should fail")
+	}
+}
+
+func TestBundleValidation(t *testing.T) {
+	tp := smallT(t)
+	// Too few members.
+	if _, err := tp.MakeBundle(flow.Ingress{Router: 1, Iface: 3}); err == nil {
+		t.Error("single-member bundle should fail")
+	}
+	// Unknown member.
+	if _, err := tp.MakeBundle(flow.Ingress{Router: 1, Iface: 3}, flow.Ingress{Router: 1, Iface: 9}); err == nil {
+		t.Error("bundle with unknown member should fail")
+	}
+	// Cross-router.
+	if _, err := tp.MakeBundle(flow.Ingress{Router: 1, Iface: 3}, flow.Ingress{Router: 2, Iface: 1}); err == nil {
+		t.Error("cross-router bundle should fail")
+	}
+	// Already bundled.
+	if _, err := tp.MakeBundle(flow.Ingress{Router: 1, Iface: 1}, flow.Ingress{Router: 1, Iface: 3}); err == nil {
+		t.Error("re-bundling a member should fail")
+	}
+}
+
+func TestLogicalFolding(t *testing.T) {
+	tp := smallT(t)
+	rep := flow.Ingress{Router: 1, Iface: 1}
+	for _, in := range []flow.Ingress{{Router: 1, Iface: 1}, {Router: 1, Iface: 2}} {
+		if got := tp.Logical(in); got != rep {
+			t.Errorf("Logical(%v) = %v, want %v", in, got, rep)
+		}
+	}
+	solo := flow.Ingress{Router: 1, Iface: 3}
+	if got := tp.Logical(solo); got != solo {
+		t.Errorf("Logical(unbundled) = %v", got)
+	}
+	ghost := flow.Ingress{Router: 77, Iface: 1}
+	if got := tp.Logical(ghost); got != ghost {
+		t.Errorf("Logical(unknown) = %v, want identity", got)
+	}
+}
+
+func TestBundleMembersSorted(t *testing.T) {
+	tp := smallT(t)
+	itf, ok := tp.Interface(flow.Ingress{Router: 1, Iface: 1})
+	if !ok || itf.Bundle == 0 {
+		t.Fatal("iface 1.1 should be bundled")
+	}
+	members := tp.BundleMembers(itf.Bundle)
+	if len(members) != 2 || members[0].Iface != 1 || members[1].Iface != 2 {
+		t.Errorf("BundleMembers = %v", members)
+	}
+	if tp.BundleMembers(999) != nil {
+		t.Error("unknown bundle should return nil")
+	}
+}
+
+func TestLookups(t *testing.T) {
+	tp := smallT(t)
+	if r, ok := tp.Router(2); !ok || r.PoP != 1 {
+		t.Errorf("Router(2) = %+v ok=%v", r, ok)
+	}
+	if _, ok := tp.Router(42); ok {
+		t.Error("Router(42) should miss")
+	}
+	if p, ok := tp.PoPOf(3); !ok || p.Country != 2 {
+		t.Errorf("PoPOf(3) = %+v", p)
+	}
+	if _, ok := tp.PoPOf(42); ok {
+		t.Error("PoPOf(42) should miss")
+	}
+	if c, ok := tp.CountryOf(1); !ok || c != 1 {
+		t.Errorf("CountryOf(1) = %v", c)
+	}
+	if got := tp.NumPoPs(); got != 2 {
+		t.Errorf("NumPoPs = %d", got)
+	}
+	if got := len(tp.Interfaces()); got != 5 {
+		t.Errorf("Interfaces = %d", got)
+	}
+	if got := tp.Routers(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Routers = %v", got)
+	}
+	ifs := tp.InterfacesOf(64500)
+	if len(ifs) != 4 {
+		t.Errorf("InterfacesOf(64500) = %d interfaces", len(ifs))
+	}
+}
+
+func TestClassifyMiss(t *testing.T) {
+	tp := smallT(t)
+	cases := []struct {
+		name      string
+		pred, act flow.Ingress
+		want      MissKind
+	}{
+		{"exact hit", flow.Ingress{Router: 1, Iface: 3}, flow.Ingress{Router: 1, Iface: 3}, MissNone},
+		{"bundle sibling is a hit", flow.Ingress{Router: 1, Iface: 1}, flow.Ingress{Router: 1, Iface: 2}, MissNone},
+		{"interface miss", flow.Ingress{Router: 1, Iface: 1}, flow.Ingress{Router: 1, Iface: 3}, MissInterface},
+		{"router miss same PoP", flow.Ingress{Router: 1, Iface: 1}, flow.Ingress{Router: 2, Iface: 1}, MissRouter},
+		{"PoP miss", flow.Ingress{Router: 1, Iface: 1}, flow.Ingress{Router: 3, Iface: 1}, MissPoP},
+		{"unknown router is PoP miss", flow.Ingress{Router: 77, Iface: 1}, flow.Ingress{Router: 1, Iface: 1}, MissPoP},
+	}
+	for _, c := range cases {
+		if got := tp.ClassifyMiss(c.pred, c.act); got != c.want {
+			t.Errorf("%s: ClassifyMiss = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	tp := smallT(t)
+	if got := tp.Label(flow.Ingress{Router: 3, Iface: 1}); got != "C2-R3.1" {
+		t.Errorf("Label = %q", got)
+	}
+	if got := tp.Label(flow.Ingress{Router: 77, Iface: 9}); got != "R77.9" {
+		t.Errorf("Label(unknown) = %q", got)
+	}
+	if ASN(64500).String() != "AS64500" {
+		t.Error("ASN.String")
+	}
+	if LinkPNI.String() != "pni" || LinkClass(99).String() != "LinkClass(99)" {
+		t.Error("LinkClass.String")
+	}
+	if MissPoP.String() != "pop-miss" || MissNone.String() != "hit" || MissKind(99).String() != "MissKind(99)" {
+		t.Error("MissKind.String")
+	}
+}
+
+func TestBuildSpec(t *testing.T) {
+	spec := DefaultSpec()
+	tp, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRouters := spec.Countries * spec.PoPsPerCountry * spec.RoutersPerPoP
+	if got := len(tp.Routers()); got != wantRouters {
+		t.Errorf("routers = %d, want %d", got, wantRouters)
+	}
+	wantIfaces := wantRouters * spec.IfacesPerRouter
+	if got := len(tp.Interfaces()); got != wantIfaces {
+		t.Errorf("interfaces = %d, want %d", got, wantIfaces)
+	}
+	if got := tp.NumPoPs(); got != spec.Countries*spec.PoPsPerCountry {
+		t.Errorf("pops = %d", got)
+	}
+	// Determinism: same spec, same bundles.
+	tp2, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []flow.Ingress{{Router: 1, Iface: 1}, {Router: 5, Iface: 1}, {Router: 20, Iface: 1}} {
+		if tp.Logical(in) != tp2.Logical(in) {
+			t.Fatalf("Build is not deterministic at %v", in)
+		}
+	}
+	// Some bundles should exist with BundleFraction 0.25 over 48 routers.
+	bundled := 0
+	for _, itf := range tp.Interfaces() {
+		if itf.Bundle != 0 {
+			bundled++
+		}
+	}
+	if bundled == 0 {
+		t.Error("expected at least one bundle in default spec")
+	}
+}
+
+func TestBuildSpecValidation(t *testing.T) {
+	if _, err := Build(Spec{}); err == nil {
+		t.Error("zero spec should fail")
+	}
+	big := DefaultSpec()
+	big.Countries = 100
+	big.PoPsPerCountry = 100
+	big.RoutersPerPoP = 100
+	if _, err := Build(big); err == nil {
+		t.Error("oversized spec should fail")
+	}
+}
+
+func TestAttachNeighbor(t *testing.T) {
+	tp, err := Build(DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := flow.Ingress{Router: 1, Iface: 1}
+	if err := tp.AttachNeighbor(in, 64512, LinkPNI); err != nil {
+		t.Fatal(err)
+	}
+	itf, _ := tp.Interface(in)
+	if itf.Neighbor != 64512 || itf.Class != LinkPNI {
+		t.Errorf("attached iface = %+v", itf)
+	}
+	if err := tp.AttachNeighbor(flow.Ingress{Router: 999, Iface: 1}, 1, LinkPNI); err == nil {
+		t.Error("attach to unknown interface should fail")
+	}
+}

@@ -1,0 +1,185 @@
+// Package ipd is an open reimplementation of IPD — Ingress Point Detection
+// at ISPs (Mehner, Reelfs, Poese, Hohlfeld; ACM SIGCOMM 2024). IPD analyzes
+// sampled flow-level traffic from all border routers of a network and
+// partitions the IP address space into dynamic ranges, each classified to
+// the ingress point (router, interface) its traffic enters through.
+//
+// # Quick start
+//
+//	cfg := ipd.DefaultConfig()        // Table-1 deployment parameters
+//	eng, err := ipd.NewEngine(cfg)    // deterministic, virtual-time core
+//	...
+//	eng.Feed(ipd.Record{Ts: ts, Src: src, In: ipd.Ingress{Router: 7, Iface: 2}})
+//	for _, r := range eng.Mapped() {
+//	    fmt.Println(r.Prefix, r.Ingress, r.Confidence)
+//	}
+//
+// For an online deployment shape (streaming records, concurrent snapshot
+// readers, statistical-time cleaning of router clock drift) use NewServer
+// and Server.Run.
+//
+// The package re-exports the internal building blocks a downstream user
+// needs: the engine (internal/core), the flow-record model and trace codecs
+// (internal/flow), the statistical-time pre-processor (internal/stattime),
+// the ISP topology model used for LAG-bundle folding and miss taxonomy
+// (internal/topology), the Appendix-B output-trace codec (internal/export),
+// and a synthetic tier-1 workload generator (internal/trafficgen) that
+// every published figure of the paper can be regenerated against — see
+// cmd/ipd-bench and EXPERIMENTS.md.
+package ipd
+
+import (
+	"io"
+	"time"
+
+	"ipd/internal/core"
+	"ipd/internal/export"
+	"ipd/internal/flow"
+	"ipd/internal/stattime"
+	"ipd/internal/topology"
+	"ipd/internal/trafficgen"
+	"ipd/internal/trie"
+)
+
+// Core algorithm types (see internal/core for full documentation).
+type (
+	// Config holds the IPD parameters of Table 1 (cidr_max, n_cidr
+	// factors, q, t, e, decay) plus implementation switches.
+	Config = core.Config
+	// Engine is a deterministic, virtual-time IPD instance.
+	Engine = core.Engine
+	// Server wraps an Engine with the deployment's two-thread structure
+	// and statistical-time input cleaning.
+	Server = core.Server
+	// RangeInfo is the externally visible state of one IPD range (one
+	// Appendix-B output row).
+	RangeInfo = core.RangeInfo
+	// Stats are cumulative engine counters.
+	Stats = core.Stats
+	// Event is a classification lifecycle notification.
+	Event = core.Event
+	// EventKind enumerates Event types.
+	EventKind = core.EventKind
+	// DecayFunc computes the idle-range decay factor.
+	DecayFunc = core.DecayFunc
+	// IngressMapper folds physical interfaces into logical ingresses
+	// (LAG bundles).
+	IngressMapper = core.IngressMapper
+)
+
+// Event kinds.
+const (
+	EventClassified  = core.EventClassified
+	EventInvalidated = core.EventInvalidated
+	EventExpired     = core.EventExpired
+	EventSplit       = core.EventSplit
+	EventJoined      = core.EventJoined
+)
+
+// Flow-record types.
+type (
+	// Record is a sampled flow record (timestamp, source, ingress).
+	Record = flow.Record
+	// Ingress identifies a (router, interface) entry point.
+	Ingress = flow.Ingress
+	// RouterID identifies a border router.
+	RouterID = flow.RouterID
+	// IfaceID identifies an interface on a router.
+	IfaceID = flow.IfaceID
+	// TraceWriter encodes records to the binary trace format.
+	TraceWriter = flow.Writer
+	// TraceReader decodes records from the binary trace format.
+	TraceReader = flow.Reader
+)
+
+// Statistical-time types.
+type (
+	// StatTimeConfig parameterizes the router-clock-drift-tolerant input
+	// bucketing of §3.1.
+	StatTimeConfig = stattime.Config
+)
+
+// Topology types (LAG bundles, PoPs/countries, link classes, miss
+// taxonomy).
+type (
+	// Topology is the ISP inventory model; it implements IngressMapper.
+	Topology = topology.T
+	// MissKind classifies a misprediction (interface / router / PoP).
+	MissKind = topology.MissKind
+	// LinkClass categorizes a border link (PNI, peering, transit, ...).
+	LinkClass = topology.LinkClass
+	// ASN is an autonomous system number.
+	ASN = topology.ASN
+)
+
+// Output-trace types (Appendix B format).
+type (
+	// OutputRow is one raw IPD output trace row.
+	OutputRow = export.Row
+)
+
+// LookupTable is the longest-prefix-match table built from classified
+// ranges (Engine.LookupTable / Server.LookupTable).
+type LookupTable = trie.Trie[flow.Ingress]
+
+// Synthetic workload types (the laptop-scale stand-in for a tier-1 ISP's
+// border NetFlow; see DESIGN.md).
+type (
+	// SimSpec parameterizes a synthetic tier-1 scenario.
+	SimSpec = trafficgen.Spec
+	// SimScenario is a materialized synthetic world with recomputable
+	// ground truth.
+	SimScenario = trafficgen.Scenario
+	// SimGenConfig parameterizes flow-stream generation.
+	SimGenConfig = trafficgen.GenConfig
+	// SimAS is one synthetic neighbor AS.
+	SimAS = trafficgen.AS
+)
+
+// DefaultConfig returns the paper's deployment parameterization (Table 1):
+// cidr_max /28 and /48, n_cidr factors 64 and 24, q = 0.95, t = 60 s,
+// e = 120 s, and the default decay.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultDecay is the Table-1 decay function: 1 - 0.9/((age/t)+1).
+func DefaultDecay(age, t time.Duration) float64 { return core.DefaultDecay(age, t) }
+
+// NewEngine validates cfg and returns a ready engine with the /0 roots
+// active.
+func NewEngine(cfg Config) (*Engine, error) { return core.NewEngine(cfg) }
+
+// NewServer builds the online wrapper: statistical-time cleaning in front
+// of an engine, with concurrent snapshot access.
+func NewServer(cfg Config, st StatTimeConfig) (*Server, error) {
+	return core.NewServer(cfg, st)
+}
+
+// DefaultStatTimeConfig mirrors the deployment defaults (60-second buckets,
+// 5-minute skew bound).
+func DefaultStatTimeConfig() StatTimeConfig { return stattime.DefaultConfig() }
+
+// NewTraceWriter returns a writer for the binary flow-trace format.
+func NewTraceWriter(w io.Writer) *TraceWriter { return flow.NewWriter(w) }
+
+// NewTraceReader returns a reader for the binary flow-trace format.
+func NewTraceReader(r io.Reader) *TraceReader { return flow.NewReader(r) }
+
+// DefaultSimSpec returns the laptop-scale synthetic tier-1 scenario spec:
+// 36 neighbor ASes (TOP5 = 52% of volume, TOP20 = 80%, 16 tier-1 peers) on
+// a 48-router international footprint.
+func DefaultSimSpec() SimSpec { return trafficgen.DefaultSpec() }
+
+// NewSimScenario materializes a synthetic scenario.
+func NewSimScenario(spec SimSpec) (*SimScenario, error) {
+	return trafficgen.NewScenario(spec)
+}
+
+// DefaultSimGenConfig returns generation defaults suitable for examples.
+func DefaultSimGenConfig() SimGenConfig { return trafficgen.DefaultGenConfig() }
+
+// WriteOutputSnapshot writes mapped ranges in the Appendix-B raw trace
+// format; label may be nil (plain "Rr.i" labels) or Topology.Label for
+// country-qualified labels.
+func WriteOutputSnapshot(w io.Writer, at time.Time, infos []RangeInfo, label func(Ingress) string) error {
+	return export.WriteSnapshot(w, at, infos, label)
+}

@@ -1,0 +1,133 @@
+package ipd_test
+
+import (
+	"bytes"
+	"context"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"ipd"
+)
+
+var t0 = time.Date(2024, 8, 4, 12, 0, 0, 0, time.UTC)
+
+func quickConfig() ipd.Config {
+	cfg := ipd.DefaultConfig()
+	cfg.NCidrFactor4 = 0.001
+	cfg.NCidrFactor6 = 1e-8
+	return cfg
+}
+
+func TestDefaultConfigIsTable1(t *testing.T) {
+	cfg := ipd.DefaultConfig()
+	if cfg.CIDRMax4 != 28 || cfg.CIDRMax6 != 48 {
+		t.Errorf("cidr_max = %d/%d", cfg.CIDRMax4, cfg.CIDRMax6)
+	}
+	if cfg.NCidrFactor4 != 64 || cfg.NCidrFactor6 != 24 {
+		t.Errorf("factors = %v/%v", cfg.NCidrFactor4, cfg.NCidrFactor6)
+	}
+	if cfg.Q != 0.95 || cfg.T != time.Minute || cfg.E != 2*time.Minute {
+		t.Errorf("q/t/e = %v/%v/%v", cfg.Q, cfg.T, cfg.E)
+	}
+	if got := ipd.DefaultDecay(0, time.Minute); got < 0.0999 || got > 0.1001 {
+		t.Errorf("decay(0) = %v", got)
+	}
+}
+
+func TestEngineQuickstart(t *testing.T) {
+	eng, err := ipd.NewEngine(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ipd.Ingress{Router: 7, Iface: 2}
+	a := netip.MustParseAddr("192.0.2.0").As4()
+	for i := 0; i < 100; i++ {
+		a[3] = byte(i)
+		eng.Feed(ipd.Record{Ts: t0, Src: netip.AddrFrom4(a), In: in, Bytes: 100, Packets: 1})
+	}
+	eng.AdvanceTo(t0.Add(time.Minute))
+	mapped := eng.Mapped()
+	if len(mapped) != 1 || mapped[0].Ingress != in {
+		t.Fatalf("mapped = %+v", mapped)
+	}
+	lt := eng.LookupTable()
+	if _, got, ok := lt.Lookup(netip.MustParseAddr("192.0.2.50")); !ok || got != in {
+		t.Errorf("lookup = %v ok=%v", got, ok)
+	}
+	var buf bytes.Buffer
+	if err := ipd.WriteOutputSnapshot(&buf, eng.Now(), mapped, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "R7.2") {
+		t.Errorf("output = %q", buf.String())
+	}
+}
+
+func TestServerFacade(t *testing.T) {
+	srv, err := ipd.NewServer(quickConfig(), ipd.DefaultStatTimeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan ipd.Record, 128)
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(context.Background(), ch) }()
+	in := ipd.Ingress{Router: 1, Iface: 1}
+	a := netip.MustParseAddr("10.0.0.0").As4()
+	for m := 0; m < 3; m++ {
+		for i := 0; i < 100; i++ {
+			a[3] = byte(i)
+			ch <- ipd.Record{Ts: t0.Add(time.Duration(m) * time.Minute), Src: netip.AddrFrom4(a), In: in, Bytes: 64}
+		}
+	}
+	close(ch)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Mapped(); len(got) != 1 {
+		t.Fatalf("mapped = %+v", got)
+	}
+}
+
+func TestTraceRoundTripFacade(t *testing.T) {
+	var buf bytes.Buffer
+	w := ipd.NewTraceWriter(&buf)
+	rec := ipd.Record{Ts: t0, Src: netip.MustParseAddr("203.0.113.5"), In: ipd.Ingress{Router: 3, Iface: 9}, Bytes: 1000}
+	if err := w.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ipd.NewTraceReader(&buf).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != rec.Src || got.In != rec.In {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestSimScenarioFacade(t *testing.T) {
+	scn, err := ipd.NewSimScenario(ipd.DefaultSimSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scn.ASes) == 0 || scn.Topo == nil {
+		t.Fatal("empty scenario")
+	}
+	cfg := ipd.DefaultSimGenConfig()
+	cfg.FlowsPerMinute = 500
+	n := 0
+	err = scn.Stream(scn.Start, scn.Start.Add(2*time.Minute), cfg, func(ipd.Record) bool {
+		n++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no records generated")
+	}
+}
