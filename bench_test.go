@@ -295,6 +295,21 @@ func BenchmarkStage1Ingest(b *testing.B) {
 	b.ReportMetric(float64(eng.RangeCount()), "ranges")
 }
 
+// BenchmarkObserve is the telemetry-regression gate: the same per-record
+// stage-1 path as BenchmarkStage1Ingest under its acceptance-criteria name.
+// The engine's counters are registry-backed atomics, so this measures the
+// instrumented hot path; compare against the baseline recorded in the PR
+// that introduced internal/telemetry.
+func BenchmarkObserve(b *testing.B) {
+	records := benchRecords(b, 500_000)
+	eng := benchEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Observe(records[i%len(records)])
+	}
+	b.ReportMetric(float64(eng.RangeCount()), "ranges")
+}
+
 // BenchmarkEngineEndToEnd measures stage 1 + stage 2 over a continuous
 // stream (cycles included).
 func BenchmarkEngineEndToEnd(b *testing.B) {

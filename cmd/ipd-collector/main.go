@@ -13,9 +13,14 @@
 //
 // HTTP endpoints:
 //
-//	/ranges   current mapped ranges (Appendix-B rows)
-//	/stats    collector + engine counters (JSON)
-//	/healthz  liveness
+//	/ranges       current mapped ranges (Appendix-B rows)
+//	/stats        collector + engine counters (JSON)
+//	/metrics      Prometheus text exposition (text/plain; version=0.0.4)
+//	/debug/vars   expvar-style JSON metric dump
+//	/debug/pprof  net/http/pprof profiling surface
+//	/healthz      liveness
+//
+// -log-level enables structured logs (one line per stage-2 cycle at info).
 package main
 
 import (
@@ -24,7 +29,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -38,6 +45,7 @@ import (
 	"ipd/internal/flow"
 	"ipd/internal/ipfix"
 	"ipd/internal/netflow"
+	"ipd/internal/telemetry"
 )
 
 func main() {
@@ -50,19 +58,36 @@ func main() {
 		factor4   = flag.Float64("factor4", 0.01, "IPv4 n_cidr factor")
 		floor     = flag.Float64("floor", 4, "n_cidr floor")
 		q         = flag.Float64("q", 0.95, "quality threshold")
+		logLevel  = flag.String("log-level", "warn", "structured log level: debug, info, warn, error (info and below log one line per stage-2 cycle)")
 	)
 	flag.Parse()
-	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q); err != nil {
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
+		os.Exit(2)
+	}
+	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64) error {
+// newLogger builds the process slog.Logger writing structured text records
+// to stderr at the given level.
+func newLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
+func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64, logger *slog.Logger) error {
 	cfg := ipd.DefaultConfig()
 	cfg.NCidrFactor4 = factor4
 	cfg.NCidrFloor = floor
 	cfg.Q = q
+	cfg.Logger = logger
 	srv, err := ipd.NewServer(cfg, ipd.DefaultStatTimeConfig())
 	if err != nil {
 		return err
@@ -123,10 +148,21 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 	}
 
 	if httpAddr != "" {
+		reg := srv.Telemetry()
+		telemetry.RegisterProcessMetrics(reg)
+		registerCollectorMetrics(reg, coll, ipfixColl)
+
 		mux := http.NewServeMux()
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintln(w, "ok")
 		})
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vars", reg.JSONHandler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mux.HandleFunc("/ranges", func(w http.ResponseWriter, _ *http.Request) {
 			mapped := srv.Mapped()
 			if err := ipd.WriteOutputSnapshot(w, time.Now(), mapped, nil); err != nil {
@@ -184,6 +220,33 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 		return nil
 	}
 	return err
+}
+
+// registerCollectorMetrics exposes the UDP collectors' atomic counters on
+// the shared registry, read lazily at scrape time (the IPFIX collector may
+// be nil).
+func registerCollectorMetrics(reg *ipd.TelemetryRegistry, coll *netflow.Collector, ipfixColl *ipfix.Collector) {
+	nf := coll.Stats()
+	reg.CounterFunc("ipd_netflow_datagrams_total",
+		"NetFlow v5 datagrams received.", func() float64 { return float64(nf.Datagrams.Load()) })
+	reg.CounterFunc("ipd_netflow_records_total",
+		"NetFlow v5 records parsed.", func() float64 { return float64(nf.Records.Load()) })
+	reg.CounterFunc("ipd_netflow_malformed_total",
+		"Malformed NetFlow v5 datagrams.", func() float64 { return float64(nf.Malformed.Load()) })
+	reg.CounterFunc("ipd_netflow_unknown_exporter_total",
+		"NetFlow v5 datagrams from unregistered exporters.", func() float64 { return float64(nf.UnknownExporter.Load()) })
+	if ipfixColl == nil {
+		return
+	}
+	ix := ipfixColl.Stats()
+	reg.CounterFunc("ipd_ipfix_messages_total",
+		"IPFIX messages received.", func() float64 { return float64(ix.Messages.Load()) })
+	reg.CounterFunc("ipd_ipfix_records_total",
+		"IPFIX data records parsed.", func() float64 { return float64(ix.Records.Load()) })
+	reg.CounterFunc("ipd_ipfix_malformed_total",
+		"Malformed IPFIX messages.", func() float64 { return float64(ix.Malformed.Load()) })
+	reg.CounterFunc("ipd_ipfix_unknown_template_total",
+		"IPFIX records skipped for unknown templates.", func() float64 { return float64(ix.UnknownTemplate.Load()) })
 }
 
 // loadExporters reads "address,router_id" lines and registers them with

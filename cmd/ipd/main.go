@@ -7,6 +7,11 @@
 //	flowgen -minutes 30 -o trace.ipd
 //	ipd -in trace.ipd -factor4 0.01 -bin 5m
 //	ipd -in trace.csv -format csv -summary
+//	ipd -in trace.ipd -log-level info -debug-http :8080
+//
+// -log-level info emits one structured log line per stage-2 cycle;
+// -debug-http serves /metrics (Prometheus), /debug/vars (JSON dump), and
+// /debug/pprof while the trace is processed.
 package main
 
 import (
@@ -14,6 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -24,23 +32,34 @@ import (
 
 func main() {
 	var (
-		in       = flag.String("in", "-", "input trace file ('-' = stdin)")
-		format   = flag.String("format", "binary", "input format: binary or csv")
-		factor4  = flag.Float64("factor4", 0.01, "IPv4 n_cidr factor (64 at deployment traffic rates)")
-		factor6  = flag.Float64("factor6", 1e-8, "IPv6 n_cidr factor")
-		floor    = flag.Float64("floor", 4, "n_cidr floor (min samples to classify any range)")
-		q        = flag.Float64("q", 0.95, "quality threshold")
-		cidrMax4 = flag.Int("cidrmax4", 28, "IPv4 cidr_max")
-		cidrMax6 = flag.Int("cidrmax6", 48, "IPv6 cidr_max")
-		tBucket  = flag.Duration("t", time.Minute, "cycle length")
-		expiry   = flag.Duration("e", 2*time.Minute, "per-IP state expiration")
-		bin      = flag.Duration("bin", 5*time.Minute, "output bin length")
-		bytesCnt = flag.Bool("bytes", false, "count bytes instead of flows")
-		summary  = flag.Bool("summary", false, "print only the final summary")
+		in        = flag.String("in", "-", "input trace file ('-' = stdin)")
+		format    = flag.String("format", "binary", "input format: binary or csv")
+		factor4   = flag.Float64("factor4", 0.01, "IPv4 n_cidr factor (64 at deployment traffic rates)")
+		factor6   = flag.Float64("factor6", 1e-8, "IPv6 n_cidr factor")
+		floor     = flag.Float64("floor", 4, "n_cidr floor (min samples to classify any range)")
+		q         = flag.Float64("q", 0.95, "quality threshold")
+		cidrMax4  = flag.Int("cidrmax4", 28, "IPv4 cidr_max")
+		cidrMax6  = flag.Int("cidrmax6", 48, "IPv6 cidr_max")
+		tBucket   = flag.Duration("t", time.Minute, "cycle length")
+		expiry    = flag.Duration("e", 2*time.Minute, "per-IP state expiration")
+		bin       = flag.Duration("bin", 5*time.Minute, "output bin length")
+		bytesCnt  = flag.Bool("bytes", false, "count bytes instead of flows")
+		summary   = flag.Bool("summary", false, "print only the final summary")
+		logLevel  = flag.String("log-level", "warn", "structured log level: debug, info, warn, error (info and below log one line per stage-2 cycle)")
+		debugHTTP = flag.String("debug-http", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while processing ('' disables)")
 	)
 	flag.Parse()
 
-	if err := run(*in, *format, config(*factor4, *factor6, *floor, *q, *cidrMax4, *cidrMax6, *tBucket, *expiry, *bytesCnt), *bin, *summary); err != nil {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "ipd: bad -log-level %q (want debug, info, warn, or error)\n", *logLevel)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+
+	cfg := config(*factor4, *factor6, *floor, *q, *cidrMax4, *cidrMax6, *tBucket, *expiry, *bytesCnt)
+	cfg.Logger = logger
+	if err := run(*in, *format, cfg, *bin, *summary, *debugHTTP); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd:", err)
 		os.Exit(1)
 	}
@@ -60,7 +79,28 @@ func config(f4, f6, floor, q float64, cm4, cm6 int, t, e time.Duration, bytesCnt
 	return cfg
 }
 
-func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool) error {
+// serveDebug mounts the telemetry and profiling surface while a trace run
+// is in flight (best-effort: the process exits with the run).
+func serveDebug(addr string, reg *ipd.TelemetryRegistry) {
+	ipd.RegisterProcessMetrics(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", reg.JSONHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "ipd: debug http:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "ipd: debug endpoints on http://%s\n", addr)
+}
+
+func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, debugHTTP string) error {
 	var r io.Reader = os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -74,6 +114,10 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool) err
 	eng, err := ipd.NewEngine(cfg)
 	if err != nil {
 		return err
+	}
+	flowMetrics := ipd.NewFlowMetrics(eng.Telemetry())
+	if debugHTTP != "" {
+		serveDebug(debugHTTP, eng.Telemetry())
 	}
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
@@ -104,6 +148,7 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool) err
 	switch format {
 	case "binary":
 		tr := ipd.NewTraceReader(r)
+		tr.SetMetrics(flowMetrics)
 		for {
 			rec, err := tr.Read()
 			if err == io.EOF {

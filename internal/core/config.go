@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"time"
 
@@ -108,6 +109,13 @@ type Config struct {
 	// (used by the case-study figures). Must not call back into the
 	// engine.
 	OnEvent func(Event)
+
+	// Logger, when non-nil, receives one structured log record per stage-2
+	// cycle (cycle number, duration, range delta, lifecycle deltas,
+	// top-ingress churn) at Info level. nil disables cycle logging; the
+	// per-cycle bookkeeping is skipped entirely when the logger's level
+	// filters Info out.
+	Logger *slog.Logger
 }
 
 // DefaultConfig returns the deployment parameterization from Table 1.

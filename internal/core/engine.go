@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"net/netip"
 	"sort"
 	"time"
 
 	"ipd/internal/flow"
 	"ipd/internal/netaddr"
+	"ipd/internal/telemetry"
 	"ipd/internal/trie"
 )
 
@@ -86,7 +89,9 @@ func lessIngress(a, b flow.Ingress) bool {
 }
 
 // Stats are cumulative engine counters; they back the §5.7 resource
-// discussion and the Appendix A resource metric.
+// discussion and the Appendix A resource metric. Since the telemetry
+// refactor this struct is a point-in-time view assembled from the engine's
+// registry atomics — see Engine.Telemetry for the live metrics.
 type Stats struct {
 	// Records is the number of accepted flow records; RecordsV6 the IPv6
 	// subset. RecordsDropped counts records with unusable addresses.
@@ -122,7 +127,15 @@ type Engine struct {
 	lastCycle time.Time // start of the current cycle window
 	started   bool
 
-	stats Stats
+	// tel holds all cumulative counters as registry-backed atomics; the
+	// engine itself stays single-writer, but concurrent readers (Server
+	// snapshots, /metrics scrapes) load these without any lock.
+	tel *engineMetrics
+
+	log *slog.Logger
+	// churn accumulates per-ingress classification churn within one cycle;
+	// non-nil only while a cycle runs with logging enabled.
+	churn map[flow.Ingress]int
 }
 
 // NewEngine validates cfg and returns an engine with the two /0 root ranges
@@ -135,6 +148,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cfg:    cfg,
 		mapper: cfg.mapper(),
 		active: trie.New[*rangeState](),
+		tel:    newEngineMetrics(),
+		log:    cfg.Logger,
 	}
 	root4 := netip.PrefixFrom(netip.IPv4Unspecified(), 0)
 	root6 := netip.PrefixFrom(netip.IPv6Unspecified(), 0)
@@ -146,8 +161,14 @@ func NewEngine(cfg Config) (*Engine, error) {
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// Stats returns a snapshot of the cumulative counters.
-func (e *Engine) Stats() Stats { return e.stats }
+// Stats returns a snapshot of the cumulative counters, assembled from the
+// telemetry registry's atomics (safe to call concurrently with ingest).
+func (e *Engine) Stats() Stats { return e.tel.snapshot() }
+
+// Telemetry returns the engine's metric registry: every counter, gauge, and
+// histogram the engine maintains, ready for Prometheus or JSON exposition.
+// The registry is safe for concurrent use.
+func (e *Engine) Telemetry() *telemetry.Registry { return e.tel.reg }
 
 // Now returns the engine's statistical time.
 func (e *Engine) Now() time.Time { return e.now }
@@ -172,21 +193,21 @@ func (e *Engine) IPStateCount() int {
 // expiry precision but nothing else.
 func (e *Engine) Observe(rec flow.Record) {
 	if !rec.Valid() {
-		e.stats.RecordsDropped++
+		e.tel.recordsDropped.Inc()
 		return
 	}
 	src := rec.Src.Unmap()
 	v6 := !src.Is4()
 	masked, ok := netaddr.Mask(src, e.cfg.cidrMax(v6))
 	if !ok {
-		e.stats.RecordsDropped++
+		e.tel.recordsDropped.Inc()
 		return
 	}
 	_, rs, ok := e.active.Lookup(masked.Addr())
 	if !ok {
 		// Cannot happen while the partition invariant holds; count rather
 		// than panic so a bug degrades instead of killing the pipeline.
-		e.stats.RecordsDropped++
+		e.tel.recordsDropped.Inc()
 		return
 	}
 	logical := e.mapper.Logical(rec.In)
@@ -216,12 +237,11 @@ func (e *Engine) Observe(rec flow.Record) {
 			st.lastSeen = rec.Ts
 		}
 	}
-	e.stats.Records++
+	e.tel.records.Inc()
 	if v6 {
-		e.stats.RecordsV6++
+		e.tel.recordsV6.Inc()
 	}
-	e.stats.FlowsTotal++
-	e.stats.BytesTotal += uint64(rec.Bytes)
+	e.tel.bytes.Add(uint64(rec.Bytes))
 	if rec.Ts.After(e.now) {
 		e.now = rec.Ts
 	}
@@ -263,6 +283,14 @@ func (e *Engine) ForceCycle() {
 	e.runCycle(e.now)
 }
 
+// noteChurn records per-ingress classification churn for the cycle log;
+// a no-op unless the current cycle runs with logging enabled.
+func (e *Engine) noteChurn(in flow.Ingress) {
+	if e.churn != nil {
+		e.churn[in]++
+	}
+}
+
 func (e *Engine) emit(kind EventKind, rs *rangeState, in flow.Ingress, at time.Time) {
 	if e.cfg.OnEvent == nil {
 		return
@@ -274,6 +302,14 @@ func (e *Engine) emit(kind EventKind, rs *rangeState, in flow.Ingress, at time.T
 func (e *Engine) runCycle(now time.Time) {
 	start := time.Now()
 	cycleStart := now.Add(-e.cfg.T)
+
+	logging := e.log != nil && e.log.Enabled(context.Background(), slog.LevelInfo)
+	rangesBefore := e.active.Len()
+	var before cycleCounters
+	if logging {
+		e.churn = make(map[flow.Ingress]int)
+		before = e.cycleCounters()
+	}
 
 	// Collect the current active set once; splits mutate the trie.
 	ranges := make([]*rangeState, 0, e.active.Len())
@@ -292,9 +328,69 @@ func (e *Engine) runCycle(now time.Time) {
 
 	e.joinPass(now)
 
-	e.stats.Cycles++
-	e.stats.LastCycleRanges = e.active.Len()
-	e.stats.LastCycleDuration = time.Since(start)
+	dur := time.Since(start)
+	e.tel.cycles.Inc()
+	e.tel.activeRanges.Set(int64(e.active.Len()))
+	e.tel.ipStates.Set(int64(e.IPStateCount()))
+	e.tel.trieNodes.Set(int64(e.active.Nodes()))
+	e.tel.cycleDuration.Observe(dur.Seconds())
+	e.tel.lastCycleNanos.Store(int64(dur))
+
+	if logging {
+		e.logCycle(now, dur, rangesBefore, before)
+		e.churn = nil
+	}
+}
+
+// cycleCounters is the subset of counters whose per-cycle deltas the
+// structured cycle log reports.
+type cycleCounters struct {
+	splits, joins, classifications, invalidations, expirations uint64
+}
+
+func (e *Engine) cycleCounters() cycleCounters {
+	return cycleCounters{
+		splits:          e.tel.splits.Value(),
+		joins:           e.tel.joins.Value(),
+		classifications: e.tel.classifications.Value(),
+		invalidations:   e.tel.invalidations.Value(),
+		expirations:     e.tel.expirations.Value(),
+	}
+}
+
+// logCycle emits one structured log line per stage-2 cycle: cycle number,
+// wall-clock duration, range delta, lifecycle deltas, and the ingress with
+// the most classification churn this cycle.
+func (e *Engine) logCycle(now time.Time, dur time.Duration, rangesBefore int, before cycleCounters) {
+	after := e.cycleCounters()
+	var (
+		top      flow.Ingress
+		topChurn int
+	)
+	for in, n := range e.churn {
+		if n > topChurn || (n == topChurn && topChurn > 0 && lessIngress(in, top)) {
+			top, topChurn = in, n
+		}
+	}
+	attrs := []slog.Attr{
+		slog.Uint64("cycle", e.tel.cycles.Value()),
+		slog.Time("stat_time", now),
+		slog.Duration("duration", dur),
+		slog.Int("ranges", e.active.Len()),
+		slog.Int("range_delta", e.active.Len()-rangesBefore),
+		slog.Int("ip_states", int(e.tel.ipStates.Value())),
+		slog.Uint64("splits", after.splits-before.splits),
+		slog.Uint64("joins", after.joins-before.joins),
+		slog.Uint64("classified", after.classifications-before.classifications),
+		slog.Uint64("invalidated", after.invalidations-before.invalidations),
+		slog.Uint64("expired", after.expirations-before.expirations),
+	}
+	if topChurn > 0 {
+		attrs = append(attrs,
+			slog.String("top_ingress", top.String()),
+			slog.Int("top_ingress_churn", topChurn))
+	}
+	e.log.LogAttrs(context.Background(), slog.LevelInfo, "cycle", attrs...)
 }
 
 // cycleClassified handles lines 16-19: decay idle ranges, drop expired or
@@ -314,7 +410,8 @@ func (e *Engine) cycleClassified(rs *rangeState, now, cycleStart time.Time) {
 		// when no new traffic is received") without dropping a range
 		// that merely skipped one minute.
 		if rs.total < 1 {
-			e.stats.Expirations++
+			e.tel.expirations.Inc()
+			e.noteChurn(rs.ingress)
 			e.emit(EventExpired, rs, rs.ingress, now)
 			e.unclassify(rs, now)
 			return
@@ -322,7 +419,8 @@ func (e *Engine) cycleClassified(rs *rangeState, now, cycleStart time.Time) {
 	}
 	if c := rs.counters[rs.ingress]; rs.total > 0 && c/rs.total < e.cfg.Q {
 		// Prevalent ingress no longer valid: drop the range (line 19).
-		e.stats.Invalidations++
+		e.tel.invalidations.Inc()
+		e.noteChurn(rs.ingress)
 		e.emit(EventInvalidated, rs, rs.ingress, now)
 		e.unclassify(rs, now)
 	}
@@ -372,7 +470,8 @@ func (e *Engine) cycleUnclassified(rs *rangeState, now time.Time) {
 		rs.ingress = in
 		rs.classifiedAt = now
 		rs.ips = nil
-		e.stats.Classifications++
+		e.tel.classifications.Inc()
+		e.noteChurn(in)
 		e.emit(EventClassified, rs, in, now)
 		return
 	}
@@ -412,7 +511,7 @@ func (e *Engine) split(rs *rangeState, now time.Time) {
 	e.active.Delete(rs.prefix)
 	e.active.Insert(lo, cl)
 	e.active.Insert(hi, ch)
-	e.stats.Splits++
+	e.tel.splits.Inc()
 	e.emit(EventSplit, rs, flow.Ingress{}, now)
 }
 
@@ -447,7 +546,7 @@ func (e *Engine) joinPass(now time.Time) {
 				e.active.Delete(p)
 				e.active.Delete(sibPfx)
 				e.active.Insert(parentPfx, merged)
-				e.stats.Joins++
+				e.tel.joins.Inc()
 				e.emit(EventJoined, merged, merged.ingress, now)
 				changed = true
 			}
@@ -511,5 +610,5 @@ func (e *Engine) tryJoin(lo, hi *rangeState, parent netip.Prefix, now time.Time)
 // String summarizes the engine state for debugging.
 func (e *Engine) String() string {
 	return fmt.Sprintf("ipd.Engine{ranges: %d, now: %s, cycles: %d}",
-		e.active.Len(), e.now.Format(time.RFC3339), e.stats.Cycles)
+		e.active.Len(), e.now.Format(time.RFC3339), e.tel.cycles.Value())
 }

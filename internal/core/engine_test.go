@@ -1,9 +1,13 @@
 package core
 
 import (
+	"bytes"
+	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/netip"
+	"strings"
 	"testing"
 	"time"
 
@@ -785,6 +789,78 @@ func TestNoWallClockDependence(t *testing.T) {
 	for i := range a {
 		if a[i].Prefix != b[i].Prefix || a[i].Ingress != b[i].Ingress || a[i].Samples != b[i].Samples {
 			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestCycleLogging verifies the structured per-cycle log: one "cycle" record
+// per stage-2 cycle carrying the cycle number, duration, range delta, and
+// (when churn happened) the top ingress.
+func TestCycleLogging(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig()
+	cfg.Logger = slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedN(e, base, netip.MustParseAddr("10.0.0.0"), 100, inA)
+	e.AdvanceTo(base.Add(3 * time.Minute))
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if want := int(e.Stats().Cycles); len(lines) != want {
+		t.Fatalf("got %d log lines, want %d (one per cycle):\n%s", len(lines), want, buf.String())
+	}
+	first := lines[0]
+	for _, attr := range []string{"msg=cycle", "cycle=1", "duration=", "ranges=", "range_delta=", "classified=1", "top_ingress=R1.1"} {
+		if !strings.Contains(first, attr) {
+			t.Errorf("first cycle line missing %q: %s", attr, first)
+		}
+	}
+}
+
+// TestCycleLoggingDisabled: a logger above Info level must suppress cycle
+// records (and the churn bookkeeping behind them).
+func TestCycleLoggingDisabled(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig()
+	cfg.Logger = slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedN(e, base, netip.MustParseAddr("10.0.0.0"), 100, inA)
+	e.AdvanceTo(base.Add(3 * time.Minute))
+	if buf.Len() != 0 {
+		t.Errorf("warn-level logger still emitted cycle records:\n%s", buf.String())
+	}
+}
+
+// TestEngineTelemetryExposition: the engine's own registry must expose the
+// headline metrics with values matching Stats.
+func TestEngineTelemetryExposition(t *testing.T) {
+	e, err := NewEngine(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedN(e, base, netip.MustParseAddr("10.0.0.0"), 100, inA)
+	e.AdvanceTo(base.Add(2 * time.Minute))
+
+	var b bytes.Buffer
+	if err := e.Telemetry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	st := e.Stats()
+	for _, want := range []string{
+		fmt.Sprintf("ipd_records_total %d", st.Records),
+		fmt.Sprintf("ipd_active_ranges %d", st.LastCycleRanges),
+		fmt.Sprintf("ipd_cycles_total %d", st.Cycles),
+		fmt.Sprintf("ipd_classifications_total %d", st.Classifications),
+		"ipd_cycle_duration_seconds_count",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"ipd/internal/flow"
 	"ipd/internal/stattime"
+	"ipd/internal/telemetry"
 	"ipd/internal/trie"
 )
 
@@ -16,16 +17,29 @@ import (
 // statistical-time binner segments them into buckets; each completed bucket
 // is ingested and stage-2 cycles run as statistical time crosses T
 // boundaries. Snapshots may be taken concurrently from other goroutines.
+//
+// Locking contract: mu guards all mutable engine and binner state (the
+// trie, range states, open buckets). Run is the only writer; it acquires mu
+// once per drained batch of records, not once per record, so snapshot
+// readers get a chance to interleave at batch boundaries even under
+// saturating input. Snapshot, Mapped, LookupTable, and Range take mu to
+// read structured state. Stats and the telemetry registry deliberately do
+// NOT take mu: all counters are atomics, so scrapes never block ingest.
 type Server struct {
 	mu  sync.Mutex
 	eng *Engine
 	bin *stattime.Binner
 }
 
+// runBatch bounds how many records Run drains per mu acquisition: large
+// enough to amortize the lock, small enough to bound snapshot latency.
+const runBatch = 512
+
 // NewServer builds a server from the IPD configuration and a
 // statistical-time configuration. The binner's bucket length is forced to
 // divide into the cycle semantics by simply using it as-is; the usual setup
-// is stattime.Bucket == cfg.T.
+// is stattime.Bucket == cfg.T. The binner's metrics join the engine's
+// telemetry registry.
 func NewServer(cfg Config, st stattime.Config) (*Server, error) {
 	eng, err := NewEngine(cfg)
 	if err != nil {
@@ -36,6 +50,7 @@ func NewServer(cfg Config, st stattime.Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	bin.SetMetrics(stattime.NewMetrics(eng.Telemetry()))
 	s.bin = bin
 	return s, nil
 }
@@ -51,7 +66,14 @@ func (s *Server) ingestBucket(b stattime.Bucket) {
 // Run consumes records until in is closed or ctx is cancelled, then flushes
 // remaining buckets and runs a final cycle. It returns ctx.Err() on
 // cancellation and nil on clean end of stream.
+//
+// After blocking for the first record, Run opportunistically drains up to
+// runBatch-1 further records that are already queued and ingests the whole
+// batch under one mu acquisition (see the locking contract on Server). This
+// keeps lock churn constant under load without adding latency when the
+// channel is sparse: an empty channel falls straight through to ingest.
 func (s *Server) Run(ctx context.Context, in <-chan flow.Record) error {
+	batch := make([]flow.Record, 0, runBatch)
 	for {
 		select {
 		case <-ctx.Done():
@@ -62,9 +84,30 @@ func (s *Server) Run(ctx context.Context, in <-chan flow.Record) error {
 				s.finish()
 				return nil
 			}
+			batch = append(batch[:0], rec)
+			closed := false
+		drain:
+			for len(batch) < runBatch {
+				select {
+				case rec, ok := <-in:
+					if !ok {
+						closed = true
+						break drain
+					}
+					batch = append(batch, rec)
+				default:
+					break drain
+				}
+			}
 			s.mu.Lock()
-			s.bin.Offer(rec)
+			for _, rec := range batch {
+				s.bin.Offer(rec)
+			}
 			s.mu.Unlock()
+			if closed {
+				s.finish()
+				return nil
+			}
 		}
 	}
 }
@@ -106,9 +149,13 @@ func (s *Server) Range(addr netip.Addr) (RangeInfo, bool) {
 	return s.eng.Range(addr)
 }
 
-// Stats returns engine and binner counters (safe concurrently with Run).
+// Stats returns engine and binner counters. Both are assembled from
+// telemetry atomics, so this never takes mu and never contends with ingest.
 func (s *Server) Stats() (Stats, stattime.Stats) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.eng.Stats(), s.bin.Stats()
 }
+
+// Telemetry returns the shared metric registry of the engine and binner,
+// ready for Prometheus or JSON exposition. The registry is safe for
+// concurrent use and scrapes do not contend with ingest.
+func (s *Server) Telemetry() *telemetry.Registry { return s.eng.Telemetry() }

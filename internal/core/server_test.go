@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"net/http/httptest"
 	"net/netip"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -121,5 +123,91 @@ func TestServerConcurrentSnapshots(t *testing.T) {
 	eng, _ := s.Stats()
 	if eng.Records != 2000 {
 		t.Errorf("Records = %d", eng.Records)
+	}
+}
+
+// TestServerConcurrentTelemetryScrapes runs ingest while parallel
+// goroutines hammer every reader surface — Snapshot, Mapped, Range, the
+// lock-free Stats, and /metrics + /debug/vars scrapes — then checks the
+// final exposition is consistent. With -race this validates that the
+// telemetry layer really does keep scrapes off the ingest lock.
+func TestServerConcurrentTelemetryScrapes(t *testing.T) {
+	s := testServer(t)
+	metrics := s.Telemetry().Handler()
+	vars := s.Telemetry().JSONHandler()
+	in := make(chan flow.Record, 256)
+	done := make(chan error, 1)
+	go func() { done <- s.Run(context.Background(), in) }()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Snapshot()
+				s.Mapped()
+				s.Range(netip.MustParseAddr("10.1.2.3"))
+				s.Stats()
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := httptest.NewRecorder()
+				metrics.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+				if !strings.Contains(rec.Body.String(), "ipd_records_total") {
+					t.Error("scrape missing ipd_records_total")
+					return
+				}
+				rec = httptest.NewRecorder()
+				vars.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+			}
+		}()
+	}
+
+	a := netip.MustParseAddr("10.0.0.0").As4()
+	ts := base
+	for cycle := 0; cycle < 8; cycle++ {
+		for i := 0; i < 150; i++ {
+			a[3] = byte(i)
+			in <- flow.Record{Ts: ts, Src: netip.AddrFrom4(a), In: inA, Bytes: 64}
+		}
+		ts = ts.Add(time.Minute)
+	}
+	close(in)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	rec := httptest.NewRecorder()
+	metrics.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"ipd_records_total 1200",
+		"ipd_active_ranges",
+		"ipd_cycle_duration_seconds_bucket",
+		"ipd_cycle_duration_seconds_count",
+		"ipd_stattime_accepted_total 1200",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("final exposition missing %q:\n%s", want, body)
+		}
 	}
 }

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"ipd/internal/telemetry"
+)
+
+// engineMetrics is the registry-backed counter set behind Engine.Stats.
+// All fields are embedded values so the stage-1 hot path touches one
+// contiguous struct; Stats() and scrapes load the same atomics, so
+// snapshots never contend with ingest (there is no stats mutex at all).
+type engineMetrics struct {
+	reg *telemetry.Registry
+
+	records        telemetry.Counter
+	recordsV6      telemetry.Counter
+	recordsDropped telemetry.Counter
+	bytes          telemetry.Counter
+
+	cycles          telemetry.Counter
+	splits          telemetry.Counter
+	joins           telemetry.Counter
+	classifications telemetry.Counter
+	invalidations   telemetry.Counter
+	expirations     telemetry.Counter
+
+	activeRanges telemetry.Gauge
+	ipStates     telemetry.Gauge
+	trieNodes    telemetry.Gauge
+
+	cycleDuration *telemetry.Histogram
+
+	// lastCycleNanos backs both Stats.LastCycleDuration and the
+	// ipd_last_cycle_duration_seconds gauge func.
+	lastCycleNanos atomic.Int64
+}
+
+func newEngineMetrics() *engineMetrics {
+	m := &engineMetrics{reg: telemetry.NewRegistry()}
+	m.reg.RegisterCounter("ipd_records_total",
+		"Flow records accepted by stage 1.", &m.records)
+	m.reg.RegisterCounter("ipd_records_v6_total",
+		"Accepted flow records with an IPv6 source.", &m.recordsV6)
+	m.reg.RegisterCounter("ipd_records_dropped_total",
+		"Flow records dropped for unusable addresses or timestamps.", &m.recordsDropped)
+	m.reg.RegisterCounter("ipd_bytes_total",
+		"Bytes carried by accepted flow records.", &m.bytes)
+	m.reg.RegisterCounter("ipd_cycles_total",
+		"Completed stage-2 cycles.", &m.cycles)
+	m.reg.RegisterCounter("ipd_splits_total",
+		"Range splits (mixed-ingress ranges subdivided).", &m.splits)
+	m.reg.RegisterCounter("ipd_joins_total",
+		"Range joins (sibling ranges merged into their parent).", &m.joins)
+	m.reg.RegisterCounter("ipd_classifications_total",
+		"Ranges classified to a prevalent ingress.", &m.classifications)
+	m.reg.RegisterCounter("ipd_invalidations_total",
+		"Classified ranges dropped after losing their prevalent ingress.", &m.invalidations)
+	m.reg.RegisterCounter("ipd_expirations_total",
+		"Classified ranges expired by idle decay.", &m.expirations)
+	m.reg.RegisterGauge("ipd_active_ranges",
+		"Active IPD ranges after the last stage-2 cycle (Appendix A memory proxy).", &m.activeRanges)
+	m.reg.RegisterGauge("ipd_ip_states",
+		"Per-masked-IP state entries held in unclassified ranges.", &m.ipStates)
+	m.reg.RegisterGauge("ipd_trie_nodes",
+		"Allocated nodes in the active-range tries (including branch-only nodes).", &m.trieNodes)
+	m.cycleDuration = m.reg.Histogram("ipd_cycle_duration_seconds",
+		"Stage-2 cycle wall-clock runtime (Appendix A runtime metric).",
+		telemetry.DurationBuckets())
+	m.reg.GaugeFunc("ipd_last_cycle_duration_seconds",
+		"Wall-clock runtime of the most recent stage-2 cycle.", func() float64 {
+			return float64(m.lastCycleNanos.Load()) / 1e9
+		})
+	return m
+}
+
+// snapshot builds the legacy Stats view from the registry atomics.
+func (m *engineMetrics) snapshot() Stats {
+	records := m.records.Value()
+	return Stats{
+		Records:        records,
+		RecordsV6:      m.recordsV6.Value(),
+		RecordsDropped: m.recordsDropped.Value(),
+		// Flow counting is per accepted record, so FlowsTotal tracks
+		// Records exactly; it stays a distinct field because byte counting
+		// may diverge in a future sampler-aware mode.
+		FlowsTotal:        records,
+		BytesTotal:        m.bytes.Value(),
+		Cycles:            m.cycles.Value(),
+		Splits:            m.splits.Value(),
+		Joins:             m.joins.Value(),
+		Classifications:   m.classifications.Value(),
+		Invalidations:     m.invalidations.Value(),
+		Expirations:       m.expirations.Value(),
+		LastCycleRanges:   int(m.activeRanges.Value()),
+		LastCycleDuration: time.Duration(m.lastCycleNanos.Load()),
+	}
+}

@@ -136,11 +136,31 @@ func (w *Writer) Flush() error {
 type Reader struct {
 	r          *bufio.Reader
 	headerDone bool
+	m          *Metrics
 }
 
 // NewReader returns a Reader consuming from r.
 func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// SetMetrics attaches a telemetry set; nil detaches. Decoded records and
+// decode errors are counted into it.
+func (rd *Reader) SetMetrics(m *Metrics) { rd.m = m }
+
+// countRead classifies the outcome of one Read for telemetry. Clean EOF is
+// not an error; everything else non-nil is.
+func (rd *Reader) countRead(err error) {
+	if rd.m == nil {
+		return
+	}
+	switch err {
+	case nil:
+		rd.m.RecordsDecoded.Inc()
+	case io.EOF:
+	default:
+		rd.m.DecodeErrors.Inc()
+	}
 }
 
 func (rd *Reader) readHeader() error {
@@ -161,6 +181,12 @@ func (rd *Reader) readHeader() error {
 // Read decodes the next record. It returns io.EOF at a clean end of stream
 // and io.ErrUnexpectedEOF for a truncated record.
 func (rd *Reader) Read() (Record, error) {
+	rec, err := rd.read()
+	rd.countRead(err)
+	return rec, err
+}
+
+func (rd *Reader) read() (Record, error) {
 	var rec Record
 	if !rd.headerDone {
 		if err := rd.readHeader(); err != nil {

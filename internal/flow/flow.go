@@ -67,7 +67,12 @@ type Sampler struct {
 	// N is the sampling denominator; N <= 1 passes everything.
 	N     int
 	state uint64
+	m     *Metrics
 }
+
+// SetMetrics attaches a telemetry set; nil detaches. Every Keep call counts
+// into SamplerSeen, surviving packets into SamplerKept.
+func (s *Sampler) SetMetrics(m *Metrics) { s.m = m }
 
 // NewSampler returns a sampler with rate 1/n seeded deterministically.
 func NewSampler(n int, seed uint64) *Sampler {
@@ -79,6 +84,17 @@ func NewSampler(n int, seed uint64) *Sampler {
 
 // Keep reports whether the next packet survives sampling.
 func (s *Sampler) Keep() bool {
+	keep := s.decide()
+	if s.m != nil {
+		s.m.SamplerSeen.Inc()
+		if keep {
+			s.m.SamplerKept.Inc()
+		}
+	}
+	return keep
+}
+
+func (s *Sampler) decide() bool {
 	if s.N <= 1 {
 		return true
 	}

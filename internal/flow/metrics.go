@@ -1,0 +1,36 @@
+package flow
+
+import "ipd/internal/telemetry"
+
+// Metrics is the flow-layer telemetry set: wire-codec decode outcomes and
+// sampler decisions. All fields are atomic counters; attach one Metrics to
+// any number of Readers and Samplers (counts aggregate).
+type Metrics struct {
+	// RecordsDecoded counts records successfully read from a binary trace.
+	RecordsDecoded telemetry.Counter
+	// DecodeErrors counts stream-level decode failures (bad magic or
+	// version, truncated records, I/O errors); clean EOF is not an error.
+	DecodeErrors telemetry.Counter
+	// SamplerSeen and SamplerKept count packets offered to / surviving the
+	// 1-out-of-n sampler.
+	SamplerSeen telemetry.Counter
+	SamplerKept telemetry.Counter
+}
+
+// NewMetrics returns a Metrics set, registered under the ipd_flow_*
+// namespace when reg is non-nil.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	m := &Metrics{}
+	if reg == nil {
+		return m
+	}
+	reg.RegisterCounter("ipd_flow_records_decoded_total",
+		"Records decoded from the binary flow-trace format.", &m.RecordsDecoded)
+	reg.RegisterCounter("ipd_flow_decode_errors_total",
+		"Flow-trace decode failures (bad header, truncation, I/O).", &m.DecodeErrors)
+	reg.RegisterCounter("ipd_flow_sampler_seen_total",
+		"Packets offered to the 1-out-of-n sampler.", &m.SamplerSeen)
+	reg.RegisterCounter("ipd_flow_sampler_kept_total",
+		"Packets surviving 1-out-of-n sampling.", &m.SamplerKept)
+	return m
+}

@@ -124,8 +124,10 @@ func flipBit(addr netip.Addr, i int) netip.Addr {
 // IPv6, then by address, then by length.
 type Key struct {
 	hi, lo uint64
-	bits   int8
-	v6     bool
+	// bits is the prefix length. uint8, not int8: an IPv6 /128 must
+	// round-trip, and 128 overflows int8.
+	bits uint8
+	v6   bool
 }
 
 // KeyOf returns the canonical key for p. p must be valid and already masked;
@@ -137,7 +139,7 @@ func KeyOf(p netip.Prefix) Key {
 		b := a.As4()
 		return Key{
 			hi:   uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32,
-			bits: int8(p.Bits()),
+			bits: uint8(p.Bits()),
 		}
 	}
 	b := a.As16()
@@ -146,7 +148,7 @@ func KeyOf(p netip.Prefix) Key {
 		hi = hi<<8 | uint64(b[i])
 		lo = lo<<8 | uint64(b[i+8])
 	}
-	return Key{hi: hi, lo: lo, bits: int8(p.Bits()), v6: true}
+	return Key{hi: hi, lo: lo, bits: uint8(p.Bits()), v6: true}
 }
 
 // Prefix reconstructs the prefix identified by k.

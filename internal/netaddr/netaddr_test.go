@@ -162,6 +162,21 @@ func TestPropertySplitPartition(t *testing.T) {
 	}
 }
 
+// TestKeyRoundTripHostRoutes pins the boundary cases the property test only
+// hits probabilistically: an IPv6 /128 used to overflow the key's prefix
+// length field (int8) and reconstruct as an invalid prefix.
+func TestKeyRoundTripHostRoutes(t *testing.T) {
+	for _, s := range []string{
+		"2001:db8::1/128", "::/128", "ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff/128",
+		"2001:db8::/127", "255.255.255.255/32", "0.0.0.0/0", "::/0",
+	} {
+		p := netip.MustParsePrefix(s)
+		if got := KeyOf(p).Prefix(); got != p {
+			t.Errorf("KeyOf(%v).Prefix() = %v, want %v", p, got, p)
+		}
+	}
+}
+
 func TestPropertyKeyRoundTrip(t *testing.T) {
 	f := func(a, b, c, d byte, bitsRaw uint8) bool {
 		bits := int(bitsRaw) % 33

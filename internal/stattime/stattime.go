@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"ipd/internal/flow"
+	"ipd/internal/telemetry"
 )
 
 // Config parameterizes a Binner.
@@ -62,7 +63,8 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Stats counts records handled by a Binner.
+// Stats counts records handled by a Binner. It is a point-in-time view of
+// the Binner's Metrics atomics, so it may be read concurrently with Offer.
 type Stats struct {
 	// Accepted records were assigned to a bucket.
 	Accepted uint64
@@ -76,6 +78,69 @@ type Stats struct {
 	// BucketsEmitted and BucketsDiscarded count flushed buckets.
 	BucketsEmitted   uint64
 	BucketsDiscarded uint64
+}
+
+// Metrics is the Binner's telemetry counter set. All fields are atomic;
+// updates happen on the ingest path, reads (Stats, scrapes) take no lock.
+type Metrics struct {
+	// Accepted, DroppedStale, DroppedFuture, DroppedInactive,
+	// BucketsEmitted, and BucketsDiscarded mirror the Stats fields.
+	Accepted         telemetry.Counter
+	DroppedStale     telemetry.Counter
+	DroppedFuture    telemetry.Counter
+	DroppedInactive  telemetry.Counter
+	BucketsEmitted   telemetry.Counter
+	BucketsDiscarded telemetry.Counter
+	// DriftCorrections counts records that pulled the statistical time
+	// axis forward (a router clock running ahead of the inferred now).
+	DriftCorrections telemetry.Counter
+	// Rebinned counts accepted records that landed in an older open bucket
+	// than the newest one (late data re-binned behind the time axis).
+	Rebinned telemetry.Counter
+	// OpenBuckets is the number of buffered, not-yet-flushed buckets.
+	OpenBuckets telemetry.Gauge
+	// RecordLag observes, per accepted record, how far its timestamp trails
+	// the statistical now (seconds) — the bucket-lag distribution that
+	// shows how much reordering the binner absorbs.
+	RecordLag *telemetry.Histogram
+}
+
+// NewMetrics returns a Metrics set. When reg is non-nil every metric is
+// registered under the ipd_stattime_* namespace; with a nil registry the
+// counters still work but are not exposed (the default for bare Binners).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	m := &Metrics{}
+	if reg == nil {
+		m.RecordLag = telemetry.NewHistogram(lagBuckets())
+		return m
+	}
+	reg.RegisterCounter("ipd_stattime_accepted_total",
+		"Records assigned to a statistical-time bucket.", &m.Accepted)
+	reg.RegisterCounter("ipd_stattime_dropped_stale_total",
+		"Records dropped as older than the oldest open bucket.", &m.DroppedStale)
+	reg.RegisterCounter("ipd_stattime_dropped_future_total",
+		"Records dropped for running further than MaxSkew ahead of statistical time.", &m.DroppedFuture)
+	reg.RegisterCounter("ipd_stattime_dropped_inactive_total",
+		"Records discarded with under-threshold buckets.", &m.DroppedInactive)
+	reg.RegisterCounter("ipd_stattime_buckets_emitted_total",
+		"Statistical-time buckets flushed downstream.", &m.BucketsEmitted)
+	reg.RegisterCounter("ipd_stattime_buckets_discarded_total",
+		"Buckets discarded for low activity.", &m.BucketsDiscarded)
+	reg.RegisterCounter("ipd_stattime_drift_corrections_total",
+		"Records that advanced the inferred statistical time axis.", &m.DriftCorrections)
+	reg.RegisterCounter("ipd_stattime_rebinned_total",
+		"Accepted records binned behind the newest open bucket (late data).", &m.Rebinned)
+	reg.RegisterGauge("ipd_stattime_open_buckets",
+		"Buffered, not-yet-flushed statistical-time buckets.", &m.OpenBuckets)
+	m.RecordLag = reg.Histogram("ipd_stattime_record_lag_seconds",
+		"Per-record lag behind the statistical now at acceptance.", lagBuckets())
+	return m
+}
+
+// lagBuckets spans sub-second reordering up to the multi-minute skews
+// MaxSkew tolerates.
+func lagBuckets() []float64 {
+	return []float64{0.1, 1, 5, 15, 30, 60, 120, 300, 600}
 }
 
 // Bucket is one emitted statistical-time interval.
@@ -93,9 +158,9 @@ func (b Bucket) End(length time.Duration) time.Time { return b.Start.Add(length)
 // safe for concurrent use; run one Binner per ingest goroutine and merge
 // downstream (the IPD engine's stage 1 is per-reader anyway).
 type Binner struct {
-	cfg   Config
-	emit  func(Bucket)
-	stats Stats
+	cfg  Config
+	emit func(Bucket)
+	m    *Metrics
 
 	// inferred statistical "now": max accepted timestamp so far.
 	now time.Time
@@ -112,11 +177,29 @@ func NewBinner(cfg Config, emit func(Bucket)) (*Binner, error) {
 	if emit == nil {
 		return nil, fmt.Errorf("stattime: emit callback must not be nil")
 	}
-	return &Binner{cfg: cfg, emit: emit, open: make(map[int64]*Bucket)}, nil
+	return &Binner{cfg: cfg, emit: emit, m: NewMetrics(nil), open: make(map[int64]*Bucket)}, nil
 }
 
-// Stats returns a snapshot of the drop counters.
-func (b *Binner) Stats() Stats { return b.stats }
+// SetMetrics replaces the Binner's metric set (typically one built with
+// NewMetrics against a shared registry). Call before the first Offer.
+func (b *Binner) SetMetrics(m *Metrics) {
+	if m != nil {
+		b.m = m
+	}
+}
+
+// Stats returns a snapshot of the drop counters, loaded from the metric
+// atomics (safe concurrently with Offer).
+func (b *Binner) Stats() Stats {
+	return Stats{
+		Accepted:         b.m.Accepted.Value(),
+		DroppedStale:     b.m.DroppedStale.Value(),
+		DroppedFuture:    b.m.DroppedFuture.Value(),
+		DroppedInactive:  b.m.DroppedInactive.Value(),
+		BucketsEmitted:   b.m.BucketsEmitted.Value(),
+		BucketsDiscarded: b.m.BucketsDiscarded.Value(),
+	}
+}
 
 // Now returns the current statistical time (zero before any accepted
 // record).
@@ -130,7 +213,7 @@ func (b *Binner) align(ts time.Time) time.Time {
 // bucket.
 func (b *Binner) Offer(rec flow.Record) bool {
 	if !rec.Valid() {
-		b.stats.DroppedStale++
+		b.m.DroppedStale.Inc()
 		return false
 	}
 	ts := rec.Ts
@@ -141,15 +224,16 @@ func (b *Binner) Offer(rec flow.Record) bool {
 		if ts.Sub(b.now) > b.cfg.MaxSkew {
 			// A clock running far ahead must not drag the whole axis with
 			// it; sequence inference beats trusting any single router.
-			b.stats.DroppedFuture++
+			b.m.DroppedFuture.Inc()
 			return false
 		}
 		b.now = ts
+		b.m.DriftCorrections.Inc()
 	}
 	start := b.align(ts)
 	oldest := b.align(b.now).Add(-time.Duration(b.cfg.MaxOpenBuckets-1) * b.cfg.Bucket)
 	if start.Before(oldest) {
-		b.stats.DroppedStale++
+		b.m.DroppedStale.Inc()
 		return false
 	}
 	key := start.UnixNano()
@@ -159,8 +243,13 @@ func (b *Binner) Offer(rec flow.Record) bool {
 		b.open[key] = bk
 	}
 	bk.Records = append(bk.Records, rec)
-	b.stats.Accepted++
+	b.m.Accepted.Inc()
+	b.m.RecordLag.Observe(b.now.Sub(ts).Seconds())
+	if start.Before(b.align(b.now)) {
+		b.m.Rebinned.Inc()
+	}
 	b.flushBefore(oldest)
+	b.m.OpenBuckets.Set(int64(len(b.open)))
 	return true
 }
 
@@ -182,15 +271,16 @@ func (b *Binner) flushBefore(cutoff time.Time) {
 
 func (b *Binner) finish(bk *Bucket) {
 	if len(bk.Records) < b.cfg.MinActivity {
-		b.stats.BucketsDiscarded++
-		b.stats.DroppedInactive += uint64(len(bk.Records))
+		b.m.BucketsDiscarded.Inc()
+		b.m.DroppedInactive.Add(uint64(len(bk.Records)))
 		return
 	}
-	b.stats.BucketsEmitted++
+	b.m.BucketsEmitted.Inc()
 	b.emit(*bk)
 }
 
 // Flush emits all remaining open buckets (end of stream), oldest first.
 func (b *Binner) Flush() {
 	b.flushBefore(time.Unix(0, 1<<62))
+	b.m.OpenBuckets.Set(0)
 }

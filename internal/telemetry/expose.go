@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// formatFloat renders a sample value the way Prometheus clients do: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes HELP text per the text-format rules (backslash and
+// newline only).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WritePrometheus writes every registered metric in Prometheus text format
+// (version 0.0.4), sorted by metric name so output is stable for golden
+// tests and scrape diffing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.snapshotMetrics() {
+		typ := ""
+		switch m.kind {
+		case kindCounter, kindCounterFunc:
+			typ = "counter"
+		case kindGauge, kindGaugeFunc:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		if m.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, typ)
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.gauge.Value())
+		case kindCounterFunc, kindGaugeFunc:
+			fmt.Fprintf(bw, "%s %s\n", m.name, formatFloat(m.fn()))
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			for i, bound := range s.Upper {
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", m.name, formatFloat(bound), s.Cumulative[i])
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", m.name, s.Cumulative[len(s.Cumulative)-1])
+			fmt.Fprintf(bw, "%s_sum %s\n", m.name, formatFloat(s.Sum))
+			fmt.Fprintf(bw, "%s_count %d\n", m.name, s.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSON writes an expvar-style JSON object: metric name to value, with
+// histograms expanded to {buckets, sum, count}. Keys are sorted (same order
+// as the Prometheus output).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\n")
+	metrics := r.snapshotMetrics()
+	for i, m := range metrics {
+		fmt.Fprintf(bw, "  %q: ", m.name)
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%d", m.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%d", m.gauge.Value())
+		case kindCounterFunc, kindGaugeFunc:
+			v := m.fn()
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				fmt.Fprintf(bw, "%q", formatFloat(v))
+			} else {
+				bw.WriteString(formatFloat(v))
+			}
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			bw.WriteString(`{"buckets": {`)
+			for j, bound := range s.Upper {
+				if j > 0 {
+					bw.WriteString(", ")
+				}
+				fmt.Fprintf(bw, "%q: %d", formatFloat(bound), s.Cumulative[j])
+			}
+			if len(s.Upper) > 0 {
+				bw.WriteString(", ")
+			}
+			fmt.Fprintf(bw, `"+Inf": %d}, "sum": %s, "count": %d}`,
+				s.Cumulative[len(s.Cumulative)-1], formatFloat(s.Sum), s.Count)
+		}
+		if i < len(metrics)-1 {
+			bw.WriteString(",")
+		}
+		bw.WriteString("\n")
+	}
+	bw.WriteString("}\n")
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the Prometheus exposition (mount
+// at /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler returns an http.Handler serving the expvar-style dump (mount
+// at /debug/vars).
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+}

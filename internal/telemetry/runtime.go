@@ -1,0 +1,28 @@
+package telemetry
+
+import "runtime"
+
+// RegisterProcessMetrics adds Go-runtime gauges (heap, GC, goroutines) to
+// reg. Values are read at scrape time; the binaries call this once, the
+// deterministic engine never does (scrape-time runtime reads would make
+// virtual-time runs nondeterministic to observe, not to execute).
+func RegisterProcessMetrics(reg *Registry) {
+	reg.GaugeFunc("go_goroutines", "Number of goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	reg.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	reg.GaugeFunc("go_heap_objects", "Number of allocated heap objects.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapObjects)
+	})
+	reg.CounterFunc("go_gc_cycles_total", "Completed GC cycles.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.NumGC)
+	})
+}

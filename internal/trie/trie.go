@@ -51,6 +51,20 @@ func New[V any]() *Trie[V] {
 // Len returns the number of prefixes with values in the trie.
 func (t *Trie[V]) Len() int { return t.len }
 
+// Nodes returns the number of allocated nodes across both family trees,
+// including branch-only nodes without values (the telemetry memory proxy:
+// resident trie state is linear in this count, not in Len).
+func (t *Trie[V]) Nodes() int {
+	return countNodes(t.root4) + countNodes(t.root6)
+}
+
+func countNodes[V any](n *node[V]) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + countNodes(n.child[0]) + countNodes(n.child[1])
+}
+
 func (t *Trie[V]) rootFor(p netip.Prefix) *node[V] {
 	if p.Addr().Is4() {
 		return t.root4

@@ -36,6 +36,7 @@ import (
 	"ipd/internal/export"
 	"ipd/internal/flow"
 	"ipd/internal/stattime"
+	"ipd/internal/telemetry"
 	"ipd/internal/topology"
 	"ipd/internal/trafficgen"
 	"ipd/internal/trie"
@@ -121,6 +122,36 @@ type (
 // LookupTable is the longest-prefix-match table built from classified
 // ranges (Engine.LookupTable / Server.LookupTable).
 type LookupTable = trie.Trie[flow.Ingress]
+
+// Telemetry types. Every Engine (and Server) maintains a TelemetryRegistry
+// of atomic counters, gauges, and histograms covering stage-1 ingest,
+// stage-2 cycles, and the statistical-time binner; obtain it via the
+// Telemetry() accessor and expose it with Handler (Prometheus text format)
+// or JSONHandler (expvar-style dump). Scrapes never contend with ingest.
+type (
+	// TelemetryRegistry names metrics for exposition
+	// (Engine.Telemetry / Server.Telemetry).
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryCounter is a monotonic atomic counter.
+	TelemetryCounter = telemetry.Counter
+	// TelemetryGauge is an atomic instantaneous value.
+	TelemetryGauge = telemetry.Gauge
+	// TelemetryHistogram is a fixed-bucket cumulative histogram.
+	TelemetryHistogram = telemetry.Histogram
+)
+
+// NewTelemetryRegistry returns an empty metric registry (engines create
+// their own; this is for auxiliary metric sets such as flow-codec counters).
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// RegisterProcessMetrics adds Go-runtime gauges (heap, GC, goroutines) to
+// reg; binaries call it once on their serving registry.
+func RegisterProcessMetrics(reg *TelemetryRegistry) { telemetry.RegisterProcessMetrics(reg) }
+
+// NewFlowMetrics returns the flow-layer metric set (trace decode outcomes,
+// sampler decisions), registered under ipd_flow_* when reg is non-nil. Attach
+// it to TraceReaders via SetMetrics.
+func NewFlowMetrics(reg *TelemetryRegistry) *flow.Metrics { return flow.NewMetrics(reg) }
 
 // Synthetic workload types (the laptop-scale stand-in for a tier-1 ISP's
 // border NetFlow; see DESIGN.md).
