@@ -310,6 +310,28 @@ func BenchmarkObserve(b *testing.B) {
 	b.ReportMetric(float64(eng.RangeCount()), "ranges")
 }
 
+// BenchmarkObserveJournaled is BenchmarkObserve with the decision journal
+// attached via Config.OnEvent. Observe itself never emits events (only
+// stage-2 cycles do), so the only added cost is the reentrancy guard; the
+// acceptance gate is staying within 5% of BenchmarkObserve.
+func BenchmarkObserveJournaled(b *testing.B) {
+	records := benchRecords(b, 500_000)
+	cfg := ipd.DefaultConfig()
+	cfg.NCidrFactor4 = 0.01
+	cfg.NCidrFloor = 4
+	j := ipd.NewJournal(ipd.JournalOptions{})
+	cfg.OnEvent = j.Record
+	eng, err := ipd.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Observe(records[i%len(records)])
+	}
+	b.ReportMetric(float64(eng.RangeCount()), "ranges")
+}
+
 // BenchmarkEngineEndToEnd measures stage 1 + stage 2 over a continuous
 // stream (cycles included).
 func BenchmarkEngineEndToEnd(b *testing.B) {

@@ -18,9 +18,15 @@
 //	/metrics      Prometheus text exposition (text/plain; version=0.0.4)
 //	/debug/vars   expvar-style JSON metric dump
 //	/debug/pprof  net/http/pprof profiling surface
+//	/ipd/ranges   filterable range snapshot (JSON)
+//	/ipd/range    one range + its decision history
+//	/ipd/explain  LPM walk, vote shares, and reason chain for an IP
+//	/ipd/events   tail the decision journal by sequence number
 //	/healthz      liveness
 //
-// -log-level enables structured logs (one line per stage-2 cycle at info).
+// -log-level enables structured logs (one line per stage-2 cycle at info);
+// -journal mirrors every range-lifecycle decision to an append-only JSONL
+// file replayable with `ipd -replay`.
 package main
 
 import (
@@ -50,15 +56,17 @@ import (
 
 func main() {
 	var (
-		listen    = flag.String("listen", ":2055", "UDP address for NetFlow v5")
-		ipfixAddr = flag.String("ipfix", "", "UDP address for IPFIX ('' disables, registered port :4739)")
-		httpAddr  = flag.String("http", ":8080", "HTTP status address ('' disables)")
-		exporters = flag.String("exporters", "", "CSV file mapping exporter address to router id")
-		trust     = flag.Bool("trust", false, "auto-register unknown exporters (lab use only)")
-		factor4   = flag.Float64("factor4", 0.01, "IPv4 n_cidr factor")
-		floor     = flag.Float64("floor", 4, "n_cidr floor")
-		q         = flag.Float64("q", 0.95, "quality threshold")
-		logLevel  = flag.String("log-level", "warn", "structured log level: debug, info, warn, error (info and below log one line per stage-2 cycle)")
+		listen     = flag.String("listen", ":2055", "UDP address for NetFlow v5")
+		ipfixAddr  = flag.String("ipfix", "", "UDP address for IPFIX ('' disables, registered port :4739)")
+		httpAddr   = flag.String("http", ":8080", "HTTP status address ('' disables)")
+		exporters  = flag.String("exporters", "", "CSV file mapping exporter address to router id")
+		trust      = flag.Bool("trust", false, "auto-register unknown exporters (lab use only)")
+		factor4    = flag.Float64("factor4", 0.01, "IPv4 n_cidr factor")
+		floor      = flag.Float64("floor", 4, "n_cidr floor")
+		q          = flag.Float64("q", 0.95, "quality threshold")
+		logLevel   = flag.String("log-level", "warn", "structured log level: debug, info, warn, error (info and below log one line per stage-2 cycle)")
+		journalOut = flag.String("journal", "", "append every lifecycle decision as JSON lines to this file ('' disables the sink; the in-memory journal always runs)")
+		journalCap = flag.Int("journal-cap", 4096, "in-memory decision journal ring capacity")
 	)
 	flag.Parse()
 	logger, err := newLogger(*logLevel)
@@ -66,7 +74,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(2)
 	}
-	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q, logger); err != nil {
+	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q, logger, *journalOut, *journalCap); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(1)
 	}
@@ -82,16 +90,32 @@ func newLogger(level string) (*slog.Logger, error) {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }
 
-func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64, logger *slog.Logger) error {
+func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64, logger *slog.Logger, journalOut string, journalCap int) error {
 	cfg := ipd.DefaultConfig()
 	cfg.NCidrFactor4 = factor4
 	cfg.NCidrFloor = floor
 	cfg.Q = q
 	cfg.Logger = logger
+
+	// The decision journal records every range-lifecycle event for the
+	// /ipd/* introspection endpoints; -journal adds a durable JSONL sink.
+	jopts := ipd.JournalOptions{Capacity: journalCap}
+	if journalOut != "" {
+		f, err := os.Create(journalOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jopts.Sink = f
+	}
+	j := ipd.NewJournal(jopts)
+	cfg.OnEvent = j.Record
+
 	srv, err := ipd.NewServer(cfg, ipd.DefaultStatTimeConfig())
 	if err != nil {
 		return err
 	}
+	j.RegisterMetrics(srv.Telemetry())
 
 	records := make(chan ipd.Record, 1<<14)
 	coll, err := netflow.NewCollector(func(rec flow.Record) {
@@ -163,6 +187,7 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/ipd/", ipd.NewIntrospectHandler(srv, j))
 		mux.HandleFunc("/ranges", func(w http.ResponseWriter, _ *http.Request) {
 			mapped := srv.Mapped()
 			if err := ipd.WriteOutputSnapshot(w, time.Now(), mapped, nil); err != nil {
@@ -187,6 +212,7 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 					"expirations":     eng.Expirations,
 					"splits":          eng.Splits,
 					"joins":           eng.Joins,
+					"drops":           eng.Drops,
 					"active_ranges":   eng.LastCycleRanges,
 				},
 				"stattime": map[string]uint64{

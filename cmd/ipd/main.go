@@ -8,10 +8,17 @@
 //	ipd -in trace.ipd -factor4 0.01 -bin 5m
 //	ipd -in trace.csv -format csv -summary
 //	ipd -in trace.ipd -log-level info -debug-http :8080
+//	ipd -in trace.ipd -journal decisions.jsonl -explain 10.1.2.3
+//	ipd -replay decisions.jsonl
 //
 // -log-level info emits one structured log line per stage-2 cycle;
-// -debug-http serves /metrics (Prometheus), /debug/vars (JSON dump), and
-// /debug/pprof while the trace is processed.
+// -debug-http serves /metrics (Prometheus), /debug/vars (JSON dump),
+// /debug/pprof, and the /ipd/* introspection API (ranges, range history,
+// explain, event tail) while the trace is processed. -journal mirrors every
+// range-lifecycle decision to an append-only JSONL file; -replay
+// reconstructs the final partition from such a file without rerunning the
+// trace. -explain prints the decision provenance for one or more IPs after
+// the run.
 package main
 
 import (
@@ -22,8 +29,10 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"net/netip"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"ipd"
@@ -32,23 +41,35 @@ import (
 
 func main() {
 	var (
-		in        = flag.String("in", "-", "input trace file ('-' = stdin)")
-		format    = flag.String("format", "binary", "input format: binary or csv")
-		factor4   = flag.Float64("factor4", 0.01, "IPv4 n_cidr factor (64 at deployment traffic rates)")
-		factor6   = flag.Float64("factor6", 1e-8, "IPv6 n_cidr factor")
-		floor     = flag.Float64("floor", 4, "n_cidr floor (min samples to classify any range)")
-		q         = flag.Float64("q", 0.95, "quality threshold")
-		cidrMax4  = flag.Int("cidrmax4", 28, "IPv4 cidr_max")
-		cidrMax6  = flag.Int("cidrmax6", 48, "IPv6 cidr_max")
-		tBucket   = flag.Duration("t", time.Minute, "cycle length")
-		expiry    = flag.Duration("e", 2*time.Minute, "per-IP state expiration")
-		bin       = flag.Duration("bin", 5*time.Minute, "output bin length")
-		bytesCnt  = flag.Bool("bytes", false, "count bytes instead of flows")
-		summary   = flag.Bool("summary", false, "print only the final summary")
-		logLevel  = flag.String("log-level", "warn", "structured log level: debug, info, warn, error (info and below log one line per stage-2 cycle)")
-		debugHTTP = flag.String("debug-http", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while processing ('' disables)")
+		in         = flag.String("in", "-", "input trace file ('-' = stdin)")
+		format     = flag.String("format", "binary", "input format: binary or csv")
+		factor4    = flag.Float64("factor4", 0.01, "IPv4 n_cidr factor (64 at deployment traffic rates)")
+		factor6    = flag.Float64("factor6", 1e-8, "IPv6 n_cidr factor")
+		floor      = flag.Float64("floor", 4, "n_cidr floor (min samples to classify any range)")
+		q          = flag.Float64("q", 0.95, "quality threshold")
+		cidrMax4   = flag.Int("cidrmax4", 28, "IPv4 cidr_max")
+		cidrMax6   = flag.Int("cidrmax6", 48, "IPv6 cidr_max")
+		tBucket    = flag.Duration("t", time.Minute, "cycle length")
+		expiry     = flag.Duration("e", 2*time.Minute, "per-IP state expiration")
+		bin        = flag.Duration("bin", 5*time.Minute, "output bin length")
+		bytesCnt   = flag.Bool("bytes", false, "count bytes instead of flows")
+		summary    = flag.Bool("summary", false, "print only the final summary")
+		logLevel   = flag.String("log-level", "warn", "structured log level: debug, info, warn, error (info and below log one line per stage-2 cycle)")
+		debugHTTP  = flag.String("debug-http", "", "serve /metrics, /debug/vars, /debug/pprof, and /ipd/* introspection on this address while processing ('' disables)")
+		journalOut = flag.String("journal", "", "append every lifecycle decision as JSON lines to this file ('' disables the sink; the in-memory journal always runs)")
+		journalCap = flag.Int("journal-cap", 4096, "in-memory decision journal ring capacity")
+		explainIPs = flag.String("explain", "", "comma-separated IPs: print decision provenance for each after the run")
+		replayIn   = flag.String("replay", "", "replay a JSONL decision journal and print the reconstructed partition (no trace is read)")
 	)
 	flag.Parse()
+
+	if *replayIn != "" {
+		if err := replay(*replayIn); err != nil {
+			fmt.Fprintln(os.Stderr, "ipd:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var lvl slog.Level
 	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -59,7 +80,7 @@ func main() {
 
 	cfg := config(*factor4, *factor6, *floor, *q, *cidrMax4, *cidrMax6, *tBucket, *expiry, *bytesCnt)
 	cfg.Logger = logger
-	if err := run(*in, *format, cfg, *bin, *summary, *debugHTTP); err != nil {
+	if err := run(*in, *format, cfg, *bin, *summary, *debugHTTP, *journalOut, *journalCap, *explainIPs); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd:", err)
 		os.Exit(1)
 	}
@@ -79,9 +100,62 @@ func config(f4, f6, floor, q float64, cm4, cm6 int, t, e time.Duration, bytesCnt
 	return cfg
 }
 
-// serveDebug mounts the telemetry and profiling surface while a trace run
-// is in flight (best-effort: the process exits with the run).
-func serveDebug(addr string, reg *ipd.TelemetryRegistry) {
+// replay implements -replay: rebuild the partition from a decision log.
+func replay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rp, err := ipd.ReplayJournal(bufio.NewReader(f))
+	if err != nil {
+		return err
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	views := rp.Snapshot()
+	for _, v := range views {
+		if v.Classified {
+			fmt.Fprintf(out, "%s\t%s\n", v.Prefix, v.Ingress)
+		} else {
+			fmt.Fprintf(out, "%s\tunclassified\n", v.Prefix)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ipd: replayed %d events into %d active ranges\n", rp.Seq(), len(views))
+	return nil
+}
+
+// lockedEngine adapts the single-threaded Engine to the concurrent
+// introspect.Source contract: the run loop and the HTTP handlers both go
+// through mu. The trace loop holds mu per record batch boundary (feed/
+// advance), which is uncontended unless a debug request is in flight.
+type lockedEngine struct {
+	mu  sync.Mutex
+	eng *ipd.Engine
+}
+
+func (l *lockedEngine) Snapshot() []ipd.RangeInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.eng.Snapshot()
+}
+
+func (l *lockedEngine) Range(addr netip.Addr) (ipd.RangeInfo, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.eng.Range(addr)
+}
+
+func (l *lockedEngine) Explain(addr netip.Addr) (ipd.Explanation, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.eng.Explain(addr)
+}
+
+// serveDebug mounts the telemetry, profiling, and introspection surface
+// while a trace run is in flight (best-effort: the process exits with the
+// run).
+func serveDebug(addr string, reg *ipd.TelemetryRegistry, introspect http.Handler) {
 	ipd.RegisterProcessMetrics(reg)
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
@@ -91,6 +165,7 @@ func serveDebug(addr string, reg *ipd.TelemetryRegistry) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/ipd/", introspect)
 	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -100,7 +175,7 @@ func serveDebug(addr string, reg *ipd.TelemetryRegistry) {
 	fmt.Fprintf(os.Stderr, "ipd: debug endpoints on http://%s\n", addr)
 }
 
-func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, debugHTTP string) error {
+func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, debugHTTP, journalOut string, journalCap int, explainIPs string) error {
 	var r io.Reader = os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -111,13 +186,31 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 		r = f
 	}
 
+	// The decision journal records every lifecycle event; -journal adds the
+	// durable JSONL sink on top of the in-memory ring.
+	jopts := ipd.JournalOptions{Capacity: journalCap}
+	if journalOut != "" {
+		f, err := os.Create(journalOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		defer w.Flush()
+		jopts.Sink = w
+	}
+
+	j := ipd.NewJournal(jopts)
+	cfg.OnEvent = j.Record
 	eng, err := ipd.NewEngine(cfg)
 	if err != nil {
 		return err
 	}
+	j.RegisterMetrics(eng.Telemetry())
 	flowMetrics := ipd.NewFlowMetrics(eng.Telemetry())
+	locked := &lockedEngine{eng: eng}
 	if debugHTTP != "" {
-		serveDebug(debugHTTP, eng.Telemetry())
+		serveDebug(debugHTTP, eng.Telemetry(), ipd.NewIntrospectHandler(locked, j))
 	}
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
@@ -130,6 +223,8 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 		return ipd.WriteOutputSnapshot(out, at, eng.Mapped(), nil)
 	}
 	handle := func(rec ipd.Record) error {
+		locked.mu.Lock()
+		defer locked.mu.Unlock()
 		if nextBin.IsZero() {
 			nextBin = rec.Ts.Truncate(bin).Add(bin)
 		}
@@ -186,14 +281,59 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 		return fmt.Errorf("unknown format %q (want binary or csv)", format)
 	}
 
+	locked.mu.Lock()
 	eng.ForceCycle()
-	if err := emit(eng.Now()); err != nil {
+	err = emit(eng.Now())
+	locked.mu.Unlock()
+	if err != nil {
 		return err
+	}
+	if explainIPs != "" {
+		if err := explain(os.Stderr, locked, j, explainIPs); err != nil {
+			return err
+		}
 	}
 	st := eng.Stats()
 	fmt.Fprintf(os.Stderr,
-		"ipd: %d records, %d cycles, %d classifications (%d invalidated, %d expired), %d splits, %d joins, %d active ranges, %d mapped\n",
+		"ipd: %d records, %d cycles, %d classifications (%d invalidated, %d expired), %d splits, %d joins, %d drops, %d active ranges, %d mapped, %d journal events\n",
 		count, st.Cycles, st.Classifications, st.Invalidations, st.Expirations,
-		st.Splits, st.Joins, eng.RangeCount(), len(eng.Mapped()))
+		st.Splits, st.Joins, st.Drops, eng.RangeCount(), len(eng.Mapped()), j.Recorded())
+	if err := j.SinkErr(); err != nil {
+		return fmt.Errorf("journal sink: %v", err)
+	}
+	return nil
+}
+
+// explain prints the decision provenance for a comma-separated IP list.
+func explain(w io.Writer, src ipd.IntrospectSource, j *ipd.Journal, ips string) error {
+	for _, s := range strings.Split(ips, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		addr, err := netip.ParseAddr(s)
+		if err != nil {
+			return fmt.Errorf("-explain: bad ip %q: %v", s, err)
+		}
+		ex, ok := src.Explain(addr)
+		if !ok {
+			fmt.Fprintf(w, "ipd: explain %s: no active range\n", addr)
+			continue
+		}
+		fmt.Fprintf(w, "ipd: explain %s\n", addr)
+		parts := make([]string, len(ex.Path))
+		for i, p := range ex.Path {
+			parts[i] = p.String()
+		}
+		fmt.Fprintf(w, "  path:    %s\n", strings.Join(parts, " > "))
+		fmt.Fprintf(w, "  verdict: %s\n", ex.VerdictString())
+		for _, sh := range ex.Shares {
+			fmt.Fprintf(w, "  vote:    %s share %.3f (%.0f samples)\n", sh.Ingress, sh.Share, sh.Count)
+		}
+		for _, ev := range j.History(ex.Range.Prefix.String()) {
+			fmt.Fprintf(w, "  event:   seq %d cycle %d %s %s (%s)\n",
+				ev.Seq, ev.Cycle, ev.Kind, ev.Prefix, ev.Reason)
+		}
+	}
 	return nil
 }

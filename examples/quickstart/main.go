@@ -23,7 +23,12 @@ func main() {
 	// this toy stream has a few hundred, so scale the evidence threshold
 	// accordingly (n(/0)=33, n(/2)=16).
 	cfg.NCidrFactor4 = 0.0005
+	// The journal captures every lifecycle decision with its reason; it
+	// doubles as the live event log below and as the per-range decision
+	// log at the end.
+	j := ipd.NewJournal(ipd.JournalOptions{})
 	cfg.OnEvent = func(ev ipd.Event) {
+		j.Record(ev)
 		fmt.Printf("%s  %-12v %-16s %v\n", ev.At.Format("15:04:05"), ev.Kind, ev.Prefix, ev.Ingress)
 	}
 
@@ -74,5 +79,20 @@ func main() {
 	if err := ipd.WriteOutputSnapshot(os.Stdout, eng.Now(), eng.Mapped(), nil); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	// Decision provenance: why is 70.0.0.1 mapped the way it is? Explain
+	// gives the live verdict; the journal holds the decision log of the
+	// matched range.
+	fmt.Println("\ndecision log for the range covering 70.0.0.1:")
+	ex, ok := eng.Explain(netip.MustParseAddr("70.0.0.1"))
+	if !ok {
+		fmt.Fprintln(os.Stderr, "no active range covers 70.0.0.1")
+		os.Exit(1)
+	}
+	fmt.Printf("  verdict: %s\n", ex.VerdictString())
+	for _, ev := range j.History(ex.Range.Prefix.String()) {
+		fmt.Printf("  seq %-3d cycle %-2d %-12v %-16s %s\n",
+			ev.Seq, ev.Cycle, ev.Kind, ev.Prefix, ev.Reason)
 	}
 }

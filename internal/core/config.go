@@ -105,9 +105,18 @@ type Config struct {
 	// nil means identity.
 	Mapper IngressMapper
 
-	// OnEvent, when non-nil, receives classification lifecycle events
-	// (used by the case-study figures). Must not call back into the
-	// engine.
+	// OnEvent, when non-nil, receives every range-lifecycle event (see
+	// EventKind), in sequence order, synchronously from the engine's
+	// ingest/cycle path — attach a journal.Journal here for the decision
+	// provenance layer, or a custom sink for the case-study figures.
+	//
+	// Reentrancy contract: the callback runs while the engine's internal
+	// state is mid-mutation (and, under Server, while the ingest lock is
+	// held). Calling ANY Engine or Server method from inside the callback
+	// is forbidden; the mutating entry points (Observe, Feed, AdvanceTo,
+	// ForceCycle) detect it and panic, and read methods (Snapshot, Range,
+	// Explain, ...) may observe a half-applied cycle. Copy the Event out
+	// and return quickly.
 	OnEvent func(Event)
 
 	// Logger, when non-nil, receives one structured log record per stage-2
@@ -211,48 +220,4 @@ func (c *Config) mapper() IngressMapper {
 		return identityMapper{}
 	}
 	return c.Mapper
-}
-
-// EventKind enumerates classification lifecycle events.
-type EventKind uint8
-
-const (
-	// EventClassified : a range gained a prevalent ingress.
-	EventClassified EventKind = iota
-	// EventInvalidated : a classified range lost its prevalent ingress
-	// (share fell below Q) and was dropped back to unclassified.
-	EventInvalidated
-	// EventExpired : a classified range decayed away (no traffic).
-	EventExpired
-	// EventSplit : a mixed range was split into its two children.
-	EventSplit
-	// EventJoined : two sibling ranges were merged into their parent.
-	EventJoined
-)
-
-func (k EventKind) String() string {
-	switch k {
-	case EventClassified:
-		return "classified"
-	case EventInvalidated:
-		return "invalidated"
-	case EventExpired:
-		return "expired"
-	case EventSplit:
-		return "split"
-	case EventJoined:
-		return "joined"
-	}
-	return fmt.Sprintf("EventKind(%d)", uint8(k))
-}
-
-// Event is a classification lifecycle notification.
-type Event struct {
-	Kind EventKind
-	// Prefix is the affected range.
-	Prefix string
-	// Ingress is the relevant ingress (classified/invalidated/joined).
-	Ingress flow.Ingress
-	// At is the statistical time of the stage-2 cycle that emitted it.
-	At time.Time
 }

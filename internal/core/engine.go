@@ -101,10 +101,12 @@ type Stats struct {
 	// FlowsTotal / BytesTotal accumulate the two candidate counter bases.
 	FlowsTotal uint64
 	BytesTotal uint64
-	// Stage-2 lifecycle counters.
+	// Stage-2 lifecycle counters. Joins counts classified sibling merges;
+	// Drops counts empty-sibling collapses (state cleanup).
 	Cycles          uint64
 	Splits          uint64
 	Joins           uint64
+	Drops           uint64
 	Classifications uint64
 	Invalidations   uint64
 	Expirations     uint64
@@ -126,6 +128,16 @@ type Engine struct {
 	now       time.Time // statistical time = max accepted timestamp
 	lastCycle time.Time // start of the current cycle window
 	started   bool
+
+	// seq numbers every emitted lifecycle event (monotonic from 1);
+	// cycleID is the id of the stage-2 cycle currently running (events
+	// carry it so a journal can attribute decisions to cycles). emitting
+	// guards the Config.OnEvent reentrancy contract: it is set for the
+	// duration of the callback and the mutating entry points panic when
+	// they observe it.
+	seq      uint64
+	cycleID  uint64
+	emitting bool
 
 	// tel holds all cumulative counters as registry-backed atomics; the
 	// engine itself stays single-writer, but concurrent readers (Server
@@ -155,6 +167,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 	root6 := netip.PrefixFrom(netip.IPv6Unspecified(), 0)
 	e.active.Insert(root4, newRangeState(root4))
 	e.active.Insert(root6, newRangeState(root6))
+	e.emit(Event{Kind: EventCreated, Prefix: root4.String(), Reason: Reason{Code: ReasonRoot}})
+	e.emit(Event{Kind: EventCreated, Prefix: root6.String(), Reason: Reason{Code: ReasonRoot}})
 	return e, nil
 }
 
@@ -192,6 +206,7 @@ func (e *Engine) IPStateCount() int {
 // passed statistical-time cleaning; wildly out-of-order input degrades
 // expiry precision but nothing else.
 func (e *Engine) Observe(rec flow.Record) {
+	e.guardReentry()
 	if !rec.Valid() {
 		e.tel.recordsDropped.Inc()
 		return
@@ -262,6 +277,7 @@ func (e *Engine) Feed(rec flow.Record) {
 // per elapsed T boundary (so a long gap runs the intermediate decay cycles
 // it should).
 func (e *Engine) AdvanceTo(ts time.Time) {
+	e.guardReentry()
 	if !e.started {
 		return
 	}
@@ -277,6 +293,7 @@ func (e *Engine) AdvanceTo(ts time.Time) {
 // ForceCycle runs a stage-2 cycle immediately at the engine's current
 // statistical time (used by tests and by end-of-trace flushes).
 func (e *Engine) ForceCycle() {
+	e.guardReentry()
 	if !e.started {
 		return
 	}
@@ -291,16 +308,34 @@ func (e *Engine) noteChurn(in flow.Ingress) {
 	}
 }
 
-func (e *Engine) emit(kind EventKind, rs *rangeState, in flow.Ingress, at time.Time) {
+// emit stamps ev with the next sequence number and the running cycle id and
+// delivers it to Config.OnEvent. The emitting flag enforces the reentrancy
+// contract documented on Config.OnEvent.
+func (e *Engine) emit(ev Event) {
 	if e.cfg.OnEvent == nil {
 		return
 	}
-	e.cfg.OnEvent(Event{Kind: kind, Prefix: rs.prefix.String(), Ingress: in, At: at})
+	e.seq++
+	ev.Seq = e.seq
+	ev.Cycle = e.cycleID
+	e.emitting = true
+	defer func() { e.emitting = false }()
+	e.cfg.OnEvent(ev)
+}
+
+// guardReentry panics when called from inside a Config.OnEvent callback; the
+// mutating entry points call it first so a callback that tries to drive the
+// engine fails loudly instead of corrupting the partition.
+func (e *Engine) guardReentry() {
+	if e.emitting {
+		panic("core: Config.OnEvent callback must not call back into the Engine (see the Config.OnEvent reentrancy contract)")
+	}
 }
 
 // runCycle is stage 2 (Algorithm 1 lines 5-19).
 func (e *Engine) runCycle(now time.Time) {
 	start := time.Now()
+	e.cycleID++
 	cycleStart := now.Add(-e.cfg.T)
 
 	logging := e.log != nil && e.log.Enabled(context.Background(), slog.LevelInfo)
@@ -412,7 +447,8 @@ func (e *Engine) cycleClassified(rs *rangeState, now, cycleStart time.Time) {
 		if rs.total < 1 {
 			e.tel.expirations.Inc()
 			e.noteChurn(rs.ingress)
-			e.emit(EventExpired, rs, rs.ingress, now)
+			e.emit(Event{Kind: EventExpired, Prefix: rs.prefix.String(), Ingress: rs.ingress, At: now,
+				Reason: Reason{Code: ReasonDecayedOut, Observed: rs.total, Threshold: 1}})
 			e.unclassify(rs, now)
 			return
 		}
@@ -421,7 +457,8 @@ func (e *Engine) cycleClassified(rs *rangeState, now, cycleStart time.Time) {
 		// Prevalent ingress no longer valid: drop the range (line 19).
 		e.tel.invalidations.Inc()
 		e.noteChurn(rs.ingress)
-		e.emit(EventInvalidated, rs, rs.ingress, now)
+		e.emit(Event{Kind: EventInvalidated, Prefix: rs.prefix.String(), Ingress: rs.ingress, At: now,
+			Reason: Reason{Code: ReasonShareBelowQ, Observed: c / rs.total, Threshold: e.cfg.Q, Samples: rs.total}})
 		e.unclassify(rs, now)
 	}
 }
@@ -458,7 +495,8 @@ func (e *Engine) cycleUnclassified(rs *rangeState, now time.Time) {
 		rs.total = 0
 	}
 
-	if rs.total < e.cfg.NCidr(rs.prefix.Bits(), rs.v6) {
+	ncidr := e.cfg.NCidr(rs.prefix.Bits(), rs.v6)
+	if rs.total < ncidr {
 		return // not enough samples yet (line 8)
 	}
 	in, share := rs.top()
@@ -472,19 +510,23 @@ func (e *Engine) cycleUnclassified(rs *rangeState, now time.Time) {
 		rs.ips = nil
 		e.tel.classifications.Inc()
 		e.noteChurn(in)
-		e.emit(EventClassified, rs, in, now)
+		e.emit(Event{Kind: EventClassified, Prefix: rs.prefix.String(), Ingress: in, At: now,
+			Reason: Reason{Code: ReasonPrevalentIngress, Observed: share, Threshold: e.cfg.Q,
+				Samples: rs.total, MinSamples: ncidr}})
 		return
 	}
 	if rs.prefix.Bits() < e.cfg.cidrMax(rs.v6) {
-		e.split(rs, now)
+		e.split(rs, now, share, ncidr)
 	}
 	// At cidr_max with mixed ingress: keep monitoring (the join pass is
 	// what "try to join", line 15, can still do for such ranges' parents).
 }
 
 // split replaces rs with its two children (line 13), redistributing the
-// per-IP state so no samples are lost.
-func (e *Engine) split(rs *rangeState, now time.Time) {
+// per-IP state so no samples are lost. share and ncidr are the observed
+// top-ingress share and sample threshold that made the split decision; they
+// ride along in the event reason.
+func (e *Engine) split(rs *rangeState, now time.Time, share, ncidr float64) {
 	lo, hi, ok := netaddr.Children(rs.prefix)
 	if !ok {
 		return
@@ -512,7 +554,10 @@ func (e *Engine) split(rs *rangeState, now time.Time) {
 	e.active.Insert(lo, cl)
 	e.active.Insert(hi, ch)
 	e.tel.splits.Inc()
-	e.emit(EventSplit, rs, flow.Ingress{}, now)
+	e.emit(Event{Kind: EventSplit, Prefix: rs.prefix.String(), At: now,
+		Reason: Reason{Code: ReasonMixedIngress, Observed: share, Threshold: e.cfg.Q,
+			Samples: rs.total, MinSamples: ncidr},
+		Children: []string{lo.String(), hi.String()}})
 }
 
 // joinPass merges sibling ranges bottom-up: two classified siblings with the
@@ -542,14 +587,34 @@ func (e *Engine) joinPass(now time.Time) {
 				continue // sibling currently subdivided
 			}
 			parentPfx, _ := netaddr.Parent(p)
-			if merged := e.tryJoin(rs, sib, parentPfx, now); merged != nil {
-				e.active.Delete(p)
-				e.active.Delete(sibPfx)
-				e.active.Insert(parentPfx, merged)
-				e.tel.joins.Inc()
-				e.emit(EventJoined, merged, merged.ingress, now)
-				changed = true
+			merged, collapsed := e.tryJoin(rs, sib, parentPfx, now)
+			if merged == nil {
+				continue
 			}
+			e.active.Delete(p)
+			e.active.Delete(sibPfx)
+			e.active.Insert(parentPfx, merged)
+			children := []string{p.String(), sibPfx.String()}
+			if collapsed {
+				e.tel.drops.Inc()
+				idle := now.Sub(rs.bornAt)
+				if h := now.Sub(sib.bornAt); h < idle {
+					idle = h
+				}
+				e.emit(Event{Kind: EventDropped, Prefix: parentPfx.String(), At: now,
+					Reason: Reason{Code: ReasonEmptyIdle, Observed: idle.Seconds(),
+						Threshold: e.cfg.E.Seconds()},
+					Children: children})
+			} else {
+				e.tel.joins.Inc()
+				e.emit(Event{Kind: EventJoined, Prefix: parentPfx.String(), Ingress: merged.ingress, At: now,
+					Reason: Reason{Code: ReasonSiblingsAgree,
+						Observed:  merged.counters[merged.ingress] / merged.total,
+						Threshold: e.cfg.Q, Samples: merged.total,
+						MinSamples: e.cfg.NCidr(parentPfx.Bits(), merged.v6)},
+					Children: children})
+			}
+			changed = true
 		}
 		if !changed {
 			return
@@ -558,17 +623,18 @@ func (e *Engine) joinPass(now time.Time) {
 }
 
 // tryJoin returns the merged parent range if lo and hi are mergeable, else
-// nil.
-func (e *Engine) tryJoin(lo, hi *rangeState, parent netip.Prefix, now time.Time) *rangeState {
+// nil. collapsed distinguishes the empty-sibling cleanup (EventDropped) from
+// the classified merge (EventJoined).
+func (e *Engine) tryJoin(lo, hi *rangeState, parent netip.Prefix, now time.Time) (merged *rangeState, collapsed bool) {
 	// Case 1: both empty and unclassified -> empty parent.
 	if !lo.classified && !hi.classified && lo.total == 0 && hi.total == 0 &&
 		len(lo.ips) == 0 && len(hi.ips) == 0 {
 		if now.Sub(lo.bornAt) < e.cfg.E || now.Sub(hi.bornAt) < e.cfg.E {
-			return nil // fresh emptiness; don't undo a recent split
+			return nil, false // fresh emptiness; don't undo a recent split
 		}
 		m := newRangeState(parent)
 		m.bornAt = now
-		return m
+		return m, true
 	}
 	// Case 2: both classified with the same ingress and enough combined
 	// samples for the parent.
@@ -599,12 +665,12 @@ func (e *Engine) tryJoin(lo, hi *rangeState, parent netip.Prefix, now time.Time)
 			// ingresses it always is, but guard against pathological
 			// counter mixes.
 			if c := m.counters[m.ingress]; m.total > 0 && c/m.total < e.cfg.Q {
-				return nil
+				return nil, false
 			}
-			return m
+			return m, false
 		}
 	}
-	return nil
+	return nil, false
 }
 
 // String summarizes the engine state for debugging.

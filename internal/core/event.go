@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ipd/internal/flow"
+)
+
+// EventKind enumerates the full range lifecycle. Every stage-2 mutation of
+// the active partition emits exactly one event (see the emission sites in
+// runCycle/split/joinPass/cycleClassified/cycleUnclassified), so a journal
+// of events is a complete decision log: replaying it reconstructs the
+// partition and classification state at any point of a run.
+type EventKind uint8
+
+const (
+	// EventClassified : a range gained a prevalent ingress (Algorithm 1
+	// lines 9-10: share >= q with at least n_cidr samples).
+	EventClassified EventKind = iota
+	// EventInvalidated : a classified range lost its prevalent ingress
+	// (share fell below q) and was dropped back to unclassified (line 19).
+	EventInvalidated
+	// EventExpired : a classified range decayed away after receiving no
+	// traffic (§3.2 decay; the counters fell below the expiry floor).
+	EventExpired
+	// EventSplit : a mixed range was replaced by its two children
+	// (line 13). Prefix is the parent; Children lists the new ranges.
+	EventSplit
+	// EventJoined : two classified siblings with the same ingress were
+	// merged into their classified parent (line 15). Prefix is the parent;
+	// Children lists the removed ranges.
+	EventJoined
+	// EventCreated : a range entered the active set without replacing a
+	// parent: the two /0 family roots at engine construction.
+	EventCreated
+	// EventDropped : two empty unclassified siblings were collapsed into
+	// their empty parent (state cleanup after expiry). Prefix is the
+	// parent; Children lists the dropped ranges.
+	EventDropped
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventClassified:
+		return "classified"
+	case EventInvalidated:
+		return "invalidated"
+	case EventExpired:
+		return "expired"
+	case EventSplit:
+		return "split"
+	case EventJoined:
+		return "joined"
+	case EventCreated:
+		return "created"
+	case EventDropped:
+		return "dropped"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// MarshalText encodes the kind by name, so journal JSONL stays readable and
+// stable across reorderings of the enum.
+func (k EventKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses the name form written by MarshalText.
+func (k *EventKind) UnmarshalText(b []byte) error {
+	for _, c := range []EventKind{EventClassified, EventInvalidated, EventExpired,
+		EventSplit, EventJoined, EventCreated, EventDropped} {
+		if string(b) == c.String() {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown event kind %q", b)
+}
+
+// ReasonCode identifies which threshold comparison decided a lifecycle
+// event.
+type ReasonCode uint8
+
+const (
+	// ReasonNone : no threshold involved.
+	ReasonNone ReasonCode = iota
+	// ReasonRoot : the range is a /0 family root created at engine start.
+	ReasonRoot
+	// ReasonPrevalentIngress : top ingress share reached q with at least
+	// n_cidr samples (classification).
+	ReasonPrevalentIngress
+	// ReasonShareBelowQ : the prevalent ingress share fell below q
+	// (invalidation).
+	ReasonShareBelowQ
+	// ReasonDecayedOut : idle decay pushed the counters below the expiry
+	// floor (expiration).
+	ReasonDecayedOut
+	// ReasonMixedIngress : enough samples but no ingress reached q, and the
+	// range is above cidr_max (split).
+	ReasonMixedIngress
+	// ReasonSiblingsAgree : both siblings classified to the same ingress
+	// with enough combined samples for the parent (join).
+	ReasonSiblingsAgree
+	// ReasonEmptyIdle : both siblings stayed empty and unclassified for at
+	// least e (drop/collapse).
+	ReasonEmptyIdle
+)
+
+func (c ReasonCode) String() string {
+	switch c {
+	case ReasonNone:
+		return "none"
+	case ReasonRoot:
+		return "root"
+	case ReasonPrevalentIngress:
+		return "prevalent-ingress"
+	case ReasonShareBelowQ:
+		return "share-below-q"
+	case ReasonDecayedOut:
+		return "decayed-out"
+	case ReasonMixedIngress:
+		return "mixed-ingress"
+	case ReasonSiblingsAgree:
+		return "siblings-agree"
+	case ReasonEmptyIdle:
+		return "empty-idle"
+	}
+	return fmt.Sprintf("ReasonCode(%d)", uint8(c))
+}
+
+// MarshalText encodes the code by name (journal JSONL readability).
+func (c ReasonCode) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// UnmarshalText parses the name form written by MarshalText.
+func (c *ReasonCode) UnmarshalText(b []byte) error {
+	for _, r := range []ReasonCode{ReasonNone, ReasonRoot, ReasonPrevalentIngress,
+		ReasonShareBelowQ, ReasonDecayedOut, ReasonMixedIngress,
+		ReasonSiblingsAgree, ReasonEmptyIdle} {
+		if string(b) == r.String() {
+			*c = r
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown reason code %q", b)
+}
+
+// Reason records the threshold comparison that decided an event: which rule
+// fired, and the observed vs configured values on both the quality and the
+// evidence axis. It is what makes a decision explainable after the fact
+// ("share 0.91 < q 0.95 with 412 samples >= n_cidr 96").
+type Reason struct {
+	Code ReasonCode `json:"code"`
+	// Observed and Threshold are the deciding comparison: top-ingress share
+	// vs q (classify/invalidate/split/join), decayed total vs the expiry
+	// floor (expire), or idle seconds vs e (drop).
+	Observed  float64 `json:"observed"`
+	Threshold float64 `json:"threshold"`
+	// Samples and MinSamples record the n_cidr evidence gate evaluated
+	// alongside the quality comparison; both zero when not applicable.
+	Samples    float64 `json:"samples,omitempty"`
+	MinSamples float64 `json:"min_samples,omitempty"`
+}
+
+// String renders the reason in the explain/CLI form.
+func (r Reason) String() string {
+	switch r.Code {
+	case ReasonNone:
+		if r.MinSamples > 0 {
+			// The explain verdict for a range still gathering evidence.
+			return fmt.Sprintf("gathering: samples %.0f < n_cidr %.0f", r.Samples, r.MinSamples)
+		}
+		return "none"
+	case ReasonRoot:
+		return "root: family /0 created at engine start"
+	case ReasonPrevalentIngress:
+		return fmt.Sprintf("prevalent-ingress: share %.3f >= q %.3f (samples %.0f >= n_cidr %.0f)",
+			r.Observed, r.Threshold, r.Samples, r.MinSamples)
+	case ReasonShareBelowQ:
+		return fmt.Sprintf("share-below-q: share %.3f < q %.3f (samples %.0f)",
+			r.Observed, r.Threshold, r.Samples)
+	case ReasonDecayedOut:
+		return fmt.Sprintf("decayed-out: decayed total %.3f < floor %.0f", r.Observed, r.Threshold)
+	case ReasonMixedIngress:
+		return fmt.Sprintf("mixed-ingress: top share %.3f < q %.3f (samples %.0f >= n_cidr %.0f)",
+			r.Observed, r.Threshold, r.Samples, r.MinSamples)
+	case ReasonSiblingsAgree:
+		return fmt.Sprintf("siblings-agree: merged share %.3f >= q %.3f (samples %.0f >= n_cidr %.0f)",
+			r.Observed, r.Threshold, r.Samples, r.MinSamples)
+	case ReasonEmptyIdle:
+		return fmt.Sprintf("empty-idle: idle %.0fs >= e %.0fs", r.Observed, r.Threshold)
+	}
+	return r.Code.String()
+}
+
+// Event is one range-lifecycle decision. Events are totally ordered by Seq
+// (assigned by the engine, monotonic from 1) and carry the stage-2 cycle
+// that produced them, so a journal is replayable and any two events are
+// unambiguously ordered.
+type Event struct {
+	// Seq is the engine-assigned monotonic sequence number (1-based).
+	Seq uint64 `json:"seq"`
+	// Cycle is the stage-2 cycle id that emitted the event; 0 for events
+	// emitted before the first cycle (the root Created events).
+	Cycle uint64 `json:"cycle"`
+	// Kind is the lifecycle transition.
+	Kind EventKind `json:"kind"`
+	// Prefix is the affected range; for split/joined/dropped it is the
+	// parent of the structural change.
+	Prefix string `json:"prefix"`
+	// Ingress is the relevant ingress (classified/invalidated/expired/
+	// joined); zero otherwise.
+	Ingress flow.Ingress `json:"ingress"`
+	// At is the statistical time of the stage-2 cycle that emitted it.
+	At time.Time `json:"at"`
+	// Reason records which threshold fired, with observed vs configured
+	// values.
+	Reason Reason `json:"reason"`
+	// Children lists the two child prefixes for split (the new ranges) and
+	// joined/dropped (the removed ranges); nil otherwise.
+	Children []string `json:"children,omitempty"`
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"math"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"ipd/internal/flow"
+)
+
+// collectEvents returns a testConfig engine whose events append to the
+// returned slice (the slice pointer stays valid across emissions).
+func collectEvents(t *testing.T) (*Engine, *[]Event) {
+	t.Helper()
+	events := &[]Event{}
+	cfg := testConfig()
+	cfg.OnEvent = func(ev Event) { *events = append(*events, ev) }
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, events
+}
+
+// expectedEvent is one step of an exact lifecycle assertion.
+type expectedEvent struct {
+	kind     EventKind
+	prefix   string
+	ingress  flow.Ingress
+	cycle    uint64
+	reason   ReasonCode
+	children []string
+	// observed < 0 means "don't check".
+	observed float64
+	samples  float64
+}
+
+// TestLifecycleEventSequence drives one prefix through the full paper
+// lifecycle — create, split, classify, invalidate, re-classify, join,
+// expire — and asserts the exact ordered event sequence with reasons,
+// sequence numbers, and cycle ids. This is the satellite audit that every
+// stage-2 mutation produces exactly one journal event.
+func TestLifecycleEventSequence(t *testing.T) {
+	e, events := collectEvents(t)
+
+	lo := netip.MustParseAddr("10.0.0.0")
+	hi := netip.MustParseAddr("140.0.0.0")
+
+	// Cycle 1: 100 samples per half from different ingresses. The v4 root
+	// (200 >= n(/0)=66, top share 0.5 < q) splits.
+	feedN(e, base, lo, 100, inA)
+	feedN(e, base, hi, 100, inB)
+	e.AdvanceTo(base.Add(1 * time.Minute))
+
+	// Cycle 2: same again; each /1 (200 samples >= n(/1)=46, share 1.0)
+	// classifies.
+	feedN(e, base.Add(1*time.Minute), lo, 100, inA)
+	feedN(e, base.Add(1*time.Minute), hi, 100, inB)
+	e.AdvanceTo(base.Add(2 * time.Minute))
+
+	// Cycle 3: the high half switches to ingress A. Its share of B falls to
+	// 200/300 < q: invalidated.
+	feedN(e, base.Add(2*time.Minute), lo, 100, inA)
+	feedN(e, base.Add(2*time.Minute), hi, 100, inA)
+	e.AdvanceTo(base.Add(3 * time.Minute))
+
+	// Cycle 4: the high half re-classifies to A; both /1 siblings now agree,
+	// so the join pass merges them back into a classified /0.
+	feedN(e, base.Add(3*time.Minute), hi, 100, inA)
+	e.AdvanceTo(base.Add(4 * time.Minute))
+
+	// Long silence: idle decay expires the classified root.
+	e.AdvanceTo(base.Add(24 * time.Hour))
+
+	want := []expectedEvent{
+		{kind: EventCreated, prefix: "0.0.0.0/0", cycle: 0, reason: ReasonRoot, observed: -1},
+		{kind: EventCreated, prefix: "::/0", cycle: 0, reason: ReasonRoot, observed: -1},
+		{kind: EventSplit, prefix: "0.0.0.0/0", cycle: 1, reason: ReasonMixedIngress,
+			children: []string{"0.0.0.0/1", "128.0.0.0/1"}, observed: 0.5, samples: 200},
+		{kind: EventClassified, prefix: "0.0.0.0/1", ingress: inA, cycle: 2,
+			reason: ReasonPrevalentIngress, observed: 1, samples: 200},
+		{kind: EventClassified, prefix: "128.0.0.0/1", ingress: inB, cycle: 2,
+			reason: ReasonPrevalentIngress, observed: 1, samples: 200},
+		{kind: EventInvalidated, prefix: "128.0.0.0/1", ingress: inB, cycle: 3,
+			reason: ReasonShareBelowQ, observed: 200.0 / 300.0, samples: 300},
+		{kind: EventClassified, prefix: "128.0.0.0/1", ingress: inA, cycle: 4,
+			reason: ReasonPrevalentIngress, observed: 1, samples: 100},
+		{kind: EventJoined, prefix: "0.0.0.0/0", ingress: inA, cycle: 4,
+			reason: ReasonSiblingsAgree, children: []string{"0.0.0.0/1", "128.0.0.0/1"}, observed: 1},
+		{kind: EventExpired, prefix: "0.0.0.0/0", ingress: inA, reason: ReasonDecayedOut, observed: -1},
+	}
+
+	got := *events
+	if len(got) != len(want) {
+		for i, ev := range got {
+			t.Logf("event %d: seq=%d cycle=%d %v %s %v (%v)", i, ev.Seq, ev.Cycle, ev.Kind, ev.Prefix, ev.Ingress, ev.Reason)
+		}
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		ev := got[i]
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("event %d: seq = %d, want %d (monotonic from 1)", i, ev.Seq, i+1)
+		}
+		if ev.Kind != w.kind || ev.Prefix != w.prefix {
+			t.Errorf("event %d: got %v %s, want %v %s", i, ev.Kind, ev.Prefix, w.kind, w.prefix)
+			continue
+		}
+		if ev.Ingress != w.ingress {
+			t.Errorf("event %d (%v %s): ingress = %v, want %v", i, w.kind, w.prefix, ev.Ingress, w.ingress)
+		}
+		// The expiry cycle id depends only on the silence length; pin the
+		// others exactly.
+		if w.kind != EventExpired && ev.Cycle != w.cycle {
+			t.Errorf("event %d (%v %s): cycle = %d, want %d", i, w.kind, w.prefix, ev.Cycle, w.cycle)
+		}
+		if ev.Reason.Code != w.reason {
+			t.Errorf("event %d (%v %s): reason = %v, want %v", i, w.kind, w.prefix, ev.Reason.Code, w.reason)
+		}
+		if w.observed >= 0 && math.Abs(ev.Reason.Observed-w.observed) > 1e-9 {
+			t.Errorf("event %d (%v %s): observed = %v, want %v", i, w.kind, w.prefix, ev.Reason.Observed, w.observed)
+		}
+		if w.samples > 0 && ev.Reason.Samples != w.samples {
+			t.Errorf("event %d (%v %s): samples = %v, want %v", i, w.kind, w.prefix, ev.Reason.Samples, w.samples)
+		}
+		if len(w.children) > 0 {
+			if len(ev.Children) != len(w.children) {
+				t.Errorf("event %d (%v %s): children = %v, want %v", i, w.kind, w.prefix, ev.Children, w.children)
+				continue
+			}
+			for k := range w.children {
+				if ev.Children[k] != w.children[k] {
+					t.Errorf("event %d (%v %s): children = %v, want %v", i, w.kind, w.prefix, ev.Children, w.children)
+					break
+				}
+			}
+		}
+	}
+
+	// Thresholds ride along on every decision event.
+	for i, ev := range got {
+		switch ev.Reason.Code {
+		case ReasonPrevalentIngress, ReasonMixedIngress, ReasonShareBelowQ:
+			if ev.Reason.Threshold != e.Config().Q {
+				t.Errorf("event %d: threshold = %v, want q=%v", i, ev.Reason.Threshold, e.Config().Q)
+			}
+		}
+	}
+}
+
+// TestEmptyCollapseEmitsDropped checks the fourth structural transition:
+// two split children that never classify and go quiet are collapsed into
+// their empty parent, emitting EventDropped (not EventJoined) and counting
+// into Stats.Drops (not Stats.Joins).
+func TestEmptyCollapseEmitsDropped(t *testing.T) {
+	e, events := collectEvents(t)
+
+	// 40 + 40 mixed samples: the root splits (80 >= n(/0)=66) but each /1
+	// child stays below n(/1)=46, so neither classifies. Then silence: the
+	// per-IP state expires after E and the empty pair collapses.
+	feedN(e, base, netip.MustParseAddr("10.0.0.0"), 40, inA)
+	feedN(e, base, netip.MustParseAddr("140.0.0.0"), 40, inB)
+	e.AdvanceTo(base.Add(4 * time.Minute))
+
+	var dropped *Event
+	for i := range *events {
+		ev := &(*events)[i]
+		switch ev.Kind {
+		case EventDropped:
+			if dropped != nil {
+				t.Fatalf("second EventDropped: %+v", *ev)
+			}
+			dropped = ev
+		case EventJoined:
+			t.Fatalf("empty collapse emitted EventJoined: %+v", *ev)
+		}
+	}
+	if dropped == nil {
+		t.Fatal("no EventDropped emitted")
+	}
+	if dropped.Prefix != "0.0.0.0/0" {
+		t.Errorf("dropped prefix = %s, want 0.0.0.0/0", dropped.Prefix)
+	}
+	if want := []string{"0.0.0.0/1", "128.0.0.0/1"}; len(dropped.Children) != 2 ||
+		dropped.Children[0] != want[0] || dropped.Children[1] != want[1] {
+		t.Errorf("dropped children = %v, want %v", dropped.Children, want)
+	}
+	if dropped.Reason.Code != ReasonEmptyIdle {
+		t.Errorf("dropped reason = %v, want %v", dropped.Reason.Code, ReasonEmptyIdle)
+	}
+	if dropped.Reason.Observed < e.Config().E.Seconds() {
+		t.Errorf("dropped idle = %vs, want >= e=%vs", dropped.Reason.Observed, e.Config().E.Seconds())
+	}
+	st := e.Stats()
+	if st.Drops != 1 || st.Joins != 0 {
+		t.Errorf("Stats drops/joins = %d/%d, want 1/0", st.Drops, st.Joins)
+	}
+}
+
+// TestOnEventReentrancyGuard pins the Config.OnEvent contract: a callback
+// that calls back into a mutating Engine method panics with a message
+// naming the contract.
+func TestOnEventReentrancyGuard(t *testing.T) {
+	var eng *Engine
+	cfg := testConfig()
+	cfg.OnEvent = func(Event) {
+		if eng != nil {
+			eng.ForceCycle() // forbidden: reenters the engine mid-mutation
+		}
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng = e
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("reentrant OnEvent callback did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "OnEvent") {
+			t.Fatalf("panic = %v, want message naming the OnEvent contract", r)
+		}
+		// The guard must not wedge the engine: after the panic unwinds,
+		// normal (non-reentrant) use keeps working.
+		eng = nil
+		e.ForceCycle()
+	}()
+	// 100 samples from one ingress: the first cycle classifies and emits,
+	// and the callback's reentrant call trips the guard.
+	feedN(e, base, netip.MustParseAddr("10.0.0.0"), 100, inA)
+	e.AdvanceTo(base.Add(time.Minute))
+}
+
+// TestExplain covers Engine.Explain: LPM path, vote shares, and the verdict
+// reason for classified, gathering, and mixed ranges.
+func TestExplain(t *testing.T) {
+	e, _ := collectEvents(t)
+
+	feedN(e, base, netip.MustParseAddr("10.0.0.0"), 100, inA)
+	feedN(e, base, netip.MustParseAddr("140.0.0.0"), 100, inB)
+	e.AdvanceTo(base.Add(1 * time.Minute)) // split
+	feedN(e, base.Add(1*time.Minute), netip.MustParseAddr("10.0.0.0"), 100, inA)
+	e.AdvanceTo(base.Add(2 * time.Minute)) // classify 0.0.0.0/1
+
+	ex, ok := e.Explain(netip.MustParseAddr("10.1.2.3"))
+	if !ok {
+		t.Fatal("Explain returned no range")
+	}
+	if got := ex.Range.Prefix.String(); got != "0.0.0.0/1" {
+		t.Fatalf("matched prefix = %s, want 0.0.0.0/1", got)
+	}
+	if len(ex.Path) == 0 || ex.Path[len(ex.Path)-1].String() != "0.0.0.0/1" {
+		t.Errorf("path = %v, want LPM walk ending at 0.0.0.0/1", ex.Path)
+	}
+	if !ex.Range.Classified || ex.Range.Ingress != inA {
+		t.Errorf("range classified=%v ingress=%v, want classified to %v", ex.Range.Classified, ex.Range.Ingress, inA)
+	}
+	if len(ex.Shares) == 0 || ex.Shares[0].Ingress != inA || ex.Shares[0].Share != 1 {
+		t.Errorf("shares = %+v, want %v with share 1", ex.Shares, inA)
+	}
+	if ex.Verdict.Code != ReasonPrevalentIngress {
+		t.Errorf("verdict = %v, want %v", ex.Verdict.Code, ReasonPrevalentIngress)
+	}
+	if s := ex.VerdictString(); !strings.Contains(s, "classified to R1.1") {
+		t.Errorf("VerdictString() = %q, want mention of classified to R1.1", s)
+	}
+
+	// The unfed v6 root is still gathering evidence.
+	ex6, ok := e.Explain(netip.MustParseAddr("2001:db8::1"))
+	if !ok {
+		t.Fatal("Explain v6 returned no range")
+	}
+	if ex6.Verdict.Code != ReasonNone || ex6.Range.Classified {
+		t.Errorf("v6 verdict = %v (classified=%v), want gathering/unclassified", ex6.Verdict.Code, ex6.Range.Classified)
+	}
+	if s := ex6.Verdict.String(); !strings.Contains(s, "gathering") {
+		t.Errorf("gathering verdict renders as %q", s)
+	}
+
+	if _, ok := e.Explain(netip.Addr{}); ok {
+		t.Error("Explain accepted an invalid address")
+	}
+}
+
+// TestEventTextRoundTrip pins the text forms of EventKind and ReasonCode
+// (journal JSONL readability depends on them).
+func TestEventTextRoundTrip(t *testing.T) {
+	kinds := []EventKind{EventClassified, EventInvalidated, EventExpired,
+		EventSplit, EventJoined, EventCreated, EventDropped}
+	for _, k := range kinds {
+		b, err := k.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back EventKind
+		if err := back.UnmarshalText(b); err != nil || back != k {
+			t.Errorf("EventKind %v round-trip: got %v, err %v", k, back, err)
+		}
+	}
+	var k EventKind
+	if err := k.UnmarshalText([]byte("bogus")); err == nil {
+		t.Error("EventKind accepted bogus text")
+	}
+	codes := []ReasonCode{ReasonNone, ReasonRoot, ReasonPrevalentIngress,
+		ReasonShareBelowQ, ReasonDecayedOut, ReasonMixedIngress,
+		ReasonSiblingsAgree, ReasonEmptyIdle}
+	for _, c := range codes {
+		b, err := c.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back ReasonCode
+		if err := back.UnmarshalText(b); err != nil || back != c {
+			t.Errorf("ReasonCode %v round-trip: got %v, err %v", c, back, err)
+		}
+	}
+	var c ReasonCode
+	if err := c.UnmarshalText([]byte("bogus")); err == nil {
+		t.Error("ReasonCode accepted bogus text")
+	}
+}

@@ -149,6 +149,14 @@ func (s *Server) Range(addr netip.Addr) (RangeInfo, bool) {
 	return s.eng.Range(addr)
 }
 
+// Explain reports the LPM walk, matched range, per-ingress vote shares, and
+// current threshold verdict for addr (safe concurrently with Run).
+func (s *Server) Explain(addr netip.Addr) (Explanation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Explain(addr)
+}
+
 // Stats returns engine and binner counters. Both are assembled from
 // telemetry atomics, so this never takes mu and never contends with ingest.
 func (s *Server) Stats() (Stats, stattime.Stats) {

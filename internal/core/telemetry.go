@@ -22,6 +22,7 @@ type engineMetrics struct {
 	cycles          telemetry.Counter
 	splits          telemetry.Counter
 	joins           telemetry.Counter
+	drops           telemetry.Counter
 	classifications telemetry.Counter
 	invalidations   telemetry.Counter
 	expirations     telemetry.Counter
@@ -52,7 +53,9 @@ func newEngineMetrics() *engineMetrics {
 	m.reg.RegisterCounter("ipd_splits_total",
 		"Range splits (mixed-ingress ranges subdivided).", &m.splits)
 	m.reg.RegisterCounter("ipd_joins_total",
-		"Range joins (sibling ranges merged into their parent).", &m.joins)
+		"Range joins (classified sibling ranges merged into their parent).", &m.joins)
+	m.reg.RegisterCounter("ipd_range_drops_total",
+		"Empty sibling ranges collapsed into their parent (state cleanup).", &m.drops)
 	m.reg.RegisterCounter("ipd_classifications_total",
 		"Ranges classified to a prevalent ingress.", &m.classifications)
 	m.reg.RegisterCounter("ipd_invalidations_total",
@@ -90,6 +93,7 @@ func (m *engineMetrics) snapshot() Stats {
 		Cycles:            m.cycles.Value(),
 		Splits:            m.splits.Value(),
 		Joins:             m.joins.Value(),
+		Drops:             m.drops.Value(),
 		Classifications:   m.classifications.Value(),
 		Invalidations:     m.invalidations.Value(),
 		Expirations:       m.expirations.Value(),

@@ -34,6 +34,26 @@ func (in Ingress) String() string {
 	return fmt.Sprintf("R%d.%d", in.Router, in.Iface)
 }
 
+// MarshalText renders the ingress in its String form ("R12.3"), which keeps
+// journal JSONL compact and makes Ingress usable as a JSON map key.
+func (in Ingress) MarshalText() ([]byte, error) {
+	return []byte(in.String()), nil
+}
+
+// UnmarshalText parses the String form, so journal events round-trip through
+// JSON exactly.
+func (in *Ingress) UnmarshalText(b []byte) error {
+	var router, iface uint64
+	if _, err := fmt.Sscanf(string(b), "R%d.%d", &router, &iface); err != nil {
+		return fmt.Errorf("flow: bad ingress %q: %v", b, err)
+	}
+	if router > 0xffff || iface > 0xffff {
+		return fmt.Errorf("flow: ingress %q out of range", b)
+	}
+	in.Router, in.Iface = RouterID(router), IfaceID(iface)
+	return nil
+}
+
 // Record is a single sampled flow record as exported by a border router.
 type Record struct {
 	// Ts is the router-assigned timestamp. Router clocks drift; the

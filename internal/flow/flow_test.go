@@ -296,3 +296,31 @@ func BenchmarkBinaryDecode(b *testing.B) {
 		}
 	}
 }
+
+func TestIngressTextRoundTrip(t *testing.T) {
+	cases := []Ingress{
+		{},
+		{Router: 1, Iface: 1},
+		{Router: 12, Iface: 3},
+		{Router: 0xffff, Iface: 0xffff},
+	}
+	for _, in := range cases {
+		b, err := in.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Ingress
+		if err := back.UnmarshalText(b); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", b, err)
+		}
+		if back != in {
+			t.Errorf("round trip %v -> %q -> %v", in, b, back)
+		}
+	}
+	var in Ingress
+	for _, bad := range []string{"", "R1", "R1.", "12.3", "Rx.y", "R70000.1"} {
+		if err := in.UnmarshalText([]byte(bad)); err == nil {
+			t.Errorf("UnmarshalText(%q) accepted", bad)
+		}
+	}
+}

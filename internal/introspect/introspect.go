@@ -1,0 +1,345 @@
+// Package introspect serves the decision-provenance HTTP API over a live
+// engine and its journal:
+//
+//	GET /ipd/ranges?classified=&ingress=&family=&limit=   filterable snapshot
+//	GET /ipd/range?prefix=10.0.0.0/8                      one range + history
+//	GET /ipd/explain?ip=10.1.2.3                          LPM walk + votes + reasons
+//	GET /ipd/events?since=<seq>&limit=                    tail the journal
+//
+// The handlers read through a Source (core.Server implements it; cmd/ipd
+// wraps its single-threaded engine in a mutex adapter) and never mutate, so
+// mounting them on the debug mux of a running collector is safe. All
+// responses are JSON.
+package introspect
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/netip"
+	"sort"
+	"strconv"
+	"time"
+
+	"ipd/internal/core"
+	"ipd/internal/flow"
+	"ipd/internal/journal"
+)
+
+// Source is the live engine view the handlers read. All methods must be
+// safe for concurrent use (core.Server qualifies; a bare core.Engine needs
+// a locking wrapper).
+type Source interface {
+	// Snapshot returns all active ranges.
+	Snapshot() []core.RangeInfo
+	// Range returns the active range covering addr.
+	Range(addr netip.Addr) (core.RangeInfo, bool)
+	// Explain reports the LPM walk, vote shares, and threshold verdict for
+	// addr.
+	Explain(addr netip.Addr) (core.Explanation, bool)
+}
+
+// Handler serves the /ipd/* introspection endpoints.
+type Handler struct {
+	mux *http.ServeMux
+	src Source
+	j   *journal.Journal // may be nil: history fields are omitted, /ipd/events is 404
+}
+
+// New builds the handler. j may be nil when no journal is attached; the
+// snapshot and explain endpoints still work, only event history is
+// unavailable.
+func New(src Source, j *journal.Journal) *Handler {
+	h := &Handler{mux: http.NewServeMux(), src: src, j: j}
+	h.mux.HandleFunc("/ipd/ranges", h.ranges)
+	h.mux.HandleFunc("/ipd/range", h.rangeOne)
+	h.mux.HandleFunc("/ipd/explain", h.explain)
+	h.mux.HandleFunc("/ipd/events", h.events)
+	return h
+}
+
+// ServeHTTP dispatches to the /ipd/* routes.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// rangeJSON is the wire form of core.RangeInfo.
+type rangeJSON struct {
+	Prefix       string             `json:"prefix"`
+	Classified   bool               `json:"classified"`
+	Ingress      string             `json:"ingress,omitempty"`
+	Confidence   float64            `json:"confidence"`
+	Samples      float64            `json:"samples"`
+	NCidr        float64            `json:"n_cidr"`
+	LastSeen     *time.Time         `json:"last_seen,omitempty"`
+	ClassifiedAt *time.Time         `json:"classified_at,omitempty"`
+	Counters     map[string]float64 `json:"counters,omitempty"`
+	Bytes        float64            `json:"bytes"`
+}
+
+func toRangeJSON(ri core.RangeInfo) rangeJSON {
+	out := rangeJSON{
+		Prefix:     ri.Prefix.String(),
+		Classified: ri.Classified,
+		Confidence: ri.Confidence,
+		Samples:    ri.Samples,
+		NCidr:      ri.NCidr,
+		Bytes:      ri.Bytes,
+	}
+	if ri.Classified || ri.Samples > 0 {
+		out.Ingress = ri.Ingress.String()
+	}
+	if !ri.LastSeen.IsZero() {
+		t := ri.LastSeen
+		out.LastSeen = &t
+	}
+	if !ri.ClassifiedAt.IsZero() {
+		t := ri.ClassifiedAt
+		out.ClassifiedAt = &t
+	}
+	if len(ri.Counters) > 0 {
+		out.Counters = make(map[string]float64, len(ri.Counters))
+		for in, c := range ri.Counters {
+			out.Counters[in.String()] = c
+		}
+	}
+	return out
+}
+
+// eventJSON decorates a core.Event with the rendered reason, so curl users
+// read decisions without decoding reason structs.
+type eventJSON struct {
+	core.Event
+	ReasonText string `json:"reason_text"`
+}
+
+func toEventJSON(evs []core.Event) []eventJSON {
+	out := make([]eventJSON, len(evs))
+	for i, ev := range evs {
+		out[i] = eventJSON{Event: ev, ReasonText: ev.Reason.String()}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// ranges serves GET /ipd/ranges. Filters: classified=true|false,
+// ingress=R<router>.<iface>, family=4|6, limit=N. total counts matches
+// before the limit is applied.
+func (h *Handler) ranges(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var (
+		wantClass *bool
+		wantIn    *flow.Ingress
+		family    int
+	)
+	if s := q.Get("classified"); s != "" {
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "classified must be true or false")
+			return
+		}
+		wantClass = &b
+	}
+	if s := q.Get("ingress"); s != "" {
+		var in flow.Ingress
+		if err := in.UnmarshalText([]byte(s)); err != nil {
+			writeErr(w, http.StatusBadRequest, "ingress must look like R12.3")
+			return
+		}
+		wantIn = &in
+	}
+	if s := q.Get("family"); s != "" {
+		f, err := strconv.Atoi(s)
+		if err != nil || (f != 4 && f != 6) {
+			writeErr(w, http.StatusBadRequest, "family must be 4 or 6")
+			return
+		}
+		family = f
+	}
+	limit := 0
+	if s := q.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			return
+		}
+		limit = n
+	}
+
+	all := h.src.Snapshot()
+	matched := make([]rangeJSON, 0, len(all))
+	for _, ri := range all {
+		if wantClass != nil && ri.Classified != *wantClass {
+			continue
+		}
+		if wantIn != nil && (!ri.Classified || ri.Ingress != *wantIn) {
+			continue
+		}
+		if family == 4 && !ri.Prefix.Addr().Is4() {
+			continue
+		}
+		if family == 6 && ri.Prefix.Addr().Is4() {
+			continue
+		}
+		matched = append(matched, toRangeJSON(ri))
+	}
+	total := len(matched)
+	if limit > 0 && len(matched) > limit {
+		matched = matched[:limit]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":  total,
+		"count":  len(matched),
+		"ranges": matched,
+	})
+}
+
+// rangeOne serves GET /ipd/range?prefix=. The prefix must match an active
+// range exactly; the response joins the live state with the journal history
+// of that prefix.
+func (h *Handler) rangeOne(w http.ResponseWriter, r *http.Request) {
+	s := r.URL.Query().Get("prefix")
+	if s == "" {
+		writeErr(w, http.StatusBadRequest, "missing prefix parameter")
+		return
+	}
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad prefix: "+err.Error())
+		return
+	}
+	p = netip.PrefixFrom(p.Addr().Unmap(), p.Bits()).Masked()
+	// The snapshot is the exact-match source: Range(addr) would LPM past a
+	// prefix that is currently subdivided.
+	var (
+		ri    core.RangeInfo
+		found bool
+	)
+	for _, cand := range h.src.Snapshot() {
+		if cand.Prefix == p {
+			ri, found = cand, true
+			break
+		}
+	}
+	resp := map[string]any{"active": found}
+	if found {
+		resp["range"] = toRangeJSON(ri)
+	}
+	if h.j != nil {
+		resp["history"] = toEventJSON(h.j.History(p.String()))
+	}
+	if !found && h.j == nil {
+		writeErr(w, http.StatusNotFound, "prefix is not an active range")
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// explain serves GET /ipd/explain?ip=: the LPM walk through the active
+// partition, the matched range with its per-ingress vote shares, the
+// threshold verdict, and (with a journal) the reason chain of events that
+// produced the current state.
+func (h *Handler) explain(w http.ResponseWriter, r *http.Request) {
+	s := r.URL.Query().Get("ip")
+	if s == "" {
+		writeErr(w, http.StatusBadRequest, "missing ip parameter")
+		return
+	}
+	addr, err := netip.ParseAddr(s)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad ip: "+err.Error())
+		return
+	}
+	ex, ok := h.src.Explain(addr)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no active range covers this address")
+		return
+	}
+	path := make([]string, len(ex.Path))
+	for i, p := range ex.Path {
+		path[i] = p.String()
+	}
+	shares := make([]map[string]any, len(ex.Shares))
+	for i, sh := range ex.Shares {
+		shares[i] = map[string]any{
+			"ingress": sh.Ingress.String(),
+			"count":   sh.Count,
+			"share":   sh.Share,
+		}
+	}
+	resp := map[string]any{
+		"ip":           ex.IP.String(),
+		"path":         path,
+		"range":        toRangeJSON(ex.Range),
+		"shares":       shares,
+		"verdict":      ex.Verdict,
+		"verdict_text": ex.VerdictString(),
+	}
+	if h.j != nil {
+		// The reason chain: every journal event that touched the matched
+		// range or one of the ancestors it was carved out of.
+		chain := h.j.History(ex.Range.Prefix.String())
+		seen := map[uint64]bool{}
+		for _, ev := range chain {
+			seen[ev.Seq] = true
+		}
+		for _, anc := range path[:max(0, len(path)-1)] {
+			for _, ev := range h.j.History(anc) {
+				if !seen[ev.Seq] {
+					chain = append(chain, ev)
+					seen[ev.Seq] = true
+				}
+			}
+		}
+		sort.Slice(chain, func(i, k int) bool { return chain[i].Seq < chain[k].Seq })
+		resp["history"] = toEventJSON(chain)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// events serves GET /ipd/events?since=<seq>&limit=: the retained journal
+// tail, oldest first. Clients poll with since=<last seen seq>; dropped
+// reports how many events have been lost to ring overflow so a client can
+// detect gaps.
+func (h *Handler) events(w http.ResponseWriter, r *http.Request) {
+	if h.j == nil {
+		writeErr(w, http.StatusNotFound, "no journal attached")
+		return
+	}
+	q := r.URL.Query()
+	var since uint64
+	if s := q.Get("since"); s != "" {
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "since must be a sequence number")
+			return
+		}
+		since = n
+	}
+	limit := 1000
+	if s := q.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	evs := h.j.Since(since, limit)
+	oldest, newest := h.j.Bounds()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"oldest_seq": oldest,
+		"latest_seq": newest,
+		"dropped":    h.j.Dropped(),
+		"count":      len(evs),
+		"events":     toEventJSON(evs),
+	})
+}

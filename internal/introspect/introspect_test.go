@@ -1,0 +1,361 @@
+package introspect
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ipd/internal/core"
+	"ipd/internal/flow"
+	"ipd/internal/journal"
+	"ipd/internal/stattime"
+)
+
+var (
+	inA = flow.Ingress{Router: 1, Iface: 1}
+	inB = flow.Ingress{Router: 2, Iface: 1}
+	inC = flow.Ingress{Router: 3, Iface: 1}
+	inD = flow.Ingress{Router: 4, Iface: 1}
+)
+
+var quadrants = []struct {
+	base string
+	in   flow.Ingress
+}{
+	{"10.0.0.0", inA},  // 0.0.0.0/2
+	{"70.0.0.0", inB},  // 64.0.0.0/2
+	{"140.0.0.0", inC}, // 128.0.0.0/2
+	{"210.0.0.0", inD}, // 192.0.0.0/2
+}
+
+func testConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.NCidrFactor4 = 0.0005 // n(/0)=33, n(/2)=16 for this toy stream
+	cfg.NCidrFactor6 = 1e-8
+	return cfg
+}
+
+// quadrantEngine drives the Fig. 5 workload: one ingress per /2 quadrant,
+// five cycles, ending with four classified /2 ranges.
+func quadrantEngine(t *testing.T) (*core.Engine, *journal.Journal) {
+	t.Helper()
+	j := journal.New(journal.Options{})
+	cfg := testConfig()
+	cfg.OnEvent = j.Record
+	e, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Date(2024, 8, 4, 12, 0, 0, 0, time.UTC)
+	for cycle := 0; cycle < 5; cycle++ {
+		for _, q := range quadrants {
+			a := netip.MustParseAddr(q.base).As4()
+			for i := 0; i < 20; i++ {
+				a[3] = byte(i)
+				e.Observe(flow.Record{Ts: ts, Src: netip.AddrFrom4(a), In: q.in, Bytes: 1200, Packets: 1})
+			}
+		}
+		ts = ts.Add(time.Minute)
+		e.AdvanceTo(ts)
+	}
+	return e, j
+}
+
+func get(t *testing.T, h http.Handler, url string) (int, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("GET %s: non-JSON response %q: %v", url, rec.Body.String(), err)
+	}
+	return rec.Code, body
+}
+
+// TestExplainEndpoint is the acceptance check for /ipd/explain: the LPM
+// walk, the matched range, the vote shares, and the reason chain.
+func TestExplainEndpoint(t *testing.T) {
+	e, j := quadrantEngine(t)
+	h := New(e, j)
+
+	code, body := get(t, h, "/ipd/explain?ip=70.0.0.1")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %v", code, body)
+	}
+	if body["ip"] != "70.0.0.1" {
+		t.Errorf("ip = %v", body["ip"])
+	}
+	path, _ := body["path"].([]any)
+	if len(path) == 0 || path[0] != "0.0.0.0/0" || path[len(path)-1] != "64.0.0.0/2" {
+		t.Errorf("path = %v, want walk from 0.0.0.0/0 to 64.0.0.0/2", path)
+	}
+	rng, _ := body["range"].(map[string]any)
+	if rng["prefix"] != "64.0.0.0/2" || rng["classified"] != true || rng["ingress"] != "R2.1" {
+		t.Errorf("range = %v", rng)
+	}
+	shares, _ := body["shares"].([]any)
+	if len(shares) != 1 {
+		t.Fatalf("shares = %v, want exactly the winning ingress", shares)
+	}
+	top, _ := shares[0].(map[string]any)
+	if top["ingress"] != "R2.1" || top["share"].(float64) != 1.0 {
+		t.Errorf("top share = %v", top)
+	}
+	vt, _ := body["verdict_text"].(string)
+	if !strings.Contains(vt, "prevalent-ingress") || !strings.Contains(vt, "64.0.0.0/2") {
+		t.Errorf("verdict_text = %q", vt)
+	}
+	// The reason chain covers the whole lineage: the root's creation, the
+	// splits that carved out 64.0.0.0/2, and its classification.
+	hist, _ := body["history"].([]any)
+	kinds := map[string]int{}
+	var lastSeq float64
+	for _, it := range hist {
+		ev := it.(map[string]any)
+		kinds[ev["kind"].(string)]++
+		if s := ev["seq"].(float64); s <= lastSeq {
+			t.Errorf("history not seq-ordered at %v", s)
+		} else {
+			lastSeq = s
+		}
+		if _, ok := ev["reason_text"].(string); !ok {
+			t.Errorf("event missing reason_text: %v", ev)
+		}
+	}
+	if kinds["created"] == 0 || kinds["split"] < 2 || kinds["classified"] == 0 {
+		t.Errorf("history kinds = %v, want created + >=2 splits + classified", kinds)
+	}
+}
+
+func TestExplainBadRequests(t *testing.T) {
+	e, j := quadrantEngine(t)
+	h := New(e, j)
+	if code, _ := get(t, h, "/ipd/explain"); code != http.StatusBadRequest {
+		t.Errorf("missing ip: status = %d", code)
+	}
+	if code, body := get(t, h, "/ipd/explain?ip=banana"); code != http.StatusBadRequest {
+		t.Errorf("bad ip: status = %d, body %v", code, body)
+	}
+}
+
+func TestRangesFilters(t *testing.T) {
+	e, j := quadrantEngine(t)
+	h := New(e, j)
+
+	code, body := get(t, h, "/ipd/ranges")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	// Four classified /2s plus the v6 root.
+	if body["total"].(float64) != 5 {
+		t.Errorf("total = %v, want 5", body["total"])
+	}
+
+	_, body = get(t, h, "/ipd/ranges?classified=true&family=4")
+	if body["total"].(float64) != 4 {
+		t.Errorf("classified v4 total = %v, want 4", body["total"])
+	}
+
+	_, body = get(t, h, "/ipd/ranges?ingress=R2.1")
+	if body["total"].(float64) != 1 {
+		t.Fatalf("ingress filter total = %v, want 1", body["total"])
+	}
+	ranges := body["ranges"].([]any)
+	if ranges[0].(map[string]any)["prefix"] != "64.0.0.0/2" {
+		t.Errorf("ingress filter matched %v", ranges[0])
+	}
+
+	_, body = get(t, h, "/ipd/ranges?family=4&limit=2")
+	if body["total"].(float64) != 4 || body["count"].(float64) != 2 {
+		t.Errorf("limit: total %v count %v, want 4 and 2", body["total"], body["count"])
+	}
+
+	for _, bad := range []string{
+		"/ipd/ranges?classified=maybe",
+		"/ipd/ranges?ingress=banana",
+		"/ipd/ranges?family=5",
+		"/ipd/ranges?limit=-1",
+	} {
+		if code, _ := get(t, h, bad); code != http.StatusBadRequest {
+			t.Errorf("GET %s: status = %d, want 400", bad, code)
+		}
+	}
+}
+
+func TestRangeEndpoint(t *testing.T) {
+	e, j := quadrantEngine(t)
+	h := New(e, j)
+
+	code, body := get(t, h, "/ipd/range?prefix=64.0.0.0/2")
+	if code != http.StatusOK || body["active"] != true {
+		t.Fatalf("active range: status %d body %v", code, body)
+	}
+	if body["range"].(map[string]any)["ingress"] != "R2.1" {
+		t.Errorf("range = %v", body["range"])
+	}
+	if len(body["history"].([]any)) == 0 {
+		t.Error("history empty for an active range")
+	}
+
+	// The root was split away: not active, but its history survives.
+	code, body = get(t, h, "/ipd/range?prefix=0.0.0.0/0")
+	if code != http.StatusOK || body["active"] != false {
+		t.Fatalf("split-away range: status %d active %v", code, body["active"])
+	}
+	if len(body["history"].([]any)) == 0 {
+		t.Error("history empty for a split-away range")
+	}
+
+	if code, _ := get(t, h, "/ipd/range"); code != http.StatusBadRequest {
+		t.Errorf("missing prefix: status = %d", code)
+	}
+	if code, _ := get(t, h, "/ipd/range?prefix=banana"); code != http.StatusBadRequest {
+		t.Errorf("bad prefix: status = %d", code)
+	}
+
+	// Without a journal, an inactive prefix has nothing to report.
+	bare := New(e, nil)
+	if code, _ := get(t, bare, "/ipd/range?prefix=55.0.0.0/8"); code != http.StatusNotFound {
+		t.Errorf("no journal + inactive: status = %d, want 404", code)
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	e, j := quadrantEngine(t)
+	h := New(e, j)
+
+	code, body := get(t, h, "/ipd/events")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	n := body["count"].(float64)
+	if n == 0 || n != float64(len(body["events"].([]any))) {
+		t.Fatalf("count = %v, events = %d", n, len(body["events"].([]any)))
+	}
+	latest := body["latest_seq"].(float64)
+
+	_, body = get(t, h, fmt.Sprintf("/ipd/events?since=%.0f", latest-2))
+	if body["count"].(float64) != 2 {
+		t.Errorf("since tail count = %v, want 2", body["count"])
+	}
+	_, body = get(t, h, "/ipd/events?limit=3")
+	if body["count"].(float64) != 3 {
+		t.Errorf("limited count = %v, want 3", body["count"])
+	}
+	if code, _ := get(t, h, "/ipd/events?since=banana"); code != http.StatusBadRequest {
+		t.Errorf("bad since: status = %d", code)
+	}
+	if code, _ := get(t, h, "/ipd/events?limit=0"); code != http.StatusBadRequest {
+		t.Errorf("bad limit: status = %d", code)
+	}
+
+	bare := New(e, nil)
+	if code, _ := get(t, bare, "/ipd/events"); code != http.StatusNotFound {
+		t.Errorf("no journal: status = %d, want 404", code)
+	}
+}
+
+// TestConcurrentTailDuringIngest exercises the advertised concurrency
+// contract under the race detector: HTTP clients tail /ipd/events and poll
+// /ipd/explain while a core.Server ingests records and mutates ranges.
+func TestConcurrentTailDuringIngest(t *testing.T) {
+	j := journal.New(journal.Options{Capacity: 4096})
+	cfg := testConfig()
+	cfg.OnEvent = j.Record
+	srv, err := core.NewServer(cfg, stattime.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(srv, j))
+	defer ts.Close()
+
+	in := make(chan flow.Record, 256)
+	runErr := make(chan error, 1)
+	go func() { runErr <- srv.Run(context.Background(), in) }()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var cursor uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(fmt.Sprintf("%s/ipd/events?since=%d", ts.URL, cursor))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var body struct {
+					Events []core.Event `json:"events"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, ev := range body.Events {
+					if ev.Seq <= cursor {
+						t.Errorf("tail went backwards: seq %d after cursor %d", ev.Seq, cursor)
+						return
+					}
+					cursor = ev.Seq
+				}
+				// Interleave a read-side endpoint that walks the live trie.
+				resp, err = http.Get(ts.URL + "/ipd/explain?ip=70.0.0.1")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	start := time.Date(2024, 8, 4, 12, 0, 0, 0, time.UTC)
+	for cycle := 0; cycle < 8; cycle++ {
+		for _, q := range quadrants {
+			a := netip.MustParseAddr(q.base).As4()
+			for i := 0; i < 20; i++ {
+				a[3] = byte(i)
+				in <- flow.Record{Ts: start.Add(time.Duration(cycle) * time.Minute),
+					Src: netip.AddrFrom4(a), In: q.in, Bytes: 1200, Packets: 1}
+			}
+		}
+	}
+	close(in)
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if j.Dropped() != 0 {
+		t.Fatalf("journal overflowed; the gap-free tail assertion needs capacity headroom")
+	}
+	// The run is over: one final poll must see the complete log, and
+	// replaying it must reproduce the server's final snapshot.
+	rp := journal.NewReplayer()
+	for _, ev := range j.All() {
+		if err := rp.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !journal.Equal(rp.Snapshot(), journal.Project(srv.Snapshot())) {
+		t.Error("journal replay diverged from the live server snapshot")
+	}
+}

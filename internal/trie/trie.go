@@ -250,6 +250,39 @@ func (t *Trie[V]) Lookup(addr netip.Addr) (netip.Prefix, V, bool) {
 	return bestP, bestV, found
 }
 
+// Path returns the prefixes of the *stored* entries visited on the
+// longest-prefix-match walk for addr, from the family root down to the match
+// (the last element is what Lookup returns). Branch-only nodes are skipped:
+// the path is the chain of real table entries that cover addr, which is what
+// the explain API renders as the trie descent.
+func (t *Trie[V]) Path(addr netip.Addr) []netip.Prefix {
+	if !addr.IsValid() {
+		return nil
+	}
+	addr = addr.Unmap()
+	var n *node[V]
+	if addr.Is4() {
+		n = t.root4
+	} else {
+		n = t.root6
+	}
+	var out []netip.Prefix
+	for n != nil && n.prefix.Contains(addr) {
+		if n.hasVal {
+			out = append(out, n.prefix)
+		}
+		if n.prefix.Bits() >= netaddr.HostBits(n.prefix) {
+			break
+		}
+		dir := 0
+		if netaddr.BitAt(addr, n.prefix.Bits()) {
+			dir = 1
+		}
+		n = n.child[dir]
+	}
+	return out
+}
+
 // LookupPrefix performs a longest-prefix match for the *whole* prefix p: the
 // most specific stored prefix that contains all of p.
 func (t *Trie[V]) LookupPrefix(p netip.Prefix) (netip.Prefix, V, bool) {

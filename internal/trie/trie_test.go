@@ -309,3 +309,52 @@ func BenchmarkTrieLookup(b *testing.B) {
 		tr.Lookup(addrs[i%len(addrs)])
 	}
 }
+
+func TestPath(t *testing.T) {
+	tr := New[string]()
+	tr.Insert(mustPrefix(t, "0.0.0.0/0"), "default")
+	tr.Insert(mustPrefix(t, "10.0.0.0/8"), "ten")
+	tr.Insert(mustPrefix(t, "10.1.0.0/16"), "ten-one")
+	tr.Insert(mustPrefix(t, "10.1.2.240/28"), "deep")
+	tr.Insert(mustPrefix(t, "192.168.0.0/16"), "private")
+
+	cases := []struct {
+		addr string
+		want []string
+	}{
+		// The full descent visits every stored ancestor, ending at the
+		// LPM match.
+		{"10.1.2.241", []string{"0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/16", "10.1.2.240/28"}},
+		{"10.1.9.9", []string{"0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/16"}},
+		{"10.9.9.9", []string{"0.0.0.0/0", "10.0.0.0/8"}},
+		{"8.8.8.8", []string{"0.0.0.0/0"}},
+		// Branch-only nodes between stored entries are skipped.
+		{"192.168.1.1", []string{"0.0.0.0/0", "192.168.0.0/16"}},
+	}
+	for _, c := range cases {
+		got := tr.Path(netip.MustParseAddr(c.addr))
+		if len(got) != len(c.want) {
+			t.Errorf("Path(%s) = %v, want %v", c.addr, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != mustPrefix(t, c.want[i]) {
+				t.Errorf("Path(%s) = %v, want %v", c.addr, got, c.want)
+				break
+			}
+		}
+		// The last path element must agree with Lookup.
+		p, _, ok := tr.Lookup(netip.MustParseAddr(c.addr))
+		if !ok || got[len(got)-1] != p {
+			t.Errorf("Path(%s) ends at %v, Lookup returns %v", c.addr, got[len(got)-1], p)
+		}
+	}
+
+	if got := tr.Path(netip.Addr{}); got != nil {
+		t.Errorf("Path of invalid addr = %v, want nil", got)
+	}
+	// v6 walks are independent of v4 entries.
+	if got := tr.Path(netip.MustParseAddr("2001:db8::1")); got != nil {
+		t.Errorf("Path(v6) with only v4 entries = %v, want nil", got)
+	}
+}

@@ -35,6 +35,8 @@ import (
 	"ipd/internal/core"
 	"ipd/internal/export"
 	"ipd/internal/flow"
+	"ipd/internal/introspect"
+	"ipd/internal/journal"
 	"ipd/internal/stattime"
 	"ipd/internal/telemetry"
 	"ipd/internal/topology"
@@ -57,10 +59,21 @@ type (
 	RangeInfo = core.RangeInfo
 	// Stats are cumulative engine counters.
 	Stats = core.Stats
-	// Event is a classification lifecycle notification.
+	// Event is one range-lifecycle decision (sequence number, cycle id,
+	// kind, prefix, reason) delivered via Config.OnEvent.
 	Event = core.Event
 	// EventKind enumerates Event types.
 	EventKind = core.EventKind
+	// Reason records which threshold fired for an event, with observed vs
+	// configured values.
+	Reason = core.Reason
+	// ReasonCode identifies the threshold comparison behind a Reason.
+	ReasonCode = core.ReasonCode
+	// Explanation answers "why is this IP classified this way" from live
+	// engine state (Engine.Explain / Server.Explain).
+	Explanation = core.Explanation
+	// IngressShare is one ingress's vote within a range.
+	IngressShare = core.IngressShare
 	// DecayFunc computes the idle-range decay factor.
 	DecayFunc = core.DecayFunc
 	// IngressMapper folds physical interfaces into logical ingresses
@@ -68,14 +81,69 @@ type (
 	IngressMapper = core.IngressMapper
 )
 
-// Event kinds.
+// Event kinds (the full range lifecycle).
 const (
 	EventClassified  = core.EventClassified
 	EventInvalidated = core.EventInvalidated
 	EventExpired     = core.EventExpired
 	EventSplit       = core.EventSplit
 	EventJoined      = core.EventJoined
+	EventCreated     = core.EventCreated
+	EventDropped     = core.EventDropped
 )
+
+// Reason codes (which threshold comparison decided an event).
+const (
+	ReasonNone             = core.ReasonNone
+	ReasonRoot             = core.ReasonRoot
+	ReasonPrevalentIngress = core.ReasonPrevalentIngress
+	ReasonShareBelowQ      = core.ReasonShareBelowQ
+	ReasonDecayedOut       = core.ReasonDecayedOut
+	ReasonMixedIngress     = core.ReasonMixedIngress
+	ReasonSiblingsAgree    = core.ReasonSiblingsAgree
+	ReasonEmptyIdle        = core.ReasonEmptyIdle
+)
+
+// Decision-provenance types. A Journal records the engine's lifecycle
+// events (attach it via Config.OnEvent = j.Record); the introspection
+// handler serves the /ipd/* explain API over a live source and its journal;
+// a Replayer reconstructs the partition and classification state from a
+// recorded decision log.
+type (
+	// Journal is a bounded ring of lifecycle events with per-prefix
+	// history and an optional JSONL sink.
+	Journal = journal.Journal
+	// JournalOptions configures a Journal (capacity, sink, telemetry).
+	JournalOptions = journal.Options
+	// RangeView is the replayed, event-determined state of one range.
+	RangeView = journal.RangeView
+	// Replayer folds a decision log back into the partition it describes.
+	Replayer = journal.Replayer
+	// IntrospectSource is the live engine view the /ipd/* handlers read;
+	// *Server implements it.
+	IntrospectSource = introspect.Source
+	// IntrospectHandler serves /ipd/ranges, /ipd/range, /ipd/explain, and
+	// /ipd/events.
+	IntrospectHandler = introspect.Handler
+)
+
+// NewJournal returns a decision journal; attach it to an engine with
+// Config.OnEvent = j.Record (respecting the OnEvent reentrancy contract —
+// the journal's Record already does).
+func NewJournal(opts JournalOptions) *Journal { return journal.New(opts) }
+
+// NewReplayer returns an empty decision-log replayer.
+func NewReplayer() *Replayer { return journal.NewReplayer() }
+
+// ReplayJournal replays an append-only JSONL decision log (the
+// JournalOptions.Sink format) and returns the state after the last event.
+func ReplayJournal(r io.Reader) (*Replayer, error) { return journal.ReplayJSONL(r) }
+
+// NewIntrospectHandler returns the /ipd/* introspection handler over src
+// (typically a *Server) and an optional journal (nil disables history).
+func NewIntrospectHandler(src IntrospectSource, j *Journal) *IntrospectHandler {
+	return introspect.New(src, j)
+}
 
 // Flow-record types.
 type (
