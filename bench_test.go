@@ -332,6 +332,28 @@ func BenchmarkObserveJournaled(b *testing.B) {
 	b.ReportMetric(float64(eng.RangeCount()), "ranges")
 }
 
+// BenchmarkObserveTraced is BenchmarkObserve with a pipeline tracer
+// attached at the default 1-in-1024 span sampling — the enabled-tracing
+// cost. BenchmarkObserve itself measures the disabled path (nil tracer:
+// one nil check per record); the acceptance gate is the disabled path
+// staying within 2% of the PR-2 baseline.
+func BenchmarkObserveTraced(b *testing.B) {
+	records := benchRecords(b, 500_000)
+	cfg := ipd.DefaultConfig()
+	cfg.NCidrFactor4 = 0.01
+	cfg.NCidrFloor = 4
+	cfg.Tracer = ipd.NewTracer(ipd.TracerOptions{})
+	eng, err := ipd.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Observe(records[i%len(records)])
+	}
+	b.ReportMetric(float64(eng.RangeCount()), "ranges")
+}
+
 // BenchmarkEngineEndToEnd measures stage 1 + stage 2 over a continuous
 // stream (cycles included).
 func BenchmarkEngineEndToEnd(b *testing.B) {

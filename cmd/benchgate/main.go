@@ -1,0 +1,156 @@
+// Command benchgate compares `go test -bench` output against a checked-in
+// BENCH_*.json reference and fails on performance regressions.
+//
+//	go test -run '^$' -bench 'BenchmarkObserve' -count 3 . | tee bench.txt
+//	benchgate -bench bench.txt -ref BENCH_3.json -max-regression 10
+//
+// For every benchmark name appearing in both the bench output and the
+// reference's "results" object (keys "<Name>_ns_per_op"), the gate takes
+// the minimum ns/op across the output's repeated runs (the floor damps
+// scheduler noise; a single fast run proves the code can go that fast) and
+// fails if it exceeds the reference by more than -max-regression percent.
+// Names present in only one side are reported and skipped — the gate only
+// checks what both sides know.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one `go test -bench` result row, e.g.
+//
+//	BenchmarkObserve-8   6644589   362.4 ns/op   24 B/op ...
+//
+// The -8 GOMAXPROCS suffix is optional; metrics after ns/op are ignored.
+var benchLine = regexp.MustCompile(`^(Benchmark\w+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// reference is the subset of the BENCH_*.json shape the gate consumes.
+type reference struct {
+	Results map[string]float64 `json:"results"`
+}
+
+// parseBench reads bench output and returns min ns/op per benchmark name.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	mins := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad ns/op %q on line %q", m[2], sc.Text())
+		}
+		if best, ok := mins[m[1]]; !ok || ns < best {
+			mins[m[1]] = ns
+		}
+	}
+	return mins, sc.Err()
+}
+
+// loadRef reads a BENCH_*.json file and returns reference ns/op per
+// benchmark name (strips the "_ns_per_op" key suffix).
+func loadRef(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ref reference
+	if err := json.Unmarshal(data, &ref); err != nil {
+		return nil, fmt.Errorf("benchgate: %s: %v", path, err)
+	}
+	out := make(map[string]float64)
+	for k, v := range ref.Results {
+		const suffix = "_ns_per_op"
+		if len(k) > len(suffix) && k[len(k)-len(suffix):] == suffix {
+			out[k[:len(k)-len(suffix)]] = v
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchgate: %s: no *_ns_per_op entries under \"results\"", path)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		benchPath = flag.String("bench", "", "go test -bench output file (required)")
+		refPath   = flag.String("ref", "", "BENCH_*.json reference file (required)")
+		maxPct    = flag.Float64("max-regression", 10, "fail when min ns/op exceeds the reference by more than this percent")
+	)
+	flag.Parse()
+	if *benchPath == "" || *refPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := gate(*benchPath, *refPath, *maxPct); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func gate(benchPath, refPath string, maxPct float64) error {
+	measured, err := parseBench(benchPath)
+	if err != nil {
+		return err
+	}
+	if len(measured) == 0 {
+		return fmt.Errorf("benchgate: no benchmark results in %s", benchPath)
+	}
+	refs, err := loadRef(refPath)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(measured))
+	for n := range measured {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	failed := 0
+	checked := 0
+	for _, n := range names {
+		ref, ok := refs[n]
+		if !ok {
+			fmt.Printf("benchgate: %-32s %8.1f ns/op  (no reference, skipped)\n", n, measured[n])
+			continue
+		}
+		checked++
+		delta := (measured[n]/ref - 1) * 100
+		status := "ok"
+		if delta > maxPct {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("benchgate: %-32s %8.1f ns/op  ref %8.1f  %+6.1f%%  %s\n",
+			n, measured[n], ref, delta, status)
+	}
+	for n := range refs {
+		if _, ok := measured[n]; !ok {
+			fmt.Printf("benchgate: %-32s (in reference, not measured)\n", n)
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("benchgate: no benchmark overlaps between %s and %s", benchPath, refPath)
+	}
+	if failed > 0 {
+		return fmt.Errorf("benchgate: %d of %d benchmarks regressed more than %.0f%% vs %s", failed, checked, maxPct, refPath)
+	}
+	fmt.Printf("benchgate: %d benchmarks within %.0f%% of %s\n", checked, maxPct, refPath)
+	return nil
+}

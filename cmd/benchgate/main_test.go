@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const benchOut = `goos: linux
+goarch: amd64
+pkg: ipd
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkObserve-8          6644589	       420.0 ns/op	        96.00 ranges
+BenchmarkObserve-8          6712001	       362.4 ns/op	        96.00 ranges
+BenchmarkObserveTraced-8    6500000	       371.9 ns/op	        96.00 ranges
+BenchmarkUnrelated-8        1000000	      1000.0 ns/op
+PASS
+`
+
+const refJSON = `{
+  "pr": 3,
+  "results": {
+    "BenchmarkObserve_ns_per_op": 360.8,
+    "BenchmarkObserveTraced_ns_per_op": 366.0,
+    "BenchmarkMissing_ns_per_op": 100.0
+  }
+}`
+
+func writeFixtures(t *testing.T, bench, ref string) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	bp := filepath.Join(dir, "bench.txt")
+	rp := filepath.Join(dir, "ref.json")
+	if err := os.WriteFile(bp, []byte(bench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(rp, []byte(ref), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return bp, rp
+}
+
+func TestParseBenchTakesMin(t *testing.T) {
+	bp, _ := writeFixtures(t, benchOut, refJSON)
+	mins, err := parseBench(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two BenchmarkObserve rows: the min (362.4) wins over 420.0.
+	if got := mins["BenchmarkObserve"]; got != 362.4 {
+		t.Errorf("BenchmarkObserve min = %v, want 362.4", got)
+	}
+	if got := mins["BenchmarkObserveTraced"]; got != 371.9 {
+		t.Errorf("BenchmarkObserveTraced = %v, want 371.9", got)
+	}
+	if _, ok := mins["PASS"]; ok {
+		t.Error("non-benchmark lines must not parse")
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	bp, rp := writeFixtures(t, benchOut, refJSON)
+	// 362.4 vs 360.8 is +0.4%, 371.9 vs 366.0 is +1.6%: both inside 10%.
+	if err := gate(bp, rp, 10); err != nil {
+		t.Fatalf("gate failed: %v", err)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	bp, rp := writeFixtures(t, benchOut, refJSON)
+	// At a 1% ceiling the +1.6% traced result must fail.
+	if err := gate(bp, rp, 1); err == nil {
+		t.Fatal("gate passed despite regression over threshold")
+	}
+}
+
+func TestGateSkipsUnknownNames(t *testing.T) {
+	// A bench file with only un-referenced names is an error (no overlap),
+	// not a silent pass.
+	bp, rp := writeFixtures(t, "BenchmarkNovel-8  1  10.0 ns/op\n", refJSON)
+	if err := gate(bp, rp, 10); err == nil {
+		t.Fatal("gate passed with zero overlapping benchmarks")
+	}
+}

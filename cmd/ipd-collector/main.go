@@ -22,7 +22,9 @@
 //	/ipd/range    one range + its decision history
 //	/ipd/explain  LPM walk, vote shares, and reason chain for an IP
 //	/ipd/events   tail the decision journal by sequence number
-//	/healthz      liveness
+//	/ipd/traces   tail the pipeline span flight recorder (JSON)
+//	/healthz      liveness (503 once no stage-2 cycle completed within the stall window)
+//	/readyz       readiness (additionally 503 while the last cycle overran its budget)
 //
 // -log-level enables structured logs (one line per stage-2 cycle at info);
 // -journal mirrors every range-lifecycle decision to an append-only JSONL
@@ -67,6 +69,8 @@ func main() {
 		logLevel   = flag.String("log-level", "warn", "structured log level: debug, info, warn, error (info and below log one line per stage-2 cycle)")
 		journalOut = flag.String("journal", "", "append every lifecycle decision as JSON lines to this file ('' disables the sink; the in-memory journal always runs)")
 		journalCap = flag.Int("journal-cap", 4096, "in-memory decision journal ring capacity")
+		traceCap   = flag.Int("trace-cap", 8192, "span flight-recorder ring capacity (tail it at /ipd/traces)")
+		traceSmpl  = flag.Int("trace-sample", 1024, "sample 1-in-N per-record spans (bin, observe); stage-2 cycle phases are always traced")
 	)
 	flag.Parse()
 	logger, err := newLogger(*logLevel)
@@ -74,7 +78,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(2)
 	}
-	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q, logger, *journalOut, *journalCap); err != nil {
+	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q, logger, *journalOut, *journalCap, *traceCap, *traceSmpl); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(1)
 	}
@@ -90,7 +94,7 @@ func newLogger(level string) (*slog.Logger, error) {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }
 
-func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64, logger *slog.Logger, journalOut string, journalCap int) error {
+func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64, logger *slog.Logger, journalOut string, journalCap, traceCap, traceSample int) error {
 	cfg := ipd.DefaultConfig()
 	cfg.NCidrFactor4 = factor4
 	cfg.NCidrFloor = floor
@@ -116,6 +120,25 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 		return err
 	}
 	j.RegisterMetrics(srv.Telemetry())
+
+	// The collector is a long-running daemon, so tracing and the cycle
+	// watchdog are always on: the flight recorder backs /ipd/traces, the
+	// per-phase histograms land on /metrics, and the watchdog turns cycle
+	// spans into /healthz (stall) and /readyz (overrun) state.
+	tracer := ipd.NewTracer(ipd.TracerOptions{
+		Capacity: traceCap,
+		SampleN:  traceSample,
+		Registry: srv.Telemetry(),
+	})
+	srv.SetTracer(tracer)
+	wd, err := ipd.NewWatchdog(ipd.WatchdogConfig{
+		Interval: cfg.T,
+		Registry: srv.Telemetry(),
+	})
+	if err != nil {
+		return err
+	}
+	tracer.SetOnSpan(wd.ObserveSpan)
 
 	records := make(chan ipd.Record, 1<<14)
 	coll, err := netflow.NewCollector(func(rec flow.Record) {
@@ -177,9 +200,8 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 		registerCollectorMetrics(reg, coll, ipfixColl)
 
 		mux := http.NewServeMux()
-		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-			fmt.Fprintln(w, "ok")
-		})
+		mux.Handle("/healthz", wd.HealthzHandler())
+		mux.Handle("/readyz", wd.ReadyzHandler())
 		mux.Handle("/metrics", reg.Handler())
 		mux.Handle("/debug/vars", reg.JSONHandler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -187,7 +209,9 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		mux.Handle("/ipd/", ipd.NewIntrospectHandler(srv, j))
+		ih := ipd.NewIntrospectHandler(srv, j)
+		ih.SetTraces(tracer.Recorder())
+		mux.Handle("/ipd/", ih)
 		mux.HandleFunc("/ranges", func(w http.ResponseWriter, _ *http.Request) {
 			mapped := srv.Mapped()
 			if err := ipd.WriteOutputSnapshot(w, time.Now(), mapped, nil); err != nil {

@@ -9,16 +9,21 @@
 //	ipd -in trace.csv -format csv -summary
 //	ipd -in trace.ipd -log-level info -debug-http :8080
 //	ipd -in trace.ipd -journal decisions.jsonl -explain 10.1.2.3
+//	ipd -in trace.ipd -trace-out trace.json
 //	ipd -replay decisions.jsonl
 //
 // -log-level info emits one structured log line per stage-2 cycle;
 // -debug-http serves /metrics (Prometheus), /debug/vars (JSON dump),
-// /debug/pprof, and the /ipd/* introspection API (ranges, range history,
-// explain, event tail) while the trace is processed. -journal mirrors every
+// /debug/pprof, the /ipd/* introspection API (ranges, range history,
+// explain, event tail, trace-span tail), and the watchdog's /healthz and
+// /readyz probes while the trace is processed. -journal mirrors every
 // range-lifecycle decision to an append-only JSONL file; -replay
 // reconstructs the final partition from such a file without rerunning the
 // trace. -explain prints the decision provenance for one or more IPs after
-// the run.
+// the run. -trace-out writes the span flight recorder as a Chrome
+// trace-event JSON file (Perfetto / chrome://tracing) after the run;
+// -trace-cap and -trace-sample size the recorder and the 1-in-N per-record
+// span sampling.
 package main
 
 import (
@@ -60,6 +65,9 @@ func main() {
 		journalCap = flag.Int("journal-cap", 4096, "in-memory decision journal ring capacity")
 		explainIPs = flag.String("explain", "", "comma-separated IPs: print decision provenance for each after the run")
 		replayIn   = flag.String("replay", "", "replay a JSONL decision journal and print the reconstructed partition (no trace is read)")
+		traceCap   = flag.Int("trace-cap", 8192, "flight-recorder ring capacity in spans (tracing runs when -trace-out or -debug-http is set)")
+		traceSmpl  = flag.Int("trace-sample", 1024, "sample 1-in-N per-record spans (read, observe); stage-2 cycle phases are always traced")
+		traceOut   = flag.String("trace-out", "", "write the flight recorder as Chrome trace-event JSON (load in Perfetto / chrome://tracing) after the run ('' disables)")
 	)
 	flag.Parse()
 
@@ -80,7 +88,8 @@ func main() {
 
 	cfg := config(*factor4, *factor6, *floor, *q, *cidrMax4, *cidrMax6, *tBucket, *expiry, *bytesCnt)
 	cfg.Logger = logger
-	if err := run(*in, *format, cfg, *bin, *summary, *debugHTTP, *journalOut, *journalCap, *explainIPs); err != nil {
+	tf := traceFlags{capacity: *traceCap, sampleN: *traceSmpl, out: *traceOut}
+	if err := run(*in, *format, cfg, *bin, *summary, *debugHTTP, *journalOut, *journalCap, *explainIPs, tf); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd:", err)
 		os.Exit(1)
 	}
@@ -152,10 +161,18 @@ func (l *lockedEngine) Explain(addr netip.Addr) (ipd.Explanation, bool) {
 	return l.eng.Explain(addr)
 }
 
-// serveDebug mounts the telemetry, profiling, and introspection surface
-// while a trace run is in flight (best-effort: the process exits with the
-// run).
-func serveDebug(addr string, reg *ipd.TelemetryRegistry, introspect http.Handler) {
+// traceFlags carries the -trace-* flag values into run.
+type traceFlags struct {
+	capacity int
+	sampleN  int
+	out      string
+}
+
+// serveDebug mounts the telemetry, profiling, introspection, and health
+// surface while a trace run is in flight (best-effort: the process exits
+// with the run). wd may be nil (no watchdog → /healthz and /readyz are not
+// mounted).
+func serveDebug(addr string, reg *ipd.TelemetryRegistry, introspect http.Handler, wd *ipd.Watchdog) {
 	ipd.RegisterProcessMetrics(reg)
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
@@ -166,6 +183,10 @@ func serveDebug(addr string, reg *ipd.TelemetryRegistry, introspect http.Handler
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/ipd/", introspect)
+	if wd != nil {
+		mux.Handle("/healthz", wd.HealthzHandler())
+		mux.Handle("/readyz", wd.ReadyzHandler())
+	}
 	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -175,7 +196,7 @@ func serveDebug(addr string, reg *ipd.TelemetryRegistry, introspect http.Handler
 	fmt.Fprintf(os.Stderr, "ipd: debug endpoints on http://%s\n", addr)
 }
 
-func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, debugHTTP, journalOut string, journalCap int, explainIPs string) error {
+func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, debugHTTP, journalOut string, journalCap int, explainIPs string, tf traceFlags) error {
 	var r io.Reader = os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -209,8 +230,35 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 	j.RegisterMetrics(eng.Telemetry())
 	flowMetrics := ipd.NewFlowMetrics(eng.Telemetry())
 	locked := &lockedEngine{eng: eng}
+
+	// Tracing runs whenever anything can consume it: a Chrome export file or
+	// the debug server's /ipd/traces tail. Otherwise the tracer stays nil and
+	// the hot paths pay only a nil check. The tracer is built after the
+	// engine so its phase histograms land in the engine's registry.
+	var tracer *ipd.Tracer
+	var wd *ipd.Watchdog
+	if tf.out != "" || debugHTTP != "" {
+		tracer = ipd.NewTracer(ipd.TracerOptions{
+			Capacity: tf.capacity,
+			SampleN:  tf.sampleN,
+			Registry: eng.Telemetry(),
+		})
+		eng.SetTracer(tracer)
+		wd, err = ipd.NewWatchdog(ipd.WatchdogConfig{
+			Interval: cfg.T,
+			Registry: eng.Telemetry(),
+		})
+		if err != nil {
+			return err
+		}
+		tracer.SetOnSpan(wd.ObserveSpan)
+	}
 	if debugHTTP != "" {
-		serveDebug(debugHTTP, eng.Telemetry(), ipd.NewIntrospectHandler(locked, j))
+		ih := ipd.NewIntrospectHandler(locked, j)
+		if tracer != nil {
+			ih.SetTraces(tracer.Recorder())
+		}
+		serveDebug(debugHTTP, eng.Telemetry(), ih, wd)
 	}
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
@@ -244,6 +292,7 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 	case "binary":
 		tr := ipd.NewTraceReader(r)
 		tr.SetMetrics(flowMetrics)
+		tr.SetTracer(tracer)
 		for {
 			rec, err := tr.Read()
 			if err == io.EOF {
@@ -301,6 +350,34 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 	if err := j.SinkErr(); err != nil {
 		return fmt.Errorf("journal sink: %v", err)
 	}
+	if tf.out != "" && tracer != nil {
+		if err := writeTrace(tf.out, tracer); err != nil {
+			return fmt.Errorf("trace export: %v", err)
+		}
+	}
+	return nil
+}
+
+// writeTrace dumps the flight recorder to path in Chrome trace-event format.
+func writeTrace(path string, tracer *ipd.Tracer) error {
+	spans := tracer.Recorder().Tail(0)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := ipd.WriteChromeTrace(w, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ipd: wrote %d trace spans to %s\n", len(spans), path)
 	return nil
 }
 

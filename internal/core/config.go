@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"ipd/internal/flow"
+	"ipd/internal/trace"
 )
 
 // IngressMapper folds physical ingress interfaces into logical ones; the
@@ -125,6 +126,12 @@ type Config struct {
 	// per-cycle bookkeeping is skipped entirely when the logger's level
 	// filters Info out.
 	Logger *slog.Logger
+
+	// Tracer, when non-nil, receives pipeline spans: one per stage-2 cycle
+	// phase (snapshot, decay, classify, split, join, drop, plus the cycle
+	// umbrella) and a sampled 1-in-N span per Observe call. nil disables
+	// tracing; the only hot-path cost is a nil check.
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig returns the deployment parameterization from Table 1.

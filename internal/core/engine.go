@@ -11,6 +11,7 @@ import (
 	"ipd/internal/flow"
 	"ipd/internal/netaddr"
 	"ipd/internal/telemetry"
+	"ipd/internal/trace"
 	"ipd/internal/trie"
 )
 
@@ -144,6 +145,10 @@ type Engine struct {
 	// snapshots, /metrics scrapes) load these without any lock.
 	tel *engineMetrics
 
+	// tracer records per-phase cycle spans and sampled Observe spans into
+	// the flight recorder; nil disables tracing at one nil check per call.
+	tracer *trace.Tracer
+
 	log *slog.Logger
 	// churn accumulates per-ingress classification churn within one cycle;
 	// non-nil only while a cycle runs with logging enabled.
@@ -161,6 +166,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		mapper: cfg.mapper(),
 		active: trie.New[*rangeState](),
 		tel:    newEngineMetrics(),
+		tracer: cfg.Tracer,
 		log:    cfg.Logger,
 	}
 	root4 := netip.PrefixFrom(netip.IPv4Unspecified(), 0)
@@ -174,6 +180,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// SetTracer attaches a pipeline tracer after construction (nil detaches).
+// This exists for callers that need the engine's Telemetry registry to build
+// the tracer — Config.Tracer is the usual path. Call during setup, before
+// the first Feed/Observe.
+func (e *Engine) SetTracer(t *trace.Tracer) { e.tracer = t }
 
 // Stats returns a snapshot of the cumulative counters, assembled from the
 // telemetry registry's atomics (safe to call concurrently with ingest).
@@ -207,6 +219,9 @@ func (e *Engine) IPStateCount() int {
 // expiry precision but nothing else.
 func (e *Engine) Observe(rec flow.Record) {
 	e.guardReentry()
+	if e.tracer.Sample() {
+		defer e.tracer.Begin(trace.PhaseObserve, e.cycleID).End(0)
+	}
 	if !rec.Valid() {
 		e.tel.recordsDropped.Inc()
 		return
@@ -332,11 +347,20 @@ func (e *Engine) guardReentry() {
 	}
 }
 
-// runCycle is stage 2 (Algorithm 1 lines 5-19).
+// runCycle is stage 2 (Algorithm 1 lines 5-19), structured as six traced
+// phases: snapshot, decay, classify, split, join, drop. The phase order is
+// behaviour-preserving with respect to the former single loop: each range's
+// per-cycle processing touches only its own state, classification decisions
+// are taken against the snapshot-time partition (a range decayed to
+// unclassified this cycle is not reclassified until the next), and the two
+// merge categories of the former unified join pass cannot enable each other
+// within one cycle (an empty collapse bears bornAt=now, a classified merge
+// yields a classified parent).
 func (e *Engine) runCycle(now time.Time) {
 	start := time.Now()
 	e.cycleID++
 	cycleStart := now.Add(-e.cfg.T)
+	cycleSpan := e.tracer.Begin(trace.PhaseCycle, e.cycleID)
 
 	logging := e.log != nil && e.log.Enabled(context.Background(), slog.LevelInfo)
 	rangesBefore := e.active.Len()
@@ -346,22 +370,56 @@ func (e *Engine) runCycle(now time.Time) {
 		before = e.cycleCounters()
 	}
 
-	// Collect the current active set once; splits mutate the trie.
-	ranges := make([]*rangeState, 0, e.active.Len())
+	// Snapshot: collect and partition the active set once; splits mutate
+	// the trie, and the classified/unclassified decision is fixed here so a
+	// range expired by the decay phase is not also classified this cycle.
+	span := e.tracer.Begin(trace.PhaseSnapshot, e.cycleID)
+	classified := make([]*rangeState, 0, e.active.Len())
+	unclassified := make([]*rangeState, 0, e.active.Len())
 	e.active.Walk(func(_ netip.Prefix, rs *rangeState) bool {
-		ranges = append(ranges, rs)
+		if rs.classified {
+			classified = append(classified, rs)
+		} else {
+			unclassified = append(unclassified, rs)
+		}
 		return true
 	})
+	span.End(len(classified) + len(unclassified))
 
-	for _, rs := range ranges {
-		if rs.classified {
-			e.cycleClassified(rs, now, cycleStart)
-		} else {
-			e.cycleUnclassified(rs, now)
+	// Decay: idle-decay, expire, and invalidate classified ranges.
+	span = e.tracer.Begin(trace.PhaseDecay, e.cycleID)
+	for _, rs := range classified {
+		e.cycleClassified(rs, now, cycleStart)
+	}
+	span.End(len(classified))
+
+	// Classify: expire per-IP state and classify unclassified ranges,
+	// collecting split decisions for the next phase.
+	span = e.tracer.Begin(trace.PhaseClassify, e.cycleID)
+	var splits []pendingSplit
+	for _, rs := range unclassified {
+		if ps, ok := e.cycleUnclassified(rs, now); ok {
+			splits = append(splits, ps)
 		}
 	}
+	span.End(len(unclassified))
 
-	e.joinPass(now)
+	// Split: apply the collected splits.
+	span = e.tracer.Begin(trace.PhaseSplit, e.cycleID)
+	for _, ps := range splits {
+		e.split(ps.rs, now, ps.share, ps.ncidr)
+	}
+	span.End(len(splits))
+
+	// Join: merge agreeing classified sibling pairs bottom-up.
+	span = e.tracer.Begin(trace.PhaseJoin, e.cycleID)
+	joins := e.mergePass(now, false)
+	span.End(joins)
+
+	// Drop: collapse empty-idle sibling pairs (state cleanup).
+	span = e.tracer.Begin(trace.PhaseDrop, e.cycleID)
+	drops := e.mergePass(now, true)
+	span.End(drops)
 
 	dur := time.Since(start)
 	e.tel.cycles.Inc()
@@ -375,6 +433,7 @@ func (e *Engine) runCycle(now time.Time) {
 		e.logCycle(now, dur, rangesBefore, before)
 		e.churn = nil
 	}
+	cycleSpan.End(e.active.Len())
 }
 
 // cycleCounters is the subset of counters whose per-cycle deltas the
@@ -476,8 +535,19 @@ func (e *Engine) unclassify(rs *rangeState, now time.Time) {
 	rs.bornAt = now
 }
 
-// cycleUnclassified handles lines 7-15: expiry, classification, split.
-func (e *Engine) cycleUnclassified(rs *rangeState, now time.Time) {
+// pendingSplit is a split decision taken during the classify phase and
+// applied in the split phase, together with the observed top-ingress share
+// and sample threshold that justified it (for the event reason).
+type pendingSplit struct {
+	rs           *rangeState
+	share, ncidr float64
+}
+
+// cycleUnclassified handles lines 7-15: expiry and classification. A mixed
+// range below cidr_max is returned as a pending split rather than split
+// inline, so the split phase can apply (and account) all of a cycle's splits
+// together.
+func (e *Engine) cycleUnclassified(rs *rangeState, now time.Time) (pendingSplit, bool) {
 	// Remove source-IP information older than E.
 	for k, st := range rs.ips {
 		if now.Sub(st.lastSeen) > e.cfg.E {
@@ -497,7 +567,7 @@ func (e *Engine) cycleUnclassified(rs *rangeState, now time.Time) {
 
 	ncidr := e.cfg.NCidr(rs.prefix.Bits(), rs.v6)
 	if rs.total < ncidr {
-		return // not enough samples yet (line 8)
+		return pendingSplit{}, false // not enough samples yet (line 8)
 	}
 	in, share := rs.top()
 	if share >= e.cfg.Q {
@@ -513,13 +583,14 @@ func (e *Engine) cycleUnclassified(rs *rangeState, now time.Time) {
 		e.emit(Event{Kind: EventClassified, Prefix: rs.prefix.String(), Ingress: in, At: now,
 			Reason: Reason{Code: ReasonPrevalentIngress, Observed: share, Threshold: e.cfg.Q,
 				Samples: rs.total, MinSamples: ncidr}})
-		return
+		return pendingSplit{}, false
 	}
 	if rs.prefix.Bits() < e.cfg.cidrMax(rs.v6) {
-		e.split(rs, now, share, ncidr)
+		return pendingSplit{rs: rs, share: share, ncidr: ncidr}, true
 	}
 	// At cidr_max with mixed ingress: keep monitoring (the join pass is
 	// what "try to join", line 15, can still do for such ranges' parents).
+	return pendingSplit{}, false
 }
 
 // split replaces rs with its two children (line 13), redistributing the
@@ -560,11 +631,18 @@ func (e *Engine) split(rs *rangeState, now time.Time, share, ncidr float64) {
 		Children: []string{lo.String(), hi.String()}})
 }
 
-// joinPass merges sibling ranges bottom-up: two classified siblings with the
-// same ingress whose combined samples satisfy the parent's n_cidr become the
-// classified parent; two empty unclassified siblings collapse into an empty
-// parent (state cleanup). Repeats until a fixpoint so merges cascade upward.
-func (e *Engine) joinPass(now time.Time) {
+// mergePass merges sibling ranges bottom-up, repeating until a fixpoint so
+// merges cascade upward. With collapse false it performs classified joins:
+// two classified siblings with the same ingress whose combined samples
+// satisfy the parent's n_cidr become the classified parent. With collapse
+// true it performs empty collapses: two empty-idle unclassified siblings
+// become an empty parent (state cleanup). The two categories are separate
+// traced phases; running them in sequence is equivalent to the former
+// unified pass because neither category can enable the other within a cycle
+// (a collapse's parent has bornAt=now, a join's parent is classified).
+// Returns the number of merges applied.
+func (e *Engine) mergePass(now time.Time, collapse bool) int {
+	merges := 0
 	for {
 		prefixes := e.active.Prefixes()
 		// Deepest first, so cascades can continue within one sweep.
@@ -588,7 +666,7 @@ func (e *Engine) joinPass(now time.Time) {
 			}
 			parentPfx, _ := netaddr.Parent(p)
 			merged, collapsed := e.tryJoin(rs, sib, parentPfx, now)
-			if merged == nil {
+			if merged == nil || collapsed != collapse {
 				continue
 			}
 			e.active.Delete(p)
@@ -615,9 +693,10 @@ func (e *Engine) joinPass(now time.Time) {
 					Children: children})
 			}
 			changed = true
+			merges++
 		}
 		if !changed {
-			return
+			return merges
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"ipd/internal/flow"
 	"ipd/internal/stattime"
 	"ipd/internal/telemetry"
+	"ipd/internal/trace"
 	"ipd/internal/trie"
 )
 
@@ -53,6 +54,14 @@ func NewServer(cfg Config, st stattime.Config) (*Server, error) {
 	bin.SetMetrics(stattime.NewMetrics(eng.Telemetry()))
 	s.bin = bin
 	return s, nil
+}
+
+// SetTracer attaches a pipeline tracer to both the engine (observe and
+// cycle-phase spans) and the statistical-time binner (bin spans); nil
+// detaches. Call during setup, before Run.
+func (s *Server) SetTracer(t *trace.Tracer) {
+	s.eng.SetTracer(t)
+	s.bin.SetTracer(t)
 }
 
 // ingestBucket runs under s.mu (Run holds the lock around Offer/Flush).

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"ipd/internal/trace"
 )
 
 // Binary wire format (NetFlow-v5 inspired, version tag 0x4950 "IP"):
@@ -137,6 +139,7 @@ type Reader struct {
 	r          *bufio.Reader
 	headerDone bool
 	m          *Metrics
+	tracer     *trace.Tracer
 }
 
 // NewReader returns a Reader consuming from r.
@@ -147,6 +150,10 @@ func NewReader(r io.Reader) *Reader {
 // SetMetrics attaches a telemetry set; nil detaches. Decoded records and
 // decode errors are counted into it.
 func (rd *Reader) SetMetrics(m *Metrics) { rd.m = m }
+
+// SetTracer attaches a pipeline tracer; nil detaches. Reads are spanned
+// 1-in-N (the tracer's sample rate) under PhaseRead.
+func (rd *Reader) SetTracer(t *trace.Tracer) { rd.tracer = t }
 
 // countRead classifies the outcome of one Read for telemetry. Clean EOF is
 // not an error; everything else non-nil is.
@@ -181,6 +188,9 @@ func (rd *Reader) readHeader() error {
 // Read decodes the next record. It returns io.EOF at a clean end of stream
 // and io.ErrUnexpectedEOF for a truncated record.
 func (rd *Reader) Read() (Record, error) {
+	if rd.tracer.Sample() {
+		defer rd.tracer.Begin(trace.PhaseRead, 0).End(0)
+	}
 	rec, err := rd.read()
 	rd.countRead(err)
 	return rec, err

@@ -5,6 +5,7 @@
 //	GET /ipd/range?prefix=10.0.0.0/8                      one range + history
 //	GET /ipd/explain?ip=10.1.2.3                          LPM walk + votes + reasons
 //	GET /ipd/events?since=<seq>&limit=                    tail the journal
+//	GET /ipd/traces?limit=&phase=                         tail the flight recorder
 //
 // The handlers read through a Source (core.Server implements it; cmd/ipd
 // wraps its single-threaded engine in a mutex adapter) and never mutate, so
@@ -23,6 +24,7 @@ import (
 	"ipd/internal/core"
 	"ipd/internal/flow"
 	"ipd/internal/journal"
+	"ipd/internal/trace"
 )
 
 // Source is the live engine view the handlers read. All methods must be
@@ -43,6 +45,7 @@ type Handler struct {
 	mux *http.ServeMux
 	src Source
 	j   *journal.Journal // may be nil: history fields are omitted, /ipd/events is 404
+	rec *trace.Recorder  // may be nil: /ipd/traces is 404
 }
 
 // New builds the handler. j may be nil when no journal is attached; the
@@ -54,8 +57,13 @@ func New(src Source, j *journal.Journal) *Handler {
 	h.mux.HandleFunc("/ipd/range", h.rangeOne)
 	h.mux.HandleFunc("/ipd/explain", h.explain)
 	h.mux.HandleFunc("/ipd/events", h.events)
+	h.mux.HandleFunc("/ipd/traces", h.traces)
 	return h
 }
+
+// SetTraces attaches the pipeline tracer's flight recorder, enabling
+// /ipd/traces. Call during setup, before serving.
+func (h *Handler) SetTraces(rec *trace.Recorder) { h.rec = rec }
 
 // ServeHTTP dispatches to the /ipd/* routes.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
@@ -341,5 +349,57 @@ func (h *Handler) events(w http.ResponseWriter, r *http.Request) {
 		"dropped":    h.j.Dropped(),
 		"count":      len(evs),
 		"events":     toEventJSON(evs),
+	})
+}
+
+// traces serves GET /ipd/traces?limit=&phase=: the flight recorder's span
+// tail, oldest first. phase filters to one pipeline phase (read, bin,
+// observe, snapshot, decay, classify, split, join, drop, cycle); dropped
+// reports ring overflow so a client can detect gaps.
+func (h *Handler) traces(w http.ResponseWriter, r *http.Request) {
+	if h.rec == nil {
+		writeErr(w, http.StatusNotFound, "no tracer attached")
+		return
+	}
+	q := r.URL.Query()
+	limit := 1000
+	if s := q.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	var phaseFilter *trace.Phase
+	if s := q.Get("phase"); s != "" {
+		p, ok := trace.ParsePhase(s)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, "unknown phase "+strconv.Quote(s))
+			return
+		}
+		phaseFilter = &p
+	}
+	// With a phase filter the tail is taken unlimited and filtered, so
+	// limit bounds matching spans rather than scanned ones.
+	spans := h.rec.Tail(0)
+	if phaseFilter != nil {
+		kept := spans[:0]
+		for _, sp := range spans {
+			if sp.Phase == *phaseFilter {
+				kept = append(kept, sp)
+			}
+		}
+		spans = kept
+	}
+	if len(spans) > limit {
+		spans = spans[len(spans)-limit:]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"recorded": h.rec.Recorded(),
+		"dropped":  h.rec.Dropped(),
+		"capacity": h.rec.Capacity(),
+		"count":    len(spans),
+		"spans":    spans,
 	})
 }

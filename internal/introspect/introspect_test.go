@@ -16,6 +16,7 @@ import (
 	"ipd/internal/flow"
 	"ipd/internal/journal"
 	"ipd/internal/stattime"
+	"ipd/internal/trace"
 )
 
 var (
@@ -260,6 +261,91 @@ func TestEventsEndpoint(t *testing.T) {
 	bare := New(e, nil)
 	if code, _ := get(t, bare, "/ipd/events"); code != http.StatusNotFound {
 		t.Errorf("no journal: status = %d, want 404", code)
+	}
+}
+
+// TestTracesEndpoint checks /ipd/traces: span tail shape, limit and phase
+// filters, accounting fields, and the 404 without a recorder attached.
+func TestTracesEndpoint(t *testing.T) {
+	j := journal.New(journal.Options{})
+	tr := trace.New(trace.Options{Capacity: 512, SampleN: 1})
+	cfg := testConfig()
+	cfg.OnEvent = j.Record
+	cfg.Tracer = tr
+	e, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Date(2024, 8, 4, 12, 0, 0, 0, time.UTC)
+	for cycle := 0; cycle < 3; cycle++ {
+		for _, q := range quadrants {
+			a := netip.MustParseAddr(q.base).As4()
+			for i := 0; i < 20; i++ {
+				a[3] = byte(i)
+				e.Observe(flow.Record{Ts: ts, Src: netip.AddrFrom4(a), In: q.in, Bytes: 1200, Packets: 1})
+			}
+		}
+		ts = ts.Add(time.Minute)
+		e.AdvanceTo(ts)
+	}
+
+	h := New(e, j)
+	if code, _ := get(t, h, "/ipd/traces"); code != http.StatusNotFound {
+		t.Errorf("no recorder: status = %d, want 404", code)
+	}
+	h.SetTraces(tr.Recorder())
+
+	code, body := get(t, h, "/ipd/traces")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %v", code, body)
+	}
+	spans, _ := body["spans"].([]any)
+	if len(spans) == 0 || body["count"].(float64) != float64(len(spans)) {
+		t.Fatalf("count = %v, spans = %d", body["count"], len(spans))
+	}
+	if body["recorded"].(float64) < body["count"].(float64) {
+		t.Errorf("recorded %v < served count %v", body["recorded"], body["count"])
+	}
+	if body["capacity"].(float64) != 512 {
+		t.Errorf("capacity = %v, want 512", body["capacity"])
+	}
+	first := spans[0].(map[string]any)
+	for _, key := range []string{"seq", "phase", "cycle", "ranges", "start", "wall_ns", "cpu_ns"} {
+		if _, ok := first[key]; !ok {
+			t.Errorf("span is missing %q: %v", key, first)
+		}
+	}
+
+	// Two cycles advanced: the phase filter must return exactly the cycle
+	// umbrella spans, one per cycle (AdvanceTo runs a cycle per boundary;
+	// three advances from a started engine run at least two).
+	_, body = get(t, h, "/ipd/traces?phase=cycle")
+	cycles, _ := body["spans"].([]any)
+	if len(cycles) == 0 {
+		t.Fatal("phase=cycle returned no spans")
+	}
+	for _, s := range cycles {
+		if ph := s.(map[string]any)["phase"]; ph != "cycle" {
+			t.Errorf("phase filter leaked a %v span", ph)
+		}
+	}
+
+	_, body = get(t, h, "/ipd/traces?limit=2")
+	if body["count"].(float64) != 2 {
+		t.Errorf("limited count = %v, want 2", body["count"])
+	}
+	// limit applies after the phase filter, and the tail keeps the newest.
+	_, body = get(t, h, "/ipd/traces?phase=cycle&limit=1")
+	one, _ := body["spans"].([]any)
+	if len(one) != 1 || one[0].(map[string]any)["phase"] != "cycle" {
+		t.Errorf("phase+limit tail = %v, want one cycle span", one)
+	}
+
+	if code, _ := get(t, h, "/ipd/traces?phase=banana"); code != http.StatusBadRequest {
+		t.Errorf("bad phase: status = %d, want 400", code)
+	}
+	if code, _ := get(t, h, "/ipd/traces?limit=0"); code != http.StatusBadRequest {
+		t.Errorf("bad limit: status = %d, want 400", code)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"ipd/internal/flow"
 	"ipd/internal/telemetry"
+	"ipd/internal/trace"
 )
 
 // Config parameterizes a Binner.
@@ -158,9 +159,10 @@ func (b Bucket) End(length time.Duration) time.Time { return b.Start.Add(length)
 // safe for concurrent use; run one Binner per ingest goroutine and merge
 // downstream (the IPD engine's stage 1 is per-reader anyway).
 type Binner struct {
-	cfg  Config
-	emit func(Bucket)
-	m    *Metrics
+	cfg    Config
+	emit   func(Bucket)
+	m      *Metrics
+	tracer *trace.Tracer
 
 	// inferred statistical "now": max accepted timestamp so far.
 	now time.Time
@@ -188,6 +190,11 @@ func (b *Binner) SetMetrics(m *Metrics) {
 	}
 }
 
+// SetTracer attaches a pipeline tracer; nil detaches. Offer calls are
+// spanned 1-in-N (the tracer's sample rate) under PhaseBin. Call before the
+// first Offer.
+func (b *Binner) SetTracer(t *trace.Tracer) { b.tracer = t }
+
 // Stats returns a snapshot of the drop counters, loaded from the metric
 // atomics (safe concurrently with Offer).
 func (b *Binner) Stats() Stats {
@@ -212,6 +219,9 @@ func (b *Binner) align(ts time.Time) time.Time {
 // Offer feeds one record. It returns true if the record was accepted into a
 // bucket.
 func (b *Binner) Offer(rec flow.Record) bool {
+	if b.tracer.Sample() {
+		defer b.tracer.Begin(trace.PhaseBin, 0).End(0)
+	}
 	if !rec.Valid() {
 		b.m.DroppedStale.Inc()
 		return false

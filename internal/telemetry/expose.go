@@ -35,11 +35,28 @@ func escapeHelp(s string) string {
 	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
+// escapeLabelValue escapes a label value per the text-format rules:
+// backslash, double quote, and newline. Without this, a value containing any
+// of the three corrupts the exposition — a quote terminates the value early
+// and a newline splits the sample line in two.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
 // WritePrometheus writes every registered metric in Prometheus text format
-// (version 0.0.4), sorted by metric name so output is stable for golden
-// tests and scrape diffing.
+// (version 0.0.4), sorted by series key so output is stable for golden tests
+// and scrape diffing. HELP and TYPE are emitted once per metric family; the
+// sort keeps a family's labeled series contiguous ('{' orders after '_' and
+// every identifier character, so no other family name can sort between two
+// keys sharing a "family{" prefix).
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	prevFamily := ""
 	for _, m := range r.snapshotMetrics() {
 		typ := ""
 		switch m.kind {
@@ -50,10 +67,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case kindHistogram:
 			typ = "histogram"
 		}
-		if m.help != "" {
-			fmt.Fprintf(bw, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+		if m.family != prevFamily {
+			if m.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", m.family, escapeHelp(m.help))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.family, typ)
+			prevFamily = m.family
 		}
-		fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, typ)
 		switch m.kind {
 		case kindCounter:
 			fmt.Fprintf(bw, "%s %d\n", m.name, m.counter.Value())
@@ -63,12 +83,21 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(bw, "%s %s\n", m.name, formatFloat(m.fn()))
 		case kindHistogram:
 			s := m.hist.Snapshot()
-			for i, bound := range s.Upper {
-				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", m.name, formatFloat(bound), s.Cumulative[i])
+			series := labelString(m.labels)
+			if series != "" {
+				series += ","
 			}
-			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", m.name, s.Cumulative[len(s.Cumulative)-1])
-			fmt.Fprintf(bw, "%s_sum %s\n", m.name, formatFloat(s.Sum))
-			fmt.Fprintf(bw, "%s_count %d\n", m.name, s.Count)
+			for i, bound := range s.Upper {
+				fmt.Fprintf(bw, "%s_bucket{%sle=%q} %d\n", m.family, series, formatFloat(bound), s.Cumulative[i])
+			}
+			fmt.Fprintf(bw, "%s_bucket{%sle=\"+Inf\"} %d\n", m.family, series, s.Cumulative[len(s.Cumulative)-1])
+			if len(m.labels) == 0 {
+				fmt.Fprintf(bw, "%s_sum %s\n", m.family, formatFloat(s.Sum))
+				fmt.Fprintf(bw, "%s_count %d\n", m.family, s.Count)
+			} else {
+				fmt.Fprintf(bw, "%s_sum{%s} %s\n", m.family, labelString(m.labels), formatFloat(s.Sum))
+				fmt.Fprintf(bw, "%s_count{%s} %d\n", m.family, labelString(m.labels), s.Count)
+			}
 		}
 	}
 	return bw.Flush()

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestRegisterProcessMetrics verifies the runtime gauges register, expose,
+// and track live process state at scrape time.
+func TestRegisterProcessMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcessMetrics(r)
+	// Idempotent: the binaries may wire a registry through several setup
+	// paths; a second call must not panic or duplicate families.
+	RegisterProcessMetrics(r)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range []string{
+		"go_goroutines", "go_heap_alloc_bytes", "go_heap_objects", "go_gc_cycles_total",
+	} {
+		if strings.Count(out, "# TYPE "+name+" ") != 1 {
+			t.Errorf("metric %s missing or duplicated in exposition:\n%s", name, out)
+		}
+	}
+
+	read := func(name string) float64 {
+		r.mu.Lock()
+		m := r.byName[name]
+		r.mu.Unlock()
+		if m == nil || m.fn == nil {
+			t.Fatalf("metric %s not registered as a func metric", name)
+		}
+		return m.fn()
+	}
+
+	if g := read("go_goroutines"); g < 1 {
+		t.Errorf("go_goroutines = %v, want >= 1", g)
+	}
+	if a := read("go_heap_alloc_bytes"); a <= 0 {
+		t.Errorf("go_heap_alloc_bytes = %v, want > 0", a)
+	}
+	if o := read("go_heap_objects"); o <= 0 {
+		t.Errorf("go_heap_objects = %v, want > 0", o)
+	}
+
+	// The gauges are scrape-time reads, not registration-time snapshots:
+	// forcing a GC must advance the cycle counter.
+	before := read("go_gc_cycles_total")
+	runtime.GC()
+	if after := read("go_gc_cycles_total"); after < before+1 {
+		t.Errorf("go_gc_cycles_total did not advance across runtime.GC(): %v -> %v", before, after)
+	}
+
+	// And the goroutine gauge moves with a live goroutine.
+	done := make(chan struct{})
+	block := make(chan struct{})
+	go func() { <-block; close(done) }()
+	during := read("go_goroutines")
+	close(block)
+	<-done
+	if during < 2 {
+		t.Errorf("go_goroutines = %v with a blocked goroutine live, want >= 2", during)
+	}
+}

@@ -19,6 +19,7 @@ package telemetry
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -142,16 +143,53 @@ const (
 	kindGaugeFunc
 )
 
-// metric is one registered exposition entry.
+// Label is one name/value pair attached to a labeled metric. Values may
+// contain any bytes; exposition escapes them per the text format.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// metric is one registered exposition entry. name is the full series key
+// (family plus rendered labels); family and labels are kept separately so
+// exposition can emit HELP/TYPE once per family and splice extra labels
+// (histogram le) into sample lines.
 type metric struct {
-	name string
-	help string
-	kind kind
+	name   string // full key: family{label="value",...}, or family if unlabeled
+	family string
+	labels []Label
+	help   string
+	kind   kind
 
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
 	fn      func() float64
+}
+
+// labelString renders labels as they appear inside braces: a="b",c="d",
+// with label values escaped.
+func labelString(labels []Label) string {
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// seriesKey renders the full metric key used for registry identity, sorting,
+// and the JSON dump.
+func seriesKey(family string, labels []Label) string {
+	if len(labels) == 0 {
+		return family
+	}
+	return family + "{" + labelString(labels) + "}"
 }
 
 // Registry names metrics for exposition. Get-or-create accessors make
@@ -192,7 +230,7 @@ func (r *Registry) Counter(name, help string) *Counter {
 	if m := r.lookup(name, kindCounter); m != nil {
 		return m.counter
 	}
-	m := &metric{name: name, help: help, kind: kindCounter, counter: new(Counter)}
+	m := &metric{name: name, family: name, help: help, kind: kindCounter, counter: new(Counter)}
 	r.add(m)
 	return m.counter
 }
@@ -204,7 +242,7 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	if m := r.lookup(name, kindGauge); m != nil {
 		return m.gauge
 	}
-	m := &metric{name: name, help: help, kind: kindGauge, gauge: new(Gauge)}
+	m := &metric{name: name, family: name, help: help, kind: kindGauge, gauge: new(Gauge)}
 	r.add(m)
 	return m.gauge
 }
@@ -217,9 +255,52 @@ func (r *Registry) Histogram(name, help string, upper []float64) *Histogram {
 	if m := r.lookup(name, kindHistogram); m != nil {
 		return m.hist
 	}
-	m := &metric{name: name, help: help, kind: kindHistogram, hist: NewHistogram(upper)}
+	m := &metric{name: name, family: name, help: help, kind: kindHistogram, hist: NewHistogram(upper)}
 	r.add(m)
 	return m.hist
+}
+
+// labeledMetric is the shared get-or-create path for the Labeled* accessors.
+// Identity is the full series key, so the same family with different label
+// values yields distinct metrics while repeat calls share one.
+func (r *Registry) labeled(family string, labels []Label, help string, k kind, mk func() *metric) *metric {
+	key := seriesKey(family, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(key, k); m != nil {
+		return m
+	}
+	m := mk()
+	m.name = key
+	m.family = family
+	m.labels = append([]Label(nil), labels...)
+	m.help = help
+	m.kind = k
+	r.add(m)
+	return m
+}
+
+// LabeledCounter returns the counter for family with the given labels,
+// creating it if needed. Exposition emits HELP/TYPE once per family and
+// escapes label values.
+func (r *Registry) LabeledCounter(family string, labels []Label, help string) *Counter {
+	return r.labeled(family, labels, help, kindCounter,
+		func() *metric { return &metric{counter: new(Counter)} }).counter
+}
+
+// LabeledGauge returns the gauge for family with the given labels, creating
+// it if needed.
+func (r *Registry) LabeledGauge(family string, labels []Label, help string) *Gauge {
+	return r.labeled(family, labels, help, kindGauge,
+		func() *metric { return &metric{gauge: new(Gauge)} }).gauge
+}
+
+// LabeledHistogram returns the histogram for family with the given labels,
+// creating it with the given bounds if needed (bounds are ignored for an
+// existing metric). Bucket lines splice le after the series labels.
+func (r *Registry) LabeledHistogram(family string, labels []Label, help string, upper []float64) *Histogram {
+	return r.labeled(family, labels, help, kindHistogram,
+		func() *metric { return &metric{hist: NewHistogram(upper)} }).hist
 }
 
 // RegisterCounter registers an externally allocated counter (e.g. a struct
@@ -231,7 +312,7 @@ func (r *Registry) RegisterCounter(name, help string, c *Counter) {
 	if r.byName[name] != nil {
 		panic("telemetry: metric " + name + " already registered")
 	}
-	r.add(&metric{name: name, help: help, kind: kindCounter, counter: c})
+	r.add(&metric{name: name, family: name, help: help, kind: kindCounter, counter: c})
 }
 
 // RegisterGauge registers an externally allocated gauge. It panics if name
@@ -242,7 +323,7 @@ func (r *Registry) RegisterGauge(name, help string, g *Gauge) {
 	if r.byName[name] != nil {
 		panic("telemetry: metric " + name + " already registered")
 	}
-	r.add(&metric{name: name, help: help, kind: kindGauge, gauge: g})
+	r.add(&metric{name: name, family: name, help: help, kind: kindGauge, gauge: g})
 }
 
 // RegisterHistogram registers an externally allocated histogram. It panics
@@ -253,7 +334,7 @@ func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
 	if r.byName[name] != nil {
 		panic("telemetry: metric " + name + " already registered")
 	}
-	r.add(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+	r.add(&metric{name: name, family: name, help: help, kind: kindHistogram, hist: h})
 }
 
 // CounterFunc registers a counter whose value is computed at scrape time
@@ -265,7 +346,7 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	if r.lookup(name, kindCounterFunc) != nil {
 		return
 	}
-	r.add(&metric{name: name, help: help, kind: kindCounterFunc, fn: fn})
+	r.add(&metric{name: name, family: name, help: help, kind: kindCounterFunc, fn: fn})
 }
 
 // GaugeFunc registers a gauge computed at scrape time. fn must be safe for
@@ -276,7 +357,7 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	if r.lookup(name, kindGaugeFunc) != nil {
 		return
 	}
-	r.add(&metric{name: name, help: help, kind: kindGaugeFunc, fn: fn})
+	r.add(&metric{name: name, family: name, help: help, kind: kindGaugeFunc, fn: fn})
 }
 
 // snapshotMetrics returns the registered metrics sorted by name. The copy is

@@ -103,6 +103,81 @@ ipd_records_total 1234
 	}
 }
 
+// TestLabeledMetrics pins the labeled exposition: HELP/TYPE once per family,
+// series sorted and contiguous, histogram buckets splicing le after the
+// series labels.
+func TestLabeledMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledCounter("ipd_events_total", []Label{{Name: "kind", Value: "split"}}, "Lifecycle events.").Add(3)
+	r.LabeledCounter("ipd_events_total", []Label{{Name: "kind", Value: "join"}}, "Lifecycle events.").Add(1)
+	h := r.LabeledHistogram("ipd_phase_duration_seconds",
+		[]Label{{Name: "phase", Value: "classify"}}, "Phase durations.", []float64{0.01})
+	h.Observe(0.001)
+	r.LabeledGauge("ipd_stage_depth", []Label{{Name: "stage", Value: "1"}}, "Depth.").Set(5)
+
+	// Repeat registration returns the same underlying metric.
+	again := r.LabeledCounter("ipd_events_total", []Label{{Name: "kind", Value: "split"}}, "ignored")
+	if again.Value() != 3 {
+		t.Errorf("repeat LabeledCounter = %d, want the original (3)", again.Value())
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP ipd_events_total Lifecycle events.
+# TYPE ipd_events_total counter
+ipd_events_total{kind="join"} 1
+ipd_events_total{kind="split"} 3
+# HELP ipd_phase_duration_seconds Phase durations.
+# TYPE ipd_phase_duration_seconds histogram
+ipd_phase_duration_seconds_bucket{phase="classify",le="0.01"} 1
+ipd_phase_duration_seconds_bucket{phase="classify",le="+Inf"} 1
+ipd_phase_duration_seconds_sum{phase="classify"} 0.001
+ipd_phase_duration_seconds_count{phase="classify"} 1
+# HELP ipd_stage_depth Depth.
+# TYPE ipd_stage_depth gauge
+ipd_stage_depth{stage="1"} 5
+`
+	if b.String() != want {
+		t.Errorf("labeled exposition mismatch:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestLabelValueEscaping pins the 0.0.4 text-format escaping of label
+// values: backslash, double quote, and newline must all be escaped or the
+// exposition is corrupt.
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledCounter("weird_total", []Label{
+		{Name: "path", Value: `C:\traces`},
+		{Name: "quote", Value: `say "hi"`},
+		{Name: "multi", Value: "a\nb"},
+	}, "").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE weird_total counter\n" +
+		`weird_total{path="C:\\traces",quote="say \"hi\"",multi="a\nb"} 1` + "\n"
+	if b.String() != want {
+		t.Errorf("escaped exposition mismatch:\n got: %q\nwant: %q", b.String(), want)
+	}
+	// The sample line must stay a single physical line with balanced quotes.
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Errorf("exposition has %d lines, want 2 (newline leaked unescaped)", len(lines))
+	}
+	if got := strings.Count(lines[1], `"`) - strings.Count(lines[1], `\"`); got != 6 {
+		t.Errorf("unescaped quote count = %d, want 6 (three label values)", got)
+	}
+
+	if got := escapeLabelValue("plain"); got != "plain" {
+		t.Errorf("plain value escaped to %q", got)
+	}
+}
+
 func TestJSONDumpParses(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("a_total", "").Add(3)

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON form
+// Perfetto and chrome://tracing load). Complete events (ph "X") carry
+// microsecond ts/dur; metadata events (ph "M") name the process and the two
+// logical threads the spans are laid out on.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat,omitempty"`
+	Ph   string      `json:"ph"`
+	Ts   float64     `json:"ts"`
+	Dur  *float64    `json:"dur,omitempty"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+// chromeArgs are the per-span details shown in the trace viewer's detail
+// pane. A struct (not a map) keeps the export byte-stable for golden tests.
+type chromeArgs struct {
+	Seq    uint64  `json:"seq,omitempty"`
+	Cycle  uint64  `json:"cycle"`
+	Ranges int64   `json:"ranges"`
+	CPUUs  float64 `json:"cpu_us"`
+	Name   string  `json:"name,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object; the object form (rather than the
+// bare array) lets viewers pick a display unit.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Chrome trace lane ids: stage-1 per-record spans and stage-2 cycle phases
+// render as two "threads" of one "process".
+const (
+	chromePid      = 1
+	chromeTidStage = 1 // stage-1: read/bin/observe samples
+	chromeTidCycle = 2 // stage-2: cycle phases
+)
+
+// WriteChrome writes spans in Chrome trace-event format, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Spans should be in
+// recording order (Recorder.Tail returns them that way).
+func WriteChrome(w io.Writer, spans []Span) error {
+	events := make([]chromeEvent, 0, len(spans)+3)
+	events = append(events,
+		chromeEvent{Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+			Args: &chromeArgs{Name: "ipd"}},
+		chromeEvent{Name: "thread_name", Ph: "M", Pid: chromePid, Tid: chromeTidStage,
+			Args: &chromeArgs{Name: "stage1 (sampled records)"}},
+		chromeEvent{Name: "thread_name", Ph: "M", Pid: chromePid, Tid: chromeTidCycle,
+			Args: &chromeArgs{Name: "stage2 (cycle phases)"}},
+	)
+	for _, sp := range spans {
+		tid := chromeTidCycle
+		cat := "stage2"
+		if sp.Phase.Stage1() {
+			tid = chromeTidStage
+			cat = "stage1"
+		}
+		dur := float64(sp.Wall.Nanoseconds()) / 1e3
+		events = append(events, chromeEvent{
+			Name: sp.Phase.String(),
+			Cat:  cat,
+			Ph:   "X",
+			Ts:   float64(sp.Start.UnixNano()) / 1e3,
+			Dur:  &dur,
+			Pid:  chromePid,
+			Tid:  tid,
+			Args: &chromeArgs{
+				Seq:    sp.Seq,
+				Cycle:  sp.Cycle,
+				Ranges: sp.Ranges,
+				CPUUs:  float64(sp.CPU.Nanoseconds()) / 1e3,
+			},
+		})
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

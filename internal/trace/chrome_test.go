@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSpans is a fixed flight covering both lanes: a sampled stage-1
+// observe and one full stage-2 cycle.
+func goldenSpans() []Span {
+	base := time.Unix(1700000000, 0).UTC()
+	at := func(off time.Duration) time.Time { return base.Add(off) }
+	return []Span{
+		{Seq: 1, Phase: PhaseObserve, Cycle: 0, Ranges: 0, Start: at(0), Wall: 2 * time.Microsecond, CPU: time.Microsecond},
+		{Seq: 2, Phase: PhaseSnapshot, Cycle: 1, Ranges: 6, Start: at(time.Second), Wall: 30 * time.Microsecond, CPU: 25 * time.Microsecond},
+		{Seq: 3, Phase: PhaseDecay, Cycle: 1, Ranges: 2, Start: at(time.Second + 40*time.Microsecond), Wall: 15 * time.Microsecond, CPU: 14 * time.Microsecond},
+		{Seq: 4, Phase: PhaseClassify, Cycle: 1, Ranges: 4, Start: at(time.Second + 60*time.Microsecond), Wall: 120 * time.Microsecond, CPU: 110 * time.Microsecond},
+		{Seq: 5, Phase: PhaseSplit, Cycle: 1, Ranges: 1, Start: at(time.Second + 200*time.Microsecond), Wall: 8 * time.Microsecond, CPU: 8 * time.Microsecond},
+		{Seq: 6, Phase: PhaseJoin, Cycle: 1, Ranges: 1, Start: at(time.Second + 220*time.Microsecond), Wall: 10 * time.Microsecond, CPU: 9 * time.Microsecond},
+		{Seq: 7, Phase: PhaseDrop, Cycle: 1, Ranges: 0, Start: at(time.Second + 240*time.Microsecond), Wall: 5 * time.Microsecond, CPU: 5 * time.Microsecond},
+		{Seq: 8, Phase: PhaseCycle, Cycle: 1, Ranges: 7, Start: at(time.Second), Wall: 250 * time.Microsecond, CPU: 230 * time.Microsecond},
+	}
+}
+
+// TestWriteChromeGolden pins the exact export bytes. Regenerate with
+// go test ./internal/trace -run Golden -update after an intentional change.
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, goldenSpans()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome export drifted from golden:\n got:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWriteChromeSchema validates the export against the trace-event-format
+// contract Perfetto relies on: a traceEvents array whose entries carry
+// ph/ts/pid/tid, complete events ("X") with non-negative µs durations, and
+// metadata naming the process and both lanes.
+func TestWriteChromeSchema(t *testing.T) {
+	var buf bytes.Buffer
+	spans := goldenSpans()
+	if err := WriteChrome(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Cat  string   `json:"cat"`
+			Ph   string   `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			Pid  int      `json:"pid"`
+			Tid  int      `json:"tid"`
+			Args struct {
+				Seq    uint64  `json:"seq"`
+				Cycle  uint64  `json:"cycle"`
+				Ranges int64   `json:"ranges"`
+				CPUUs  float64 `json:"cpu_us"`
+				Name   string  `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want \"ms\"", doc.DisplayTimeUnit)
+	}
+	if want := len(spans) + 3; len(doc.TraceEvents) != want {
+		t.Fatalf("export has %d events, want %d (spans + 3 metadata)", len(doc.TraceEvents), want)
+	}
+
+	var meta, complete int
+	names := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Pid != chromePid {
+			t.Errorf("event %d pid = %d, want %d", i, ev.Pid, chromePid)
+		}
+		switch ev.Ph {
+		case "M":
+			meta++
+			names[ev.Args.Name] = true
+		case "X":
+			complete++
+			if ev.Ts == nil || ev.Dur == nil || *ev.Dur < 0 {
+				t.Errorf("complete event %d missing ts/dur: %+v", i, ev)
+				continue
+			}
+			sp := spans[complete-1]
+			if got, want := *ev.Dur, float64(sp.Wall.Nanoseconds())/1e3; got != want {
+				t.Errorf("event %d dur = %v µs, want %v", i, got, want)
+			}
+			if got, want := *ev.Ts, float64(sp.Start.UnixNano())/1e3; got != want {
+				t.Errorf("event %d ts = %v µs, want %v", i, got, want)
+			}
+			if ev.Name != sp.Phase.String() || ev.Args.Seq != sp.Seq || ev.Args.Cycle != sp.Cycle {
+				t.Errorf("event %d identity mismatch: %+v vs span %+v", i, ev, sp)
+			}
+			wantTid, wantCat := chromeTidCycle, "stage2"
+			if sp.Phase.Stage1() {
+				wantTid, wantCat = chromeTidStage, "stage1"
+			}
+			if ev.Tid != wantTid || ev.Cat != wantCat {
+				t.Errorf("event %d lane = tid %d cat %q, want tid %d cat %q", i, ev.Tid, ev.Cat, wantTid, wantCat)
+			}
+		default:
+			t.Errorf("event %d has unexpected ph %q", i, ev.Ph)
+		}
+	}
+	if meta != 3 || complete != len(spans) {
+		t.Errorf("event mix = %d metadata + %d complete, want 3 + %d", meta, complete, len(spans))
+	}
+	if !names["ipd"] {
+		t.Error("process_name metadata missing the \"ipd\" process")
+	}
+}

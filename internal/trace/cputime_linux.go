@@ -1,0 +1,26 @@
+//go:build linux
+
+package trace
+
+import (
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// clockThreadCPUTimeID is CLOCK_THREAD_CPUTIME_ID from <linux/time.h>.
+const clockThreadCPUTimeID = 3
+
+// threadCPUTime returns the CPU time consumed by the calling OS thread, or 0
+// when the clock cannot be read. Goroutines can migrate threads between two
+// reads, so span CPU durations are attribution-grade, not accounting-grade;
+// stage-2 cycles run on one goroutine and are short, so in practice the
+// numbers track wall time minus scheduling gaps.
+func threadCPUTime() time.Duration {
+	var ts syscall.Timespec
+	if _, _, errno := syscall.RawSyscall(syscall.SYS_CLOCK_GETTIME,
+		clockThreadCPUTimeID, uintptr(unsafe.Pointer(&ts)), 0); errno != 0 {
+		return 0
+	}
+	return time.Duration(ts.Nano())
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package trace
+
+import "time"
+
+// threadCPUTime is unavailable off Linux; spans carry CPU = 0 there.
+func threadCPUTime() time.Duration { return 0 }

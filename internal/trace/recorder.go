@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder is the bounded lock-free flight recorder: a fixed ring of span
+// slots written with a seqlock-style publication stamp per slot. Writers
+// claim a sequence number with one atomic add and publish field-by-field
+// with atomic stores; readers copy a slot and re-check its stamp, discarding
+// torn reads. No mutex is ever taken, so recording never blocks ingest and a
+// scrape never blocks a writer — the journal ring's role (bounded, newest
+// wins) with the journal's lock removed.
+//
+// The tear-detection contract is per slot: a reader observing stamp s before
+// and after its field copy got the fields of span s; a mismatch (or stamp 0,
+// the mid-write marker) means the slot was being overwritten and is skipped.
+// Under overwrite pressure a Tail may therefore return slightly fewer than
+// capacity spans; that is the price of never locking the hot path.
+type Recorder struct {
+	slots []slot
+	n     atomic.Uint64
+}
+
+// slot holds one span, fully atomically. stamp is 0 while a writer is
+// mid-publication and the span's sequence number once published.
+type slot struct {
+	stamp  atomic.Uint64
+	phase  atomic.Uint32
+	cycle  atomic.Uint64
+	ranges atomic.Int64
+	start  atomic.Int64 // wall-clock unix nanos
+	wall   atomic.Int64
+	cpu    atomic.Int64
+}
+
+// NewRecorder returns a flight recorder retaining the most recent capacity
+// spans (minimum 1; 0 or negative selects DefaultCapacity).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{slots: make([]slot, capacity)}
+}
+
+// record publishes sp into the ring and returns its sequence number.
+func (r *Recorder) record(sp Span) uint64 {
+	seq := r.n.Add(1)
+	s := &r.slots[(seq-1)%uint64(len(r.slots))]
+	s.stamp.Store(0) // mark mid-write; readers skip or retry
+	s.phase.Store(uint32(sp.Phase))
+	s.cycle.Store(sp.Cycle)
+	s.ranges.Store(sp.Ranges)
+	s.start.Store(sp.Start.UnixNano())
+	s.wall.Store(int64(sp.Wall))
+	s.cpu.Store(int64(sp.CPU))
+	s.stamp.Store(seq)
+	return seq
+}
+
+// Recorded returns the total number of spans ever recorded.
+func (r *Recorder) Recorded() uint64 { return r.n.Load() }
+
+// Dropped returns how many spans have been overwritten out of the ring.
+func (r *Recorder) Dropped() uint64 {
+	n := r.n.Load()
+	if c := uint64(len(r.slots)); n > c {
+		return n - c
+	}
+	return 0
+}
+
+// Capacity returns the ring size.
+func (r *Recorder) Capacity() int { return len(r.slots) }
+
+// Tail returns up to limit of the most recent published spans, oldest
+// first (limit <= 0 means the full retained window). Slots caught
+// mid-overwrite are skipped, so the result may be slightly short under
+// heavy concurrent recording.
+func (r *Recorder) Tail(limit int) []Span {
+	out := make([]Span, 0, len(r.slots))
+	for i := range r.slots {
+		if sp, ok := r.read(i); ok {
+			out = append(out, sp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}
+
+// read copies slot i, retrying once on a detected tear.
+func (r *Recorder) read(i int) (Span, bool) {
+	s := &r.slots[i]
+	for attempt := 0; attempt < 2; attempt++ {
+		stamp := s.stamp.Load()
+		if stamp == 0 {
+			return Span{}, false // empty or mid-write
+		}
+		sp := Span{
+			Seq:    stamp,
+			Phase:  Phase(s.phase.Load()),
+			Cycle:  s.cycle.Load(),
+			Ranges: s.ranges.Load(),
+			Start:  time.Unix(0, s.start.Load()).UTC(),
+			Wall:   time.Duration(s.wall.Load()),
+			CPU:    time.Duration(s.cpu.Load()),
+		}
+		if s.stamp.Load() == stamp {
+			return sp, true
+		}
+	}
+	return Span{}, false
+}

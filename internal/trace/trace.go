@@ -1,0 +1,298 @@
+// Package trace is the pipeline latency-attribution layer of the IPD
+// reproduction: a low-overhead span recorder threaded through the whole
+// pipeline — flow-trace decode, statistical-time binning, stage-1 Observe
+// (sampled 1-in-N), and every phase of a stage-2 cycle (snapshot, decay,
+// classify, split, join, drop). Each span carries the cycle id, a range
+// count, and wall/CPU durations.
+//
+// Spans land in a bounded lock-free flight recorder (Recorder) that HTTP
+// introspection can tail while ingest runs, feed per-phase duration
+// histograms in a telemetry.Registry, and fan out to an optional OnSpan hook
+// (the cycle watchdog in internal/core subscribes there). A recorded flight
+// can be exported in Chrome trace-event format (WriteChrome) and loaded into
+// Perfetto or chrome://tracing for visual latency attribution.
+//
+// The paper's deployment viability argument (§5.7) is that every stage-2
+// cycle finishes well inside the bucket interval t; this package is what
+// lets a running instance prove that, and say where the time went when it
+// does not.
+package trace
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"ipd/internal/telemetry"
+)
+
+// Phase identifies which pipeline stage a span measures.
+type Phase uint8
+
+const (
+	// PhaseRead is one flow-trace record decode (sampled 1-in-N).
+	PhaseRead Phase = iota
+	// PhaseBin is one statistical-time binning decision (sampled 1-in-N).
+	PhaseBin
+	// PhaseObserve is one stage-1 ingest call (sampled 1-in-N).
+	PhaseObserve
+	// PhaseSnapshot collects the active range set at the top of a cycle.
+	PhaseSnapshot
+	// PhaseDecay decays, expires, and invalidates classified ranges.
+	PhaseDecay
+	// PhaseClassify expires per-IP state and classifies unclassified ranges.
+	PhaseClassify
+	// PhaseSplit applies the cycle's pending range splits.
+	PhaseSplit
+	// PhaseJoin merges agreeing classified sibling ranges bottom-up.
+	PhaseJoin
+	// PhaseDrop collapses empty-idle sibling pairs (state cleanup).
+	PhaseDrop
+	// PhaseCycle is the whole stage-2 cycle (umbrella span; the watchdog
+	// keys its overrun and stall checks off these).
+	PhaseCycle
+
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	PhaseRead:     "read",
+	PhaseBin:      "bin",
+	PhaseObserve:  "observe",
+	PhaseSnapshot: "snapshot",
+	PhaseDecay:    "decay",
+	PhaseClassify: "classify",
+	PhaseSplit:    "split",
+	PhaseJoin:     "join",
+	PhaseDrop:     "drop",
+	PhaseCycle:    "cycle",
+}
+
+// String returns the phase's wire name (the value of the phase label).
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// MarshalText renders the phase name, so spans JSON-encode readably.
+func (p Phase) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
+// UnmarshalText parses a phase name.
+func (p *Phase) UnmarshalText(b []byte) error {
+	ph, ok := ParsePhase(string(b))
+	if !ok {
+		return fmt.Errorf("trace: unknown phase %q", b)
+	}
+	*p = ph
+	return nil
+}
+
+// ParsePhase resolves a phase name (as rendered by Phase.String).
+func ParsePhase(s string) (Phase, bool) {
+	for i, n := range phaseNames {
+		if n == s {
+			return Phase(i), true
+		}
+	}
+	return 0, false
+}
+
+// Stage1 reports whether the phase is a per-record (stage-1 side) span, as
+// opposed to a stage-2 cycle phase.
+func (p Phase) Stage1() bool { return p <= PhaseObserve }
+
+// Span is one recorded pipeline interval.
+type Span struct {
+	// Seq is the recorder sequence number (monotonic from 1).
+	Seq uint64 `json:"seq"`
+	// Phase identifies the pipeline stage measured.
+	Phase Phase `json:"phase"`
+	// Cycle is the stage-2 cycle id the span belongs to (0 for stage-1
+	// spans recorded before the first cycle).
+	Cycle uint64 `json:"cycle"`
+	// Ranges is the phase's range count: ranges visited for per-range
+	// phases, mutations applied for split/join/drop, active ranges after
+	// the cycle for PhaseCycle, 0 for per-record spans.
+	Ranges int64 `json:"ranges"`
+	// Start is the wall-clock start time.
+	Start time.Time `json:"start"`
+	// Wall is the wall-clock duration.
+	Wall time.Duration `json:"wall_ns"`
+	// CPU is the OS-thread CPU time consumed between start and end, where
+	// the platform supports reading it (Linux); 0 elsewhere. Goroutine
+	// migration between threads can under-report; treat it as attribution,
+	// not accounting.
+	CPU time.Duration `json:"cpu_ns"`
+}
+
+// Options configures a Tracer.
+type Options struct {
+	// Capacity bounds the flight-recorder ring; 0 means DefaultCapacity.
+	Capacity int
+	// SampleN samples per-record spans (read, bin, observe) 1-in-N, using
+	// the same deterministic xorshift64* idiom as the flow package's packet
+	// sampler. N <= 1 records every call; 0 means DefaultSampleN. Stage-2
+	// phase spans are never sampled — there are only a handful per cycle.
+	SampleN int
+	// Seed seeds the span sampler (0 selects a fixed default, so runs are
+	// reproducible).
+	Seed uint64
+	// Registry, when non-nil, receives per-phase duration histograms
+	// (ipd_phase_duration_seconds{phase="..."}) and the recorder's
+	// accounting (ipd_trace_spans_total, ipd_trace_span_overflow_total).
+	Registry *telemetry.Registry
+}
+
+// DefaultCapacity is the flight-recorder ring size when unset: enough for
+// ~1300 cycles of stage-2 spans, a few MB at worst.
+const DefaultCapacity = 8192
+
+// DefaultSampleN is the default 1-in-N sampling for per-record spans.
+const DefaultSampleN = 1024
+
+// Tracer produces spans into a flight recorder, per-phase histograms, and an
+// optional hook. All methods are safe for concurrent use once configured;
+// SetOnSpan must be called during setup, before spans flow.
+//
+// A nil *Tracer is a valid disabled tracer: Begin returns an inert timer and
+// the hot paths' only cost is the nil check.
+type Tracer struct {
+	rec     *Recorder
+	sampleN uint64
+	state   atomic.Uint64
+	onSpan  func(Span)
+
+	// hists holds one duration histogram per phase (nil without a
+	// registry); indexed by Phase.
+	hists [numPhases]*telemetry.Histogram
+}
+
+// PhaseDurationBuckets are the bounds of the per-phase histograms: 1µs to
+// 10s, one bucket per half decade (per-record spans sit in the microsecond
+// buckets, deployment-scale cycle phases in the millisecond-to-second ones).
+func PhaseDurationBuckets() []float64 {
+	return []float64{1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1, 3, 10}
+}
+
+// New returns a tracer with the given options.
+func New(opts Options) *Tracer {
+	capacity := opts.Capacity
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	sampleN := opts.SampleN
+	if sampleN == 0 {
+		sampleN = DefaultSampleN
+	}
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	t := &Tracer{rec: NewRecorder(capacity), sampleN: uint64(sampleN)}
+	t.state.Store(seed)
+	if reg := opts.Registry; reg != nil {
+		for p := Phase(0); p < numPhases; p++ {
+			t.hists[p] = reg.LabeledHistogram("ipd_phase_duration_seconds",
+				[]telemetry.Label{{Name: "phase", Value: p.String()}},
+				"Wall-clock duration of pipeline phase spans (per-record phases are sampled 1-in-N).",
+				PhaseDurationBuckets())
+		}
+		rec := t.rec
+		reg.CounterFunc("ipd_trace_spans_total",
+			"Spans recorded by the pipeline tracer.", func() float64 {
+				return float64(rec.Recorded())
+			})
+		reg.CounterFunc("ipd_trace_span_overflow_total",
+			"Spans overwritten out of the flight-recorder ring.", func() float64 {
+				return float64(rec.Dropped())
+			})
+	}
+	return t
+}
+
+// Recorder returns the tracer's flight recorder (never nil for a non-nil
+// tracer).
+func (t *Tracer) Recorder() *Recorder { return t.rec }
+
+// SetOnSpan installs a hook invoked synchronously for every completed span
+// (the cycle watchdog subscribes here). Call during setup, before any span
+// is recorded; fn must be safe for concurrent use and return quickly.
+func (t *Tracer) SetOnSpan(fn func(Span)) { t.onSpan = fn }
+
+// Sample reports whether the next per-record span should be taken (1-in-N,
+// deterministic xorshift64* — the flow.Sampler idiom, made atomic so the
+// reader and engine goroutines can share one tracer). Nil-safe: a nil tracer
+// never samples.
+func (t *Tracer) Sample() bool {
+	if t == nil {
+		return false
+	}
+	if t.sampleN <= 1 {
+		return true
+	}
+	for {
+		old := t.state.Load()
+		s := old
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		if t.state.CompareAndSwap(old, s) {
+			return (s*0x2545f4914f6cdd1d)%t.sampleN == 0
+		}
+	}
+}
+
+// SpanTimer measures one span between Begin and End. The zero value (from a
+// nil tracer) is inert.
+type SpanTimer struct {
+	t     *Tracer
+	phase Phase
+	cycle uint64
+	start time.Time
+	cpu   time.Duration
+}
+
+// Begin starts a span. On a nil tracer it returns an inert timer, so call
+// sites need no nil check beyond their sampling guard.
+func (t *Tracer) Begin(p Phase, cycle uint64) SpanTimer {
+	if t == nil {
+		return SpanTimer{}
+	}
+	return SpanTimer{t: t, phase: p, cycle: cycle, start: time.Now(), cpu: threadCPUTime()}
+}
+
+// End completes the span with the given range count and delivers it to the
+// recorder, the per-phase histogram, and the OnSpan hook. Inert timers
+// return immediately.
+func (s SpanTimer) End(ranges int) {
+	if s.t == nil {
+		return
+	}
+	wall := time.Since(s.start)
+	var cpu time.Duration
+	if s.cpu > 0 {
+		if end := threadCPUTime(); end > s.cpu {
+			cpu = end - s.cpu
+		}
+	}
+	sp := Span{
+		Phase:  s.phase,
+		Cycle:  s.cycle,
+		Ranges: int64(ranges),
+		Start:  s.start,
+		Wall:   wall,
+		CPU:    cpu,
+	}
+	sp.Seq = s.t.rec.record(sp)
+	if h := s.t.hists[s.phase]; h != nil {
+		h.Observe(wall.Seconds())
+	}
+	if fn := s.t.onSpan; fn != nil {
+		fn(sp)
+	}
+}

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"ipd/internal/telemetry"
+)
+
+func TestPhaseTextRoundTrip(t *testing.T) {
+	for p := Phase(0); p < numPhases; p++ {
+		b, err := p.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Phase
+		if err := back.UnmarshalText(b); err != nil || back != p {
+			t.Errorf("phase %v round-trip: got %v, err %v", p, back, err)
+		}
+	}
+	var p Phase
+	if err := p.UnmarshalText([]byte("bogus")); err == nil {
+		t.Error("UnmarshalText accepted a bogus phase")
+	}
+	if !PhaseObserve.Stage1() || PhaseCycle.Stage1() {
+		t.Error("Stage1 classification wrong: observe is stage-1, cycle is not")
+	}
+}
+
+// TestSamplerDeterministic pins the 1-in-N span sampler: same seed, same
+// decisions, and a keep rate in the right ballpark.
+func TestSamplerDeterministic(t *testing.T) {
+	a := New(Options{SampleN: 16, Seed: 7})
+	b := New(Options{SampleN: 16, Seed: 7})
+	kept := 0
+	for i := 0; i < 16000; i++ {
+		ka, kb := a.Sample(), b.Sample()
+		if ka != kb {
+			t.Fatalf("decision %d diverged between identical tracers", i)
+		}
+		if ka {
+			kept++
+		}
+	}
+	if kept < 500 || kept > 1500 {
+		t.Errorf("1-in-16 sampler kept %d of 16000 (want ~1000)", kept)
+	}
+	var nilTracer *Tracer
+	if nilTracer.Sample() {
+		t.Error("nil tracer sampled")
+	}
+}
+
+// TestSpanRecording covers the Begin/End path end-to-end: span fields,
+// recorder tail order, per-phase histograms, and the OnSpan hook.
+func TestSpanRecording(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var hooked []Span
+	tr := New(Options{Capacity: 16, Registry: reg})
+	tr.SetOnSpan(func(sp Span) { hooked = append(hooked, sp) })
+
+	st := tr.Begin(PhaseClassify, 3)
+	time.Sleep(time.Millisecond)
+	st.End(42)
+
+	spans := tr.Recorder().Tail(0)
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Seq != 1 || sp.Phase != PhaseClassify || sp.Cycle != 3 || sp.Ranges != 42 {
+		t.Errorf("span = %+v, want seq 1 classify cycle 3 ranges 42", sp)
+	}
+	if sp.Wall < time.Millisecond {
+		t.Errorf("span wall = %v, want >= 1ms", sp.Wall)
+	}
+	if sp.CPU > sp.Wall+10*time.Millisecond {
+		t.Errorf("span cpu %v wildly exceeds wall %v", sp.CPU, sp.Wall)
+	}
+	if len(hooked) != 1 || hooked[0].Seq != 1 {
+		t.Errorf("OnSpan hook got %+v, want the one recorded span", hooked)
+	}
+
+	// The labeled per-phase histogram counted the observation.
+	h := reg.LabeledHistogram("ipd_phase_duration_seconds",
+		[]telemetry.Label{{Name: "phase", Value: "classify"}}, "", PhaseDurationBuckets())
+	if s := h.Snapshot(); s.Count != 1 {
+		t.Errorf("classify histogram count = %d, want 1", s.Count)
+	}
+
+	// An inert timer from a nil tracer records nothing and does not panic.
+	var nilTracer *Tracer
+	nilTracer.Begin(PhaseCycle, 0).End(0)
+}
+
+// TestRecorderOverflow checks the bounded-ring contract: newest spans win,
+// Dropped counts the overwritten ones.
+func TestRecorderOverflow(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 1; i <= 20; i++ {
+		r.record(Span{Phase: PhaseObserve, Cycle: uint64(i)})
+	}
+	if got := r.Recorded(); got != 20 {
+		t.Errorf("Recorded = %d, want 20", got)
+	}
+	if got := r.Dropped(); got != 12 {
+		t.Errorf("Dropped = %d, want 12", got)
+	}
+	spans := r.Tail(0)
+	if len(spans) != 8 {
+		t.Fatalf("Tail len = %d, want 8", len(spans))
+	}
+	for i, sp := range spans {
+		if want := uint64(13 + i); sp.Seq != want {
+			t.Errorf("tail[%d].Seq = %d, want %d (oldest first)", i, sp.Seq, want)
+		}
+	}
+	if got := r.Tail(3); len(got) != 3 || got[0].Seq != 18 {
+		t.Errorf("Tail(3) = %+v, want seqs 18..20", got)
+	}
+}
+
+// TestRecorderConcurrent hammers the ring from many writers while readers
+// tail it; run under -race this is the lock-freedom proof. Readers must only
+// ever see internally consistent spans (Seq matches the cycle the writer
+// stored with it).
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(64)
+	const writers, perWriter = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.record(Span{Phase: PhaseObserve, Cycle: 0, Ranges: 7})
+			}
+		}()
+	}
+	var readerWG sync.WaitGroup
+	for rd := 0; rd < 4; rd++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, sp := range r.Tail(0) {
+					if sp.Ranges != 7 || sp.Phase != PhaseObserve {
+						t.Errorf("torn span escaped: %+v", sp)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+	if got := r.Recorded(); got != writers*perWriter {
+		t.Errorf("Recorded = %d, want %d", got, writers*perWriter)
+	}
+	// Every retained span is readable once the writers stop.
+	if got := len(r.Tail(0)); got != 64 {
+		t.Errorf("quiescent Tail len = %d, want full ring (64)", got)
+	}
+}
+
+// TestSpanJSON pins the wire form the /ipd/traces endpoint serves.
+func TestSpanJSON(t *testing.T) {
+	sp := Span{Seq: 9, Phase: PhaseJoin, Cycle: 4, Ranges: 12,
+		Start: time.Unix(1700000000, 0).UTC(), Wall: 1500 * time.Microsecond, CPU: time.Millisecond}
+	b, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["phase"] != "join" {
+		t.Errorf("phase marshals as %v, want \"join\"", m["phase"])
+	}
+	if m["wall_ns"] != 1.5e6 {
+		t.Errorf("wall_ns = %v, want 1.5e6", m["wall_ns"])
+	}
+	var back Span
+	if err := json.Unmarshal(b, &back); err != nil || back != sp {
+		t.Errorf("round-trip = %+v (err %v), want %+v", back, err, sp)
+	}
+}

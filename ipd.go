@@ -40,6 +40,7 @@ import (
 	"ipd/internal/stattime"
 	"ipd/internal/telemetry"
 	"ipd/internal/topology"
+	"ipd/internal/trace"
 	"ipd/internal/trafficgen"
 	"ipd/internal/trie"
 )
@@ -122,10 +123,50 @@ type (
 	// IntrospectSource is the live engine view the /ipd/* handlers read;
 	// *Server implements it.
 	IntrospectSource = introspect.Source
-	// IntrospectHandler serves /ipd/ranges, /ipd/range, /ipd/explain, and
-	// /ipd/events.
+	// IntrospectHandler serves /ipd/ranges, /ipd/range, /ipd/explain,
+	// /ipd/events, and /ipd/traces.
 	IntrospectHandler = introspect.Handler
 )
+
+// Pipeline-tracing types. A Tracer threads low-overhead spans through the
+// whole pipeline — flow decode, statistical-time binning, stage-1 Observe
+// (all sampled 1-in-N), and every stage-2 cycle phase — into a bounded
+// lock-free flight recorder. Attach one via Config.Tracer, the SetTracer
+// methods of TraceReader and the stattime binner, and
+// IntrospectHandler.SetTraces; subscribe a Watchdog with Tracer.SetOnSpan to
+// derive /healthz (stall) and /readyz (overrun) from the cycle spans.
+type (
+	// Tracer produces pipeline spans; nil is a valid disabled tracer.
+	Tracer = trace.Tracer
+	// TracerOptions configures a Tracer (ring capacity, 1-in-N sample
+	// rate, seed, metrics registry).
+	TracerOptions = trace.Options
+	// TraceSpan is one recorded pipeline interval.
+	TraceSpan = trace.Span
+	// TracePhase identifies the pipeline stage a span measures.
+	TracePhase = trace.Phase
+	// TraceRecorder is the bounded lock-free flight recorder spans land in.
+	TraceRecorder = trace.Recorder
+	// Watchdog derives pipeline health from stage-2 cycle spans.
+	Watchdog = core.Watchdog
+	// WatchdogConfig parameterizes the watchdog (bucket interval, overrun
+	// fraction, stall factor).
+	WatchdogConfig = core.WatchdogConfig
+)
+
+// NewTracer returns a pipeline tracer; wire it via Config.Tracer (cycle and
+// Observe spans), TraceReader.SetTracer, and the stattime binner's
+// SetTracer.
+func NewTracer(opts TracerOptions) *Tracer { return trace.New(opts) }
+
+// NewWatchdog returns a cycle watchdog; subscribe it to a tracer with
+// tracer.SetOnSpan(w.ObserveSpan) and mount w.HealthzHandler /
+// w.ReadyzHandler on the debug mux.
+func NewWatchdog(cfg WatchdogConfig) (*Watchdog, error) { return core.NewWatchdog(cfg) }
+
+// WriteChromeTrace writes spans in Chrome trace-event format, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []TraceSpan) error { return trace.WriteChrome(w, spans) }
 
 // NewJournal returns a decision journal; attach it to an engine with
 // Config.OnEvent = j.Record (respecting the OnEvent reentrancy contract —
