@@ -29,12 +29,23 @@
 // -log-level enables structured logs (one line per stage-2 cycle at info);
 // -journal mirrors every range-lifecycle decision to an append-only JSONL
 // file replayable with `ipd -replay`.
+//
+// Crash safety: -checkpoint-dir makes the daemon write CRC-guarded state
+// checkpoints every -checkpoint-every stage-2 cycles (and once more on
+// graceful shutdown), and restore the newest valid one on startup; with
+// -journal pointing at the previous run's journal, events recorded after the
+// restored checkpoint are replayed on top (the journal is then appended to,
+// not truncated). Ingest is buffered through a bounded queue that sheds the
+// oldest records under overload (ipd_records_shed_total) instead of silently
+// dropping the newest, and SIGTERM drains the queue, flushes open statistical
+// time buckets, and writes a final checkpoint before exiting.
 package main
 
 import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -50,7 +61,6 @@ import (
 	"time"
 
 	"ipd"
-	"ipd/internal/flow"
 	"ipd/internal/ipfix"
 	"ipd/internal/netflow"
 	"ipd/internal/telemetry"
@@ -71,6 +81,9 @@ func main() {
 		journalCap = flag.Int("journal-cap", 4096, "in-memory decision journal ring capacity")
 		traceCap   = flag.Int("trace-cap", 8192, "span flight-recorder ring capacity (tail it at /ipd/traces)")
 		traceSmpl  = flag.Int("trace-sample", 1024, "sample 1-in-N per-record spans (bin, observe); stage-2 cycle phases are always traced")
+		queueCap   = flag.Int("queue", 1<<14, "bounded ingest queue capacity (oldest records shed under overload)")
+		ckptDir    = flag.String("checkpoint-dir", "", "write periodic CRC-guarded state checkpoints to this directory and restore the newest valid one on startup ('' disables)")
+		ckptEvery  = flag.Uint64("checkpoint-every", 10, "checkpoint every N stage-2 cycles (with -checkpoint-dir)")
 	)
 	flag.Parse()
 	logger, err := newLogger(*logLevel)
@@ -78,10 +91,52 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(2)
 	}
-	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q, logger, *journalOut, *journalCap, *traceCap, *traceSmpl); err != nil {
+	cf := ckptFlags{dir: *ckptDir, every: *ckptEvery}
+	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q, logger, *journalOut, *journalCap, *traceCap, *traceSmpl, *queueCap, cf); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(1)
 	}
+}
+
+// ckptFlags carries the crash-safety flag values into run.
+type ckptFlags struct {
+	dir   string
+	every uint64
+}
+
+// restoreState implements the startup half of crash recovery: load the
+// newest valid checkpoint from mgr into srv, then replay the tail of the
+// previous run's journal (events newer than the checkpoint) on top. A cold
+// start (no checkpoint) or a missing journal file is not an error.
+func restoreState(srv *ipd.Server, mgr *ipd.CheckpointManager, journalPath string) error {
+	path, err := mgr.Load(srv.RestoreCheckpoint)
+	if err != nil {
+		if errors.Is(err, ipd.ErrNoCheckpoint) {
+			return nil // cold start
+		}
+		return fmt.Errorf("checkpoint restore: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "ipd-collector: restored checkpoint %s (seq %d)\n", path, srv.Seq())
+	if journalPath == "" {
+		return nil
+	}
+	f, err := os.Open(journalPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("journal tail: %v", err)
+	}
+	defer f.Close()
+	n, err := ipd.ReplayJournalTail(bufio.NewReader(f), srv.Seq(), srv.ApplyEvent)
+	if err != nil {
+		return fmt.Errorf("journal tail replay: %v", err)
+	}
+	mgr.NoteReplayed(n)
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "ipd-collector: replayed %d journal events (now at seq %d)\n", n, srv.Seq())
+	}
+	return nil
 }
 
 // newLogger builds the process slog.Logger writing structured text records
@@ -94,7 +149,7 @@ func newLogger(level string) (*slog.Logger, error) {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }
 
-func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64, logger *slog.Logger, journalOut string, journalCap, traceCap, traceSample int) error {
+func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64, logger *slog.Logger, journalOut string, journalCap, traceCap, traceSample, queueCap int, cf ckptFlags) error {
 	cfg := ipd.DefaultConfig()
 	cfg.NCidrFactor4 = factor4
 	cfg.NCidrFloor = floor
@@ -103,9 +158,18 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 
 	// The decision journal records every range-lifecycle event for the
 	// /ipd/* introspection endpoints; -journal adds a durable JSONL sink.
+	// With -checkpoint-dir the file is opened in append mode — its existing
+	// tail is the replay source for crash recovery, so truncating it would
+	// destroy exactly the events a restore needs.
 	jopts := ipd.JournalOptions{Capacity: journalCap}
 	if journalOut != "" {
-		f, err := os.Create(journalOut)
+		var f *os.File
+		var err error
+		if cf.dir != "" {
+			f, err = os.OpenFile(journalOut, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		} else {
+			f, err = os.Create(journalOut)
+		}
 		if err != nil {
 			return err
 		}
@@ -120,6 +184,21 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 		return err
 	}
 	j.RegisterMetrics(srv.Telemetry())
+
+	// Crash recovery: restore the newest valid checkpoint, replay the journal
+	// tail, and register the periodic checkpoint cadence with the server (it
+	// writes at ingest-batch boundaries, off the engine lock, plus a final
+	// checkpoint during graceful shutdown).
+	if cf.dir != "" {
+		mgr, err := ipd.NewCheckpointManager(ipd.CheckpointOptions{Dir: cf.dir, Registry: srv.Telemetry()})
+		if err != nil {
+			return err
+		}
+		if err := restoreState(srv, mgr, journalOut); err != nil {
+			return err
+		}
+		srv.SetCheckpoint(mgr, cf.every)
+	}
 
 	// The collector is a long-running daemon, so tracing and the cycle
 	// watchdog are always on: the flight recorder backs /ipd/traces, the
@@ -140,24 +219,19 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 	}
 	tracer.SetOnSpan(wd.ObserveSpan)
 
-	records := make(chan ipd.Record, 1<<14)
-	coll, err := netflow.NewCollector(func(rec flow.Record) {
-		select {
-		case records <- rec:
-		default: // shed load rather than block the receive loop
-		}
-	})
+	// The bounded ingest queue decouples the UDP receive loops from the
+	// engine: Offer never blocks, and under overload the queue sheds the
+	// *oldest* buffered records (ipd_records_shed_total) — the statistical
+	// time binner would discard stale records anyway, so fresh traffic wins.
+	queue := ipd.NewIngestQueue(queueCap)
+	queue.RegisterMetrics(srv.Telemetry())
+	coll, err := netflow.NewCollector(queue.Offer)
 	if err != nil {
 		return err
 	}
 	var ipfixColl *ipfix.Collector
 	if ipfixAddr != "" {
-		ipfixColl, err = ipfix.NewCollector(func(rec flow.Record) {
-			select {
-			case records <- rec:
-			default:
-			}
-		})
+		ipfixColl, err = ipfix.NewCollector(queue.Offer)
 		if err != nil {
 			return err
 		}
@@ -184,7 +258,7 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 
 	errc := make(chan error, 4)
 	go func() { errc <- coll.Serve(ctx) }()
-	go func() { errc <- srv.Run(ctx, records) }()
+	go func() { errc <- srv.RunQueue(ctx, queue) }()
 	if ipfixColl != nil {
 		ipfixPort, err := ipfixColl.Listen(ipfixAddr)
 		if err != nil {
@@ -265,7 +339,7 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 
 	err = <-errc
 	stop()
-	close(records)
+	queue.Close()
 	if err == context.Canceled {
 		return nil
 	}

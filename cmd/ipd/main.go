@@ -24,10 +24,22 @@
 // trace-event JSON file (Perfetto / chrome://tracing) after the run;
 // -trace-cap and -trace-sample size the recorder and the 1-in-N per-record
 // span sampling.
+//
+// Crash safety: -checkpoint-dir makes the run periodically write the full
+// engine state as a CRC-guarded checkpoint file (every -checkpoint-every
+// stage-2 cycles, plus a final one), and on startup restore the newest valid
+// checkpoint from that directory; when -journal points at the journal of the
+// interrupted run, the events recorded after the restored checkpoint are
+// replayed on top, so the partition resumes exactly where the previous
+// process died (the journal file is then appended to, not truncated).
+// -resync switches the binary trace reader into degraded-mode ingest:
+// corrupt byte stretches are scanned past (counted in
+// ipd_records_resync_total) instead of aborting the run.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -68,6 +80,9 @@ func main() {
 		traceCap   = flag.Int("trace-cap", 8192, "flight-recorder ring capacity in spans (tracing runs when -trace-out or -debug-http is set)")
 		traceSmpl  = flag.Int("trace-sample", 1024, "sample 1-in-N per-record spans (read, observe); stage-2 cycle phases are always traced")
 		traceOut   = flag.String("trace-out", "", "write the flight recorder as Chrome trace-event JSON (load in Perfetto / chrome://tracing) after the run ('' disables)")
+		ckptDir    = flag.String("checkpoint-dir", "", "write periodic CRC-guarded state checkpoints to this directory and restore the newest valid one on startup ('' disables)")
+		ckptEvery  = flag.Uint64("checkpoint-every", 10, "checkpoint every N stage-2 cycles (with -checkpoint-dir)")
+		resync     = flag.Bool("resync", false, "degraded-mode ingest: scan past corrupt bytes in the binary trace instead of aborting (counted in ipd_records_resync_total)")
 	)
 	flag.Parse()
 
@@ -89,7 +104,8 @@ func main() {
 	cfg := config(*factor4, *factor6, *floor, *q, *cidrMax4, *cidrMax6, *tBucket, *expiry, *bytesCnt)
 	cfg.Logger = logger
 	tf := traceFlags{capacity: *traceCap, sampleN: *traceSmpl, out: *traceOut}
-	if err := run(*in, *format, cfg, *bin, *summary, *debugHTTP, *journalOut, *journalCap, *explainIPs, tf); err != nil {
+	cf := ckptFlags{dir: *ckptDir, every: *ckptEvery, resync: *resync}
+	if err := run(*in, *format, cfg, *bin, *summary, *debugHTTP, *journalOut, *journalCap, *explainIPs, tf, cf); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd:", err)
 		os.Exit(1)
 	}
@@ -168,6 +184,48 @@ type traceFlags struct {
 	out      string
 }
 
+// ckptFlags carries the crash-safety flag values into run.
+type ckptFlags struct {
+	dir    string
+	every  uint64
+	resync bool
+}
+
+// restoreState implements the startup half of crash recovery: load the
+// newest valid checkpoint from mgr into eng, then replay the tail of the
+// previous run's journal (events newer than the checkpoint) on top. A cold
+// start (no checkpoint) or a missing journal file is not an error.
+func restoreState(eng *ipd.Engine, mgr *ipd.CheckpointManager, journalPath string) error {
+	path, err := mgr.Load(eng.UnmarshalState)
+	if err != nil {
+		if errors.Is(err, ipd.ErrNoCheckpoint) {
+			return nil // cold start
+		}
+		return fmt.Errorf("checkpoint restore: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "ipd: restored checkpoint %s (seq %d)\n", path, eng.Seq())
+	if journalPath == "" {
+		return nil
+	}
+	f, err := os.Open(journalPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("journal tail: %v", err)
+	}
+	defer f.Close()
+	n, err := ipd.ReplayJournalTail(bufio.NewReader(f), eng.Seq(), eng.ApplyEvent)
+	if err != nil {
+		return fmt.Errorf("journal tail replay: %v", err)
+	}
+	mgr.NoteReplayed(n)
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "ipd: replayed %d journal events (now at seq %d)\n", n, eng.Seq())
+	}
+	return nil
+}
+
 // serveDebug mounts the telemetry, profiling, introspection, and health
 // surface while a trace run is in flight (best-effort: the process exits
 // with the run). wd may be nil (no watchdog → /healthz and /readyz are not
@@ -196,7 +254,7 @@ func serveDebug(addr string, reg *ipd.TelemetryRegistry, introspect http.Handler
 	fmt.Fprintf(os.Stderr, "ipd: debug endpoints on http://%s\n", addr)
 }
 
-func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, debugHTTP, journalOut string, journalCap int, explainIPs string, tf traceFlags) error {
+func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, debugHTTP, journalOut string, journalCap int, explainIPs string, tf traceFlags, cf ckptFlags) error {
 	var r io.Reader = os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -208,10 +266,19 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 	}
 
 	// The decision journal records every lifecycle event; -journal adds the
-	// durable JSONL sink on top of the in-memory ring.
+	// durable JSONL sink on top of the in-memory ring. With -checkpoint-dir
+	// the file is opened in append mode — its existing tail is the replay
+	// source for crash recovery, so truncating it would destroy exactly the
+	// events a restore needs.
 	jopts := ipd.JournalOptions{Capacity: journalCap}
 	if journalOut != "" {
-		f, err := os.Create(journalOut)
+		var f *os.File
+		var err error
+		if cf.dir != "" {
+			f, err = os.OpenFile(journalOut, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		} else {
+			f, err = os.Create(journalOut)
+		}
 		if err != nil {
 			return err
 		}
@@ -230,6 +297,43 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 	j.RegisterMetrics(eng.Telemetry())
 	flowMetrics := ipd.NewFlowMetrics(eng.Telemetry())
 	locked := &lockedEngine{eng: eng}
+
+	// Crash recovery: restore the newest valid checkpoint and replay the
+	// journal tail, then checkpoint periodically (and finally) below.
+	var mgr *ipd.CheckpointManager
+	if cf.dir != "" {
+		mgr, err = ipd.NewCheckpointManager(ipd.CheckpointOptions{Dir: cf.dir, Registry: eng.Telemetry()})
+		if err != nil {
+			return err
+		}
+		if err := restoreState(eng, mgr, journalOut); err != nil {
+			return err
+		}
+	}
+	if cf.every < 1 {
+		cf.every = 1
+	}
+	lastCkpt := eng.Cycles()
+	maybeCheckpoint := func(force bool) {
+		if mgr == nil {
+			return
+		}
+		// Cheap gate: an atomic cycle-counter read per record.
+		cycles := eng.Cycles()
+		if !force && cycles-lastCkpt < cf.every {
+			return
+		}
+		lastCkpt = cycles
+		locked.mu.Lock()
+		data := eng.MarshalState()
+		seq := eng.Seq()
+		locked.mu.Unlock()
+		// Failures are counted (ipd_checkpoint_errors_total) and logged; the
+		// run continues with the previous checkpoint intact.
+		if err := mgr.Save(seq, data); err != nil {
+			fmt.Fprintln(os.Stderr, "ipd: checkpoint:", err)
+		}
+	}
 
 	// Tracing runs whenever anything can consume it: a Chrome export file or
 	// the debug server's /ipd/traces tail. Otherwise the tracer stays nil and
@@ -264,17 +368,31 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 	defer out.Flush()
 
 	var nextBin time.Time
+	var implausible int
 	emit := func(at time.Time) error {
 		if summary {
 			return nil
 		}
 		return ipd.WriteOutputSnapshot(out, at, eng.Mapped(), nil)
 	}
+	// maxJump bounds how far a single record may advance the clock. A corrupt
+	// record that mis-decodes into a timestamp centuries ahead would otherwise
+	// drive the bin-advance loop (and the engine's cycle loop) effectively
+	// forever. Week-long gaps in a legitimate trace still advance cheaply.
+	const maxJump = 7 * 24 * time.Hour
 	handle := func(rec ipd.Record) error {
 		locked.mu.Lock()
 		defer locked.mu.Unlock()
 		if nextBin.IsZero() {
 			nextBin = rec.Ts.Truncate(bin).Add(bin)
+		}
+		if rec.Ts.After(nextBin.Add(maxJump)) {
+			if !cf.resync {
+				return fmt.Errorf("record timestamp %v jumps more than %v past the current bin %v (corrupt input? try -resync)",
+					rec.Ts, maxJump, nextBin)
+			}
+			implausible++
+			return nil
 		}
 		for !rec.Ts.Before(nextBin) {
 			eng.AdvanceTo(nextBin)
@@ -293,6 +411,7 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 		tr := ipd.NewTraceReader(r)
 		tr.SetMetrics(flowMetrics)
 		tr.SetTracer(tracer)
+		tr.SetResync(cf.resync)
 		for {
 			rec, err := tr.Read()
 			if err == io.EOF {
@@ -305,6 +424,7 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 				return err
 			}
 			count++
+			maybeCheckpoint(false)
 		}
 	case "csv":
 		sc := bufio.NewScanner(r)
@@ -322,6 +442,7 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 				return err
 			}
 			count++
+			maybeCheckpoint(false)
 		}
 		if err := sc.Err(); err != nil {
 			return err
@@ -337,10 +458,14 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 	if err != nil {
 		return err
 	}
+	maybeCheckpoint(true)
 	if explainIPs != "" {
 		if err := explain(os.Stderr, locked, j, explainIPs); err != nil {
 			return err
 		}
+	}
+	if implausible > 0 {
+		fmt.Fprintf(os.Stderr, "ipd: skipped %d records with implausible timestamps (degraded input)\n", implausible)
 	}
 	st := eng.Stats()
 	fmt.Fprintf(os.Stderr,

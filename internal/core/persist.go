@@ -1,0 +1,493 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"ipd/internal/flow"
+	"ipd/internal/netaddr"
+	"ipd/internal/persist"
+	"ipd/internal/trie"
+)
+
+// Checkpoint container: magic "IPDC", version 1, then a binner-present
+// flag, the engine section, and (for Server checkpoints) the binner
+// section. The persist codec wraps the whole container in a CRC-32 guard,
+// so a torn or bit-rotten checkpoint is rejected before any field decodes.
+const (
+	checkpointMagic   = 0x49504443 // "IPDC"
+	checkpointVersion = 1
+)
+
+// Seq returns the sequence number of the last emitted lifecycle event; a
+// checkpoint taken now covers exactly events 1..Seq, so journal-tail replay
+// starts after it.
+func (e *Engine) Seq() uint64 { return e.seq }
+
+// Cycles returns the number of stage-2 cycles run so far (an atomic load,
+// safe concurrently with ingest).
+func (e *Engine) Cycles() uint64 { return e.tel.cycles.Value() }
+
+// MarshalState serializes the full engine partition — both family tries
+// with all per-range and per-IP state, the event sequence, the cycle
+// counter, and the statistical clock — into a CRC-guarded checkpoint
+// payload. The encoding is deterministic: identical engine states produce
+// identical bytes (maps are written in sorted order), which is what lets
+// the kill-and-restore equivalence test compare runs byte-for-byte.
+func (e *Engine) MarshalState() []byte {
+	enc := persist.NewEncoder(checkpointMagic, checkpointVersion)
+	enc.Bool(false) // no binner section
+	e.encodeState(enc)
+	return enc.Finish()
+}
+
+// UnmarshalState replaces the engine's partition and clocks with the state
+// in a MarshalState payload. The decode is all-or-nothing: on any error the
+// engine is unchanged. Cumulative telemetry counters are not restored (they
+// describe this process's work, not the algorithm state); the active-range
+// gauges are refreshed to match the restored partition.
+func (e *Engine) UnmarshalState(data []byte) error {
+	e.guardReentry()
+	dec, err := persist.NewDecoder(data, checkpointMagic, checkpointVersion)
+	if err != nil {
+		return err
+	}
+	hasBinner, err := dec.Bool()
+	if err != nil {
+		return err
+	}
+	if hasBinner {
+		return fmt.Errorf("core: checkpoint carries binner state; restore it through Server.RestoreCheckpoint")
+	}
+	st, err := e.decodeState(dec)
+	if err != nil {
+		return err
+	}
+	if err := dec.Finish(); err != nil {
+		return err
+	}
+	e.commitState(st)
+	return nil
+}
+
+// encodeState writes the engine section: clocks, counters, and every active
+// range in canonical (family, address, length) order.
+func (e *Engine) encodeState(enc *persist.Encoder) {
+	enc.Uvarint(e.seq)
+	enc.Uvarint(e.cycleID)
+	enc.Bool(e.started)
+	enc.Time(e.now)
+	enc.Time(e.lastCycle)
+
+	prefixes := e.active.Prefixes()
+	sort.Slice(prefixes, func(i, j int) bool {
+		return netaddr.KeyOf(prefixes[i]).Less(netaddr.KeyOf(prefixes[j]))
+	})
+	enc.Uvarint(uint64(len(prefixes)))
+	for _, p := range prefixes {
+		rs, _ := e.active.Get(p)
+		encodeRange(enc, rs)
+	}
+}
+
+// engineRestore is a fully decoded engine section, not yet committed.
+type engineRestore struct {
+	seq       uint64
+	cycleID   uint64
+	started   bool
+	now       time.Time
+	lastCycle time.Time
+	active    *trie.Trie[*rangeState]
+}
+
+// decodeState decodes the engine section into fresh structures without
+// touching the engine, so callers can stage multiple sections and commit
+// only when everything decoded cleanly.
+func (e *Engine) decodeState(dec *persist.Decoder) (engineRestore, error) {
+	var st engineRestore
+	var err error
+	if st.seq, err = dec.Uvarint(); err != nil {
+		return st, fmt.Errorf("core: restore seq: %w", err)
+	}
+	if st.cycleID, err = dec.Uvarint(); err != nil {
+		return st, fmt.Errorf("core: restore cycle id: %w", err)
+	}
+	if st.started, err = dec.Bool(); err != nil {
+		return st, fmt.Errorf("core: restore started: %w", err)
+	}
+	if st.now, err = dec.Time(); err != nil {
+		return st, fmt.Errorf("core: restore now: %w", err)
+	}
+	if st.lastCycle, err = dec.Time(); err != nil {
+		return st, fmt.Errorf("core: restore last cycle: %w", err)
+	}
+	n, err := dec.Len()
+	if err != nil {
+		return st, fmt.Errorf("core: restore range count: %w", err)
+	}
+	st.active = trie.New[*rangeState]()
+	for i := 0; i < n; i++ {
+		rs, err := decodeRange(dec)
+		if err != nil {
+			return st, fmt.Errorf("core: restore range %d: %w", i, err)
+		}
+		if _, ok := st.active.Get(rs.prefix); ok {
+			return st, fmt.Errorf("core: restore: duplicate range %v", rs.prefix)
+		}
+		st.active.Insert(rs.prefix, rs)
+	}
+	return st, nil
+}
+
+func (e *Engine) commitState(st engineRestore) {
+	e.active = st.active
+	e.seq = st.seq
+	e.cycleID = st.cycleID
+	e.started = st.started
+	e.now = st.now
+	e.lastCycle = st.lastCycle
+	e.tel.activeRanges.Set(int64(e.active.Len()))
+	e.tel.ipStates.Set(int64(e.IPStateCount()))
+	e.tel.trieNodes.Set(int64(e.active.Nodes()))
+}
+
+// encodeRange writes one rangeState; all maps go out in sorted order so the
+// encoding is deterministic.
+func encodeRange(enc *persist.Encoder, rs *rangeState) {
+	enc.Prefix(rs.prefix)
+	enc.Bool(rs.classified)
+	encodeIngress(enc, rs.ingress)
+	enc.Time(rs.classifiedAt)
+	enc.Time(rs.lastSeen)
+	enc.Time(rs.bornAt)
+	enc.Float64(rs.total)
+	enc.Float64(rs.byteTotal)
+	encodeCounters(enc, rs.counters)
+	enc.Bool(rs.ips != nil)
+	if rs.ips != nil {
+		keys := make([]netaddr.Key, 0, len(rs.ips))
+		for k := range rs.ips {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+		enc.Uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			st := rs.ips[k]
+			enc.Prefix(k.Prefix())
+			encodeCounters(enc, st.counters)
+			enc.Float64(st.total)
+			enc.Time(st.lastSeen)
+		}
+	}
+}
+
+func decodeRange(dec *persist.Decoder) (*rangeState, error) {
+	p, err := dec.Prefix()
+	if err != nil {
+		return nil, err
+	}
+	rs := newRangeState(p.Masked())
+	if rs.classified, err = dec.Bool(); err != nil {
+		return nil, err
+	}
+	if rs.ingress, err = decodeIngress(dec); err != nil {
+		return nil, err
+	}
+	if rs.classifiedAt, err = dec.Time(); err != nil {
+		return nil, err
+	}
+	if rs.lastSeen, err = dec.Time(); err != nil {
+		return nil, err
+	}
+	if rs.bornAt, err = dec.Time(); err != nil {
+		return nil, err
+	}
+	if rs.total, err = dec.Float64(); err != nil {
+		return nil, err
+	}
+	if rs.byteTotal, err = dec.Float64(); err != nil {
+		return nil, err
+	}
+	if rs.counters, err = decodeCounters(dec); err != nil {
+		return nil, err
+	}
+	hasIPs, err := dec.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if !hasIPs {
+		rs.ips = nil
+		return rs, nil
+	}
+	n, err := dec.Len()
+	if err != nil {
+		return nil, err
+	}
+	rs.ips = make(map[netaddr.Key]*ipState, n)
+	for i := 0; i < n; i++ {
+		kp, err := dec.Prefix()
+		if err != nil {
+			return nil, err
+		}
+		st := &ipState{}
+		if st.counters, err = decodeCounters(dec); err != nil {
+			return nil, err
+		}
+		if st.total, err = dec.Float64(); err != nil {
+			return nil, err
+		}
+		if st.lastSeen, err = dec.Time(); err != nil {
+			return nil, err
+		}
+		rs.ips[netaddr.KeyOf(kp)] = st
+	}
+	return rs, nil
+}
+
+func encodeIngress(enc *persist.Encoder, in flow.Ingress) {
+	enc.Uvarint(uint64(in.Router))
+	enc.Uvarint(uint64(in.Iface))
+}
+
+func decodeIngress(dec *persist.Decoder) (flow.Ingress, error) {
+	router, err := dec.Uvarint()
+	if err != nil {
+		return flow.Ingress{}, err
+	}
+	iface, err := dec.Uvarint()
+	if err != nil {
+		return flow.Ingress{}, err
+	}
+	if router > 0xffff || iface > 0xffff {
+		return flow.Ingress{}, fmt.Errorf("core: ingress id out of range (%d, %d)", router, iface)
+	}
+	return flow.Ingress{Router: flow.RouterID(router), Iface: flow.IfaceID(iface)}, nil
+}
+
+// encodeCounters writes a per-ingress counter map in (router, iface) order.
+func encodeCounters(enc *persist.Encoder, m map[flow.Ingress]float64) {
+	keys := make([]flow.Ingress, 0, len(m))
+	for in := range m {
+		keys = append(keys, in)
+	}
+	sort.Slice(keys, func(i, j int) bool { return lessIngress(keys[i], keys[j]) })
+	enc.Uvarint(uint64(len(keys)))
+	for _, in := range keys {
+		encodeIngress(enc, in)
+		enc.Float64(m[in])
+	}
+}
+
+func decodeCounters(dec *persist.Decoder) (map[flow.Ingress]float64, error) {
+	n, err := dec.Len()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[flow.Ingress]float64, n)
+	for i := 0; i < n; i++ {
+		in, err := decodeIngress(dec)
+		if err != nil {
+			return nil, err
+		}
+		v, err := dec.Float64()
+		if err != nil {
+			return nil, err
+		}
+		m[in] = v
+	}
+	return m, nil
+}
+
+// ApplyEvent folds one recorded lifecycle event into the engine's partition
+// without emitting anything: the journal-tail replay path of crash
+// recovery. After restoring a checkpoint covering events 1..Seq, applying
+// the journal's events with Seq greater than that reconstructs the
+// partition structure and classification decisions taken between the
+// checkpoint and the crash.
+//
+// Sample counters for ranges touched only by tail events are approximate
+// (rebuilt from the event's Reason: the observed share and sample count at
+// decision time), because the journal records decisions, not every observed
+// flow. The partition itself — which ranges exist and how they are
+// classified — is exact, and fresh traffic re-fills the counters within a
+// cycle or two.
+func (e *Engine) ApplyEvent(ev Event) error {
+	e.guardReentry()
+	if ev.Seq <= e.seq {
+		return fmt.Errorf("core: apply event seq %d out of order (engine at %d)", ev.Seq, e.seq)
+	}
+	p, err := netip.ParsePrefix(ev.Prefix)
+	if err != nil {
+		return fmt.Errorf("core: apply event seq %d: bad prefix: %v", ev.Seq, err)
+	}
+	switch ev.Kind {
+	case EventCreated:
+		if _, ok := e.active.Get(p); !ok {
+			rs := newRangeState(p)
+			rs.bornAt = ev.At
+			e.active.Insert(p, rs)
+		}
+	case EventSplit:
+		if _, ok := e.active.Get(p); !ok {
+			return fmt.Errorf("core: apply event seq %d splits unknown range %s", ev.Seq, ev.Prefix)
+		}
+		children, err := parseChildren(ev)
+		if err != nil {
+			return err
+		}
+		e.active.Delete(p)
+		for _, cp := range children {
+			rs := newRangeState(cp)
+			rs.bornAt = ev.At
+			e.active.Insert(cp, rs)
+		}
+	case EventJoined, EventDropped:
+		children, err := parseChildren(ev)
+		if err != nil {
+			return err
+		}
+		for _, cp := range children {
+			if _, ok := e.active.Get(cp); !ok {
+				return fmt.Errorf("core: apply event seq %d merges unknown range %s", ev.Seq, cp)
+			}
+		}
+		for _, cp := range children {
+			e.active.Delete(cp)
+		}
+		rs := newRangeState(p)
+		rs.bornAt = ev.At
+		if ev.Kind == EventJoined {
+			rs.classified = true
+			rs.ingress = ev.Ingress
+			rs.classifiedAt = ev.At
+			rs.lastSeen = ev.At
+			rs.ips = nil
+			approximateCounters(rs, ev)
+		}
+		e.active.Insert(p, rs)
+	case EventClassified:
+		rs, ok := e.active.Get(p)
+		if !ok {
+			return fmt.Errorf("core: apply event seq %d classifies unknown range %s", ev.Seq, ev.Prefix)
+		}
+		rs.classified = true
+		rs.ingress = ev.Ingress
+		rs.classifiedAt = ev.At
+		rs.ips = nil
+		if ev.At.After(rs.lastSeen) {
+			rs.lastSeen = ev.At
+		}
+		approximateCounters(rs, ev)
+	case EventInvalidated, EventExpired:
+		rs, ok := e.active.Get(p)
+		if !ok {
+			return fmt.Errorf("core: apply event seq %d unclassifies unknown range %s", ev.Seq, ev.Prefix)
+		}
+		e.unclassify(rs, ev.At)
+	default:
+		return fmt.Errorf("core: apply event seq %d has unknown kind %d", ev.Seq, ev.Kind)
+	}
+	e.seq = ev.Seq
+	if ev.Cycle > e.cycleID {
+		e.cycleID = ev.Cycle
+	}
+	if ev.At.After(e.now) {
+		e.now = ev.At
+		e.started = true
+		e.lastCycle = ev.At.Truncate(e.cfg.T)
+	}
+	return nil
+}
+
+// approximateCounters rebuilds a classified range's vote state from the
+// decision event's reason: total samples and the prevalent share at
+// decision time.
+func approximateCounters(rs *rangeState, ev Event) {
+	rs.counters = make(map[flow.Ingress]float64)
+	rs.total = ev.Reason.Samples
+	if rs.total > 0 {
+		rs.counters[ev.Ingress] = ev.Reason.Observed * ev.Reason.Samples
+	}
+}
+
+func parseChildren(ev Event) ([]netip.Prefix, error) {
+	if len(ev.Children) != 2 {
+		return nil, fmt.Errorf("core: apply event seq %d carries %d children, want 2", ev.Seq, len(ev.Children))
+	}
+	out := make([]netip.Prefix, 2)
+	for i, c := range ev.Children {
+		cp, err := netip.ParsePrefix(c)
+		if err != nil {
+			return nil, fmt.Errorf("core: apply event seq %d: bad child prefix: %v", ev.Seq, err)
+		}
+		out[i] = cp
+	}
+	return out, nil
+}
+
+// EncodeCheckpoint serializes the full server state — the engine partition
+// plus the statistical-time binner's open buckets — as one CRC-guarded
+// payload, and returns it with the covered event sequence (the checkpoint
+// file's rotation key). Safe concurrently with Run: it takes the server
+// lock for the in-memory encode only; writing the payload to disk is the
+// caller's (off-lock) business.
+func (s *Server) EncodeCheckpoint() ([]byte, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	enc := persist.NewEncoder(checkpointMagic, checkpointVersion)
+	enc.Bool(true) // binner section present
+	s.eng.encodeState(enc)
+	s.bin.EncodeState(enc)
+	return enc.Finish(), s.eng.seq
+}
+
+// RestoreCheckpoint replaces the engine partition and the binner's open
+// buckets with a checkpoint payload (either a Server checkpoint or a bare
+// Engine.MarshalState payload, which simply has no buckets to restore).
+// All-or-nothing: on error the server is unchanged.
+func (s *Server) RestoreCheckpoint(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dec, err := persist.NewDecoder(data, checkpointMagic, checkpointVersion)
+	if err != nil {
+		return err
+	}
+	hasBinner, err := dec.Bool()
+	if err != nil {
+		return err
+	}
+	// Stage the engine section; commit it only after the binner section (its
+	// own all-or-nothing restore) also decoded, so a payload corrupt past the
+	// engine section leaves the whole server unchanged.
+	st, err := s.eng.decodeState(dec)
+	if err != nil {
+		return err
+	}
+	if hasBinner {
+		if err := s.bin.RestoreState(dec); err != nil {
+			return err
+		}
+	}
+	if err := dec.Finish(); err != nil {
+		return err
+	}
+	s.eng.commitState(st)
+	return nil
+}
+
+// ApplyEvent applies one journal-tail event under the server lock (see
+// Engine.ApplyEvent).
+func (s *Server) ApplyEvent(ev Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.ApplyEvent(ev)
+}
+
+// Seq returns the engine's last emitted event sequence number.
+func (s *Server) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.seq
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"ipd/internal/flow"
+	"ipd/internal/telemetry"
+)
+
+// IngestQueue is the bounded overload buffer between UDP collectors and
+// Server.Run. Unlike a plain channel — whose only non-blocking overflow
+// policy is to drop the *newest* record — the queue sheds the *oldest*
+// buffered record when full. Under sustained overload that keeps the buffer
+// full of recent traffic, which is what a statistical-time pipeline wants:
+// stale records would be dropped by the binner anyway, while fresh ones
+// advance the time axis.
+//
+// Offer never blocks (safe to call from a receive loop); Pop/Wake are
+// consumed by Server.RunQueue. All methods are safe for concurrent use.
+type IngestQueue struct {
+	mu     sync.Mutex
+	buf    []flow.Record
+	head   int // index of the oldest buffered record
+	n      int // buffered record count
+	closed bool
+
+	wake chan struct{}
+
+	shed  telemetry.Counter
+	depth telemetry.Gauge
+}
+
+// NewIngestQueue returns a queue buffering up to capacity records
+// (capacity < 1 is raised to 1).
+func NewIngestQueue(capacity int) *IngestQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &IngestQueue{
+		buf:  make([]flow.Record, capacity),
+		wake: make(chan struct{}, 1),
+	}
+}
+
+// RegisterMetrics exposes the queue's overload accounting on reg:
+// ipd_records_shed_total and the ipd_ingest_queue_depth gauge.
+func (q *IngestQueue) RegisterMetrics(reg *telemetry.Registry) {
+	reg.RegisterCounter("ipd_records_shed_total",
+		"Records shed (oldest first) by the bounded ingest queue under overload.", &q.shed)
+	reg.RegisterGauge("ipd_ingest_queue_depth",
+		"Records currently buffered in the ingest queue.", &q.depth)
+}
+
+// Offer enqueues rec, evicting the oldest buffered record when the queue is
+// full (counted in ipd_records_shed_total). Offers after Close are shed.
+func (q *IngestQueue) Offer(rec flow.Record) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.shed.Inc()
+		return
+	}
+	if q.n == len(q.buf) {
+		// Full: overwrite the oldest slot (shed-oldest policy).
+		q.head = (q.head + 1) % len(q.buf)
+		q.n--
+		q.shed.Inc()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = rec
+	q.n++
+	q.depth.Set(int64(q.n))
+	q.mu.Unlock()
+	q.signal()
+}
+
+// Close marks the end of the stream: buffered records remain poppable,
+// further Offers are shed, and consumers wake to observe the drained state.
+func (q *IngestQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.signal()
+}
+
+func (q *IngestQueue) signal() {
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Pop appends up to max buffered records to dst (oldest first) and reports
+// whether the queue is closed with nothing left.
+func (q *IngestQueue) Pop(dst []flow.Record, max int) ([]flow.Record, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for max > 0 && q.n > 0 {
+		dst = append(dst, q.buf[q.head])
+		q.buf[q.head] = flow.Record{} // release address references
+		q.head = (q.head + 1) % len(q.buf)
+		q.n--
+		max--
+	}
+	q.depth.Set(int64(q.n))
+	return dst, q.closed && q.n == 0
+}
+
+// Len returns the buffered record count.
+func (q *IngestQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Shed returns how many records the queue has dropped under overload.
+func (q *IngestQueue) Shed() uint64 { return q.shed.Value() }
+
+// RunQueue is Server.Run over an IngestQueue instead of a channel: it pops
+// batches, ingests them under one lock acquisition each, and applies the
+// same termination semantics — on queue close it flushes and returns nil;
+// on ctx cancellation it drains whatever is already buffered, flushes, and
+// returns ctx.Err(). Checkpointing (SetCheckpoint) runs at batch
+// boundaries, off the ingest lock.
+func (s *Server) RunQueue(ctx context.Context, q *IngestQueue) error {
+	batch := make([]flow.Record, 0, runBatch)
+	for {
+		var drained bool
+		batch, drained = q.Pop(batch[:0], runBatch)
+		if len(batch) > 0 {
+			s.ingestBatch(batch)
+			s.maybeCheckpoint(false)
+			continue
+		}
+		if drained {
+			s.finish()
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			// Graceful drain: ingest what is already buffered, then flush.
+			for {
+				batch, _ = q.Pop(batch[:0], runBatch)
+				if len(batch) == 0 {
+					break
+				}
+				s.ingestBatch(batch)
+			}
+			s.finish()
+			return ctx.Err()
+		case <-q.wake:
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"ipd/internal/flow"
+	"ipd/internal/persist"
 	"ipd/internal/stattime"
 	"ipd/internal/telemetry"
 	"ipd/internal/trace"
@@ -30,6 +31,14 @@ type Server struct {
 	mu  sync.Mutex
 	eng *Engine
 	bin *stattime.Binner
+
+	// ckpt, when non-nil, makes Run/RunQueue write a checkpoint every
+	// ckptEvery stage-2 cycles and a final one on shutdown. The encode runs
+	// under mu; the file write happens off-lock at a batch boundary, so
+	// checkpointing never touches the Observe hot path.
+	ckpt       *persist.Manager
+	ckptEvery  uint64
+	ckptCycles uint64 // cycle count at the last checkpoint
 }
 
 // runBatch bounds how many records Run drains per mu acquisition: large
@@ -64,6 +73,38 @@ func (s *Server) SetTracer(t *trace.Tracer) {
 	s.bin.SetTracer(t)
 }
 
+// SetCheckpoint arranges for Run/RunQueue to write a checkpoint via mgr
+// every everyCycles stage-2 cycles (minimum 1) plus a final one at
+// shutdown. Call during setup, before Run. Write failures are counted by
+// the manager (ipd_checkpoint_errors_total) and do not interrupt ingest —
+// the previous checkpoint stays valid.
+func (s *Server) SetCheckpoint(mgr *persist.Manager, everyCycles uint64) {
+	if everyCycles < 1 {
+		everyCycles = 1
+	}
+	s.ckpt = mgr
+	s.ckptEvery = everyCycles
+	s.ckptCycles = s.eng.Cycles()
+}
+
+// maybeCheckpoint writes a checkpoint when the configured cycle interval
+// has elapsed (or unconditionally when force is set, for shutdown). Called
+// from the Run loops only, between batches and off the ingest lock.
+func (s *Server) maybeCheckpoint(force bool) {
+	if s.ckpt == nil {
+		return
+	}
+	cycles := s.eng.Cycles()
+	if !force && cycles-s.ckptCycles < s.ckptEvery {
+		return
+	}
+	s.ckptCycles = cycles
+	data, seq := s.EncodeCheckpoint()
+	// A failed save is already accounted by the manager; ingest goes on
+	// with the previous checkpoint intact.
+	_ = s.ckpt.Save(seq, data)
+}
+
 // ingestBucket runs under s.mu (Run holds the lock around Offer/Flush).
 func (s *Server) ingestBucket(b stattime.Bucket) {
 	for _, rec := range b.Records {
@@ -72,20 +113,38 @@ func (s *Server) ingestBucket(b stattime.Bucket) {
 	s.eng.AdvanceTo(s.eng.Now())
 }
 
+// ingestBatch offers one drained batch to the binner under a single lock
+// acquisition (the locking contract on Server).
+func (s *Server) ingestBatch(batch []flow.Record) {
+	s.mu.Lock()
+	for _, rec := range batch {
+		s.bin.Offer(rec)
+	}
+	s.mu.Unlock()
+}
+
 // Run consumes records until in is closed or ctx is cancelled, then flushes
 // remaining buckets and runs a final cycle. It returns ctx.Err() on
-// cancellation and nil on clean end of stream.
+// cancellation and nil on clean end of stream. Cancellation is a graceful
+// drain, not an abort: records already buffered in the channel are ingested
+// before the flush, so a SIGTERM loses nothing that reached the process
+// (the cmd/ipd-collector shutdown path).
 //
 // After blocking for the first record, Run opportunistically drains up to
 // runBatch-1 further records that are already queued and ingests the whole
 // batch under one mu acquisition (see the locking contract on Server). This
 // keeps lock churn constant under load without adding latency when the
 // channel is sparse: an empty channel falls straight through to ingest.
+//
+// When a checkpoint manager is attached (SetCheckpoint), Run writes a
+// checkpoint every N stage-2 cycles at a batch boundary and a final one
+// after the shutdown flush — never inside the ingest lock's Observe path.
 func (s *Server) Run(ctx context.Context, in <-chan flow.Record) error {
 	batch := make([]flow.Record, 0, runBatch)
 	for {
 		select {
 		case <-ctx.Done():
+			s.drainPending(in)
 			s.finish()
 			return ctx.Err()
 		case rec, ok := <-in:
@@ -108,24 +167,53 @@ func (s *Server) Run(ctx context.Context, in <-chan flow.Record) error {
 					break drain
 				}
 			}
-			s.mu.Lock()
-			for _, rec := range batch {
-				s.bin.Offer(rec)
-			}
-			s.mu.Unlock()
+			s.ingestBatch(batch)
 			if closed {
 				s.finish()
 				return nil
 			}
+			s.maybeCheckpoint(false)
 		}
+	}
+}
+
+// drainPending ingests the records already buffered in the channel at
+// cancellation time, batch by batch, without ever blocking. Producers still
+// racing their final sends extend the drain by at most drainLimit records,
+// which bounds shutdown latency even against a producer that ignores the
+// cancellation.
+func (s *Server) drainPending(in <-chan flow.Record) {
+	const drainLimit = 1 << 20
+	batch := make([]flow.Record, 0, runBatch)
+	total := 0
+	for total < drainLimit {
+		batch = batch[:0]
+	fill:
+		for len(batch) < runBatch {
+			select {
+			case rec, ok := <-in:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, rec)
+			default:
+				break fill
+			}
+		}
+		if len(batch) == 0 {
+			return
+		}
+		s.ingestBatch(batch)
+		total += len(batch)
 	}
 }
 
 func (s *Server) finish() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.bin.Flush()
 	s.eng.ForceCycle()
+	s.mu.Unlock()
+	s.maybeCheckpoint(true)
 }
 
 // Snapshot returns all active ranges (safe concurrently with Run).

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ipd/internal/flow"
+	"ipd/internal/persist"
+)
+
+func newTestCheckpointManager(t *testing.T, dir string) *persist.Manager {
+	t.Helper()
+	mgr, err := persist.NewManager(persist.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr
+}
+
+// TestServerCancelUnderSaturation cancels Run while a fast producer keeps the
+// channel saturated and snapshot readers hammer the lock from other
+// goroutines. With -race this validates the locking across the cancellation
+// path (drainPending + finish); the accounting check validates that the
+// graceful drain ingested everything the producer managed to send before the
+// channel was abandoned.
+func TestServerCancelUnderSaturation(t *testing.T) {
+	s := testServerJournaled(t)
+	in := make(chan flow.Record, 1<<10)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx, in) }()
+
+	// Snapshot readers interleave at batch boundaries.
+	var wg sync.WaitGroup
+	stopReaders := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				s.Snapshot()
+				s.Mapped()
+				s.Stats()
+			}
+		}()
+	}
+
+	// A producer that saturates the channel until told to stop, then closes.
+	// It cycles the stream so the channel can never empty-and-close before the
+	// cancellation lands (which would make Run return nil instead).
+	recs := recordStream(20)
+	var sent atomic.Uint64
+	stopProducer := make(chan struct{})
+	producerDone := make(chan struct{})
+	go func() {
+		defer close(producerDone)
+		defer close(in)
+		for i := 0; ; i++ {
+			select {
+			case <-stopProducer:
+				return
+			case in <- recs[i%len(recs)]:
+				sent.Add(1)
+			}
+		}
+	}()
+
+	time.Sleep(20 * time.Millisecond) // let the pipeline saturate
+	cancel()
+	err := <-done
+	close(stopProducer)
+	<-producerDone
+	close(stopReaders)
+	wg.Wait()
+
+	if err != context.Canceled {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	// Everything sent before the producer stopped is accounted for: ingested
+	// by the drain, deliberately dropped by the statistical-time binner (the
+	// cycling producer replays stale timestamps), or still sitting in the
+	// abandoned channel. Nothing vanished silently.
+	left := uint64(len(in))
+	_, bin := s.Stats()
+	accounted := bin.Accepted + bin.DroppedStale + bin.DroppedFuture + left
+	if accounted != sent.Load() {
+		t.Errorf("accepted %d + dropped %d + left %d != sent %d (drain lost records)",
+			bin.Accepted, bin.DroppedStale+bin.DroppedFuture, left, sent.Load())
+	}
+	// A final cycle ran: snapshots after cancel see the flushed state.
+	if len(s.Snapshot()) == 0 {
+		t.Error("no ranges after cancellation drain")
+	}
+}
+
+// TestServerCheckpointDuringSnapshots runs a checkpointing server under
+// saturating input while snapshot readers race the batch-boundary checkpoint
+// encode; with -race this validates that EncodeCheckpoint's lock scope is
+// sound against concurrent readers and the ingest path.
+func TestServerCheckpointDuringSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	mgr := newTestCheckpointManager(t, dir)
+	s := testServerJournaled(t)
+	s.SetCheckpoint(mgr, 1)
+
+	in := make(chan flow.Record, 256)
+	done := make(chan error, 1)
+	go func() { done <- s.Run(context.Background(), in) }()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Snapshot()
+				data, _ := s.EncodeCheckpoint()
+				if len(data) == 0 {
+					t.Error("empty checkpoint payload")
+					return
+				}
+			}
+		}()
+	}
+
+	for _, r := range recordStream(10) {
+		in <- r
+	}
+	close(in)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if mgr.Writes() == 0 {
+		t.Error("no checkpoints written under concurrent snapshots")
+	}
+}

@@ -1,0 +1,170 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func input(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+func readAll(t *testing.T, cfg ReaderConfig, src []byte) ([]byte, error) {
+	t.Helper()
+	r := NewReader(bytes.NewReader(src), cfg)
+	return io.ReadAll(r)
+}
+
+func TestReaderTransparentByDefault(t *testing.T) {
+	src := input(1000)
+	got, err := readAll(t, ReaderConfig{}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Error("zero config mutated the stream")
+	}
+}
+
+func TestReaderDeterministic(t *testing.T) {
+	src := input(4096)
+	cfg := ReaderConfig{Seed: 7, BitFlipEvery: 100}
+	a, err := readAll(t, cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := readAll(t, cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different corruption")
+	}
+	if bytes.Equal(a, src) {
+		t.Error("bit flips injected nothing over 4096 bytes")
+	}
+	c, err := readAll(t, ReaderConfig{Seed: 8, BitFlipEvery: 100}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced identical corruption")
+	}
+}
+
+func TestReaderBitFlipsIndependentOfReadSize(t *testing.T) {
+	src := input(2048)
+	cfg := ReaderConfig{Seed: 3, BitFlipEvery: 64}
+	whole, err := readAll(t, cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same faults when the consumer reads one byte at a time.
+	r := NewReader(bytes.NewReader(src), cfg)
+	var tiny []byte
+	one := make([]byte, 1)
+	for {
+		n, err := r.Read(one)
+		tiny = append(tiny, one[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(whole, tiny) {
+		t.Error("fault positions depend on caller read sizing")
+	}
+}
+
+func TestReaderCorruptWindow(t *testing.T) {
+	src := input(300)
+	got, err := readAll(t, ReaderConfig{Seed: 1, CorruptFrom: 100, CorruptLen: 20}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(src) {
+		t.Fatalf("length changed: %d vs %d", len(got), len(src))
+	}
+	if !bytes.Equal(got[:100], src[:100]) || !bytes.Equal(got[120:], src[120:]) {
+		t.Error("corruption leaked outside the window")
+	}
+	if bytes.Equal(got[100:120], src[100:120]) {
+		t.Error("window not corrupted")
+	}
+}
+
+func TestReaderSkipWindow(t *testing.T) {
+	src := input(300)
+	got, err := readAll(t, ReaderConfig{SkipFrom: 50, SkipLen: 30}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]byte{}, src[:50]...), src[80:]...)
+	if !bytes.Equal(got, want) {
+		t.Error("skip window did not cut the exact byte range")
+	}
+}
+
+func TestReaderTruncateAt(t *testing.T) {
+	src := input(500)
+	got, err := readAll(t, ReaderConfig{TruncateAt: 123}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src[:123]) {
+		t.Errorf("truncated stream = %d bytes, want exactly 123 unmodified", len(got))
+	}
+}
+
+func TestReaderErrAfter(t *testing.T) {
+	src := input(500)
+	got, err := readAll(t, ReaderConfig{ErrAfter: 200}, src)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !bytes.Equal(got, src[:200]) {
+		t.Errorf("delivered %d clean bytes before the error, want exactly 200", len(got))
+	}
+}
+
+func TestWriterFailAfter(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink, WriterConfig{FailAfter: 10})
+	n, err := w.Write(input(25))
+	if n != 10 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write = (%d, %v), want torn write of 10 bytes with ErrInjected", n, err)
+	}
+	if sink.Len() != 10 {
+		t.Errorf("sink holds %d bytes, want the 10 accepted before failure", sink.Len())
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Error("writes after failure must keep failing")
+	}
+}
+
+func TestWriterFailAlways(t *testing.T) {
+	w := NewWriter(io.Discard, WriterConfig{FailAlways: true})
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestWriterShortWrites(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink, WriterConfig{ShortWrites: true})
+	src := input(100)
+	if n, err := w.Write(src); n != 100 || err != nil {
+		t.Fatalf("Write = (%d, %v)", n, err)
+	}
+	if !bytes.Equal(sink.Bytes(), src) {
+		t.Error("short writes corrupted the data")
+	}
+}

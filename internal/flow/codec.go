@@ -40,6 +40,27 @@ var ErrBadMagic = errors.New("flow: bad stream magic")
 // ErrBadVersion is returned for unknown stream versions.
 var ErrBadVersion = errors.New("flow: unsupported stream version")
 
+// maxRecordSize is the largest possible record encoding: flags + timestamp
+// + IPv6 src + IPv6 dst + ingress + counters.
+const maxRecordSize = 1 + 8 + 16 + 16 + 2 + 2 + 4 + 4
+
+// Timestamp plausibility window for record-boundary resynchronization:
+// a candidate record whose timestamp falls outside [2000-01-01, 2100-01-01)
+// is treated as a misaligned parse. The format has no per-record magic, so
+// the flags byte (6 of 256 values are valid) and the timestamp window are
+// what identify a record boundary when scanning past corruption.
+const (
+	tsPlausibleMin = 946684800_000000000  // 2000-01-01T00:00:00Z in unix nanos
+	tsPlausibleMax = 4102444800_000000000 // 2100-01-01T00:00:00Z
+)
+
+// errShortRecord and errImplausible classify parseRecord failures:
+// not-enough-bytes (truncated tail) vs. not-a-record-boundary (corruption).
+var (
+	errShortRecord = errors.New("flow: short record")
+	errImplausible = errors.New("flow: implausible record")
+)
+
 // Writer encodes records to the binary wire format.
 type Writer struct {
 	w           *bufio.Writer
@@ -140,6 +161,9 @@ type Reader struct {
 	headerDone bool
 	m          *Metrics
 	tracer     *trace.Tracer
+	// resync enables record-boundary resynchronization (SetResync):
+	// corrupt bytes are scanned past instead of poisoning the stream.
+	resync bool
 }
 
 // NewReader returns a Reader consuming from r.
@@ -154,6 +178,21 @@ func (rd *Reader) SetMetrics(m *Metrics) { rd.m = m }
 // SetTracer attaches a pipeline tracer; nil detaches. Reads are spanned
 // 1-in-N (the tracer's sample rate) under PhaseRead.
 func (rd *Reader) SetTracer(t *trace.Tracer) { rd.tracer = t }
+
+// SetResync switches the reader into degraded-mode ingest: when the next
+// bytes do not parse as a plausible record (corruption, partial overwrite,
+// a few bytes cut out of the stream), the reader scans forward byte by
+// byte to the next plausible record boundary instead of returning an error
+// and poisoning the rest of the stream. Each corruption burst skipped is
+// counted once in Metrics.RecordsResynced (ipd_records_resync_total).
+//
+// The format has no per-record magic, so a boundary is recognized by a
+// valid flags byte and a timestamp inside the plausibility window; a
+// misidentified boundary costs at most one bogus record and another
+// resynchronization. The stream header is never resynchronized — a corrupt
+// header still fails loudly with ErrBadMagic/ErrBadVersion — and a
+// truncated trailing record still returns io.ErrUnexpectedEOF.
+func (rd *Reader) SetResync(on bool) { rd.resync = on }
 
 // countRead classifies the outcome of one Read for telemetry. Clean EOF is
 // not an error; everything else non-nil is.
@@ -191,9 +230,124 @@ func (rd *Reader) Read() (Record, error) {
 	if rd.tracer.Sample() {
 		defer rd.tracer.Begin(trace.PhaseRead, 0).End(0)
 	}
-	rec, err := rd.read()
+	var (
+		rec Record
+		err error
+	)
+	if rd.resync {
+		rec, err = rd.readResync()
+	} else {
+		rec, err = rd.read()
+	}
 	rd.countRead(err)
 	return rec, err
+}
+
+// readResync is the degraded-mode decode loop: peek the next record's
+// worth of bytes, parse without consuming, and either accept the record or
+// scan forward one byte at a time until a plausible boundary parses.
+func (rd *Reader) readResync() (Record, error) {
+	var rec Record
+	if !rd.headerDone {
+		if err := rd.readHeader(); err != nil {
+			return rec, err
+		}
+	}
+	resyncing := false
+	for {
+		buf, perr := rd.r.Peek(maxRecordSize)
+		if len(buf) == 0 {
+			if perr == nil || perr == io.EOF {
+				return rec, io.EOF
+			}
+			return rec, perr
+		}
+		r, n, err := parseRecord(buf)
+		if err == nil {
+			_, _ = rd.r.Discard(n)
+			return r, nil
+		}
+		if err == errShortRecord {
+			// The stream ends (or errors) inside this record: nothing left
+			// to resynchronize against. Fail loudly like the strict reader.
+			if perr != nil && perr != io.EOF {
+				return rec, perr
+			}
+			return rec, io.ErrUnexpectedEOF
+		}
+		// Implausible bytes at the cursor: enter (or continue) a scan. One
+		// corruption burst counts once, no matter how many bytes it spans.
+		if !resyncing {
+			resyncing = true
+			if rd.m != nil {
+				rd.m.RecordsResynced.Inc()
+			}
+		}
+		_, _ = rd.r.Discard(1)
+	}
+}
+
+// parseRecord decodes one record from buf without consuming input. It
+// returns the record and its encoded size, errShortRecord when buf cannot
+// hold the record the flags describe, or errImplausible when buf cannot be
+// a record boundary (invalid flags or a timestamp outside the plausibility
+// window).
+func parseRecord(buf []byte) (Record, int, error) {
+	var rec Record
+	flags := buf[0]
+	if flags > flagSrc6|flagDst6|flagHasDst {
+		return rec, 0, errImplausible
+	}
+	if flags&flagDst6 != 0 && flags&flagHasDst == 0 {
+		return rec, 0, errImplausible // writer never sets dst6 without a dst
+	}
+	size := 1 + 8 + 4 + 12
+	if flags&flagSrc6 != 0 {
+		size += 12
+	}
+	if flags&flagHasDst != 0 {
+		size += 4
+		if flags&flagDst6 != 0 {
+			size += 12
+		}
+	}
+	if len(buf) < size {
+		// Check what we can see before declaring a truncated tail, so a
+		// corrupt byte near EOF scans instead of truncating.
+		if len(buf) >= 9 {
+			if ts := int64(binary.BigEndian.Uint64(buf[1:9])); ts < tsPlausibleMin || ts >= tsPlausibleMax {
+				return rec, 0, errImplausible
+			}
+		}
+		return rec, 0, errShortRecord
+	}
+	ts := int64(binary.BigEndian.Uint64(buf[1:9]))
+	if ts < tsPlausibleMin || ts >= tsPlausibleMax {
+		return rec, 0, errImplausible
+	}
+	rec.Ts = time.Unix(0, ts).UTC()
+	off := 9
+	if flags&flagSrc6 != 0 {
+		rec.Src = netip.AddrFrom16([16]byte(buf[off : off+16]))
+		off += 16
+	} else {
+		rec.Src = netip.AddrFrom4([4]byte(buf[off : off+4]))
+		off += 4
+	}
+	if flags&flagHasDst != 0 {
+		if flags&flagDst6 != 0 {
+			rec.Dst = netip.AddrFrom16([16]byte(buf[off : off+16]))
+			off += 16
+		} else {
+			rec.Dst = netip.AddrFrom4([4]byte(buf[off : off+4]))
+			off += 4
+		}
+	}
+	rec.In.Router = RouterID(binary.BigEndian.Uint16(buf[off:]))
+	rec.In.Iface = IfaceID(binary.BigEndian.Uint16(buf[off+2:]))
+	rec.Bytes = binary.BigEndian.Uint32(buf[off+4:])
+	rec.Packets = binary.BigEndian.Uint32(buf[off+8:])
+	return rec, size, nil
 }
 
 func (rd *Reader) read() (Record, error) {

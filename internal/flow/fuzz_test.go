@@ -2,19 +2,23 @@ package flow
 
 import (
 	"bytes"
+	"io"
 	"net/netip"
 	"strings"
 	"testing"
 	"time"
+
+	"ipd/internal/telemetry"
 )
 
-// FuzzParseCSV ensures the CSV parser never panics and accepted lines
-// round-trip.
-func FuzzParseCSV(f *testing.F) {
+// FuzzCSVDecode ensures the CSV parser never panics and accepted lines
+// round-trip through AppendCSV.
+func FuzzCSVDecode(f *testing.F) {
 	f.Add("1605571200000000000,203.0.113.9,198.51.100.200,12,3,1500,1")
 	f.Add("5,2001:db8::1,,1,2,0,0")
 	f.Add("")
 	f.Add(",,,,,,")
+	f.Add("9999999999999999999999,10.0.0.1,,1,1,1,1")
 	f.Fuzz(func(t *testing.T, line string) {
 		rec, err := ParseCSV(line)
 		if err != nil {
@@ -30,21 +34,124 @@ func FuzzParseCSV(f *testing.F) {
 	})
 }
 
-// FuzzBinaryReader ensures the binary trace reader never panics on
-// arbitrary bytes.
-func FuzzBinaryReader(f *testing.F) {
+// fuzzSeedStream builds a small valid trace covering every record shape
+// (v4/v6 src, absent/v4/v6 dst) for the fuzz corpus.
+func fuzzSeedStream() []byte {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
-	_ = w.Write(Record{Ts: time.Unix(1605571200, 0), Src: netip.MustParseAddr("1.2.3.4"), In: Ingress{Router: 1, Iface: 1}})
+	ts := time.Unix(1605571200, 0).UTC()
+	in := Ingress{Router: 7, Iface: 3}
+	_ = w.Write(Record{Ts: ts, Src: netip.MustParseAddr("1.2.3.4"), In: in, Bytes: 100, Packets: 1})
+	_ = w.Write(Record{Ts: ts, Src: netip.MustParseAddr("2001:db8::1"), In: in, Bytes: 200, Packets: 2})
+	_ = w.Write(Record{Ts: ts, Src: netip.MustParseAddr("1.2.3.4"),
+		Dst: netip.MustParseAddr("5.6.7.8"), In: in, Bytes: 300, Packets: 3})
+	_ = w.Write(Record{Ts: ts, Src: netip.MustParseAddr("2001:db8::2"),
+		Dst: netip.MustParseAddr("2001:db8::3"), In: in, Bytes: 400, Packets: 4})
 	_ = w.Flush()
-	f.Add(buf.Bytes())
+	return buf.Bytes()
+}
+
+// FuzzReaderRead throws arbitrary bytes at the binary trace reader in both
+// strict and resync modes. Invariants: no panics, no infinite loops (the
+// reader must terminate within the input's byte budget), and records resync
+// mode accepts carry plausible timestamps. (Strict mode can "decode" more
+// records than resync from garbage — it performs no plausibility checks — so
+// the two counts are not comparable.)
+func FuzzReaderRead(f *testing.F) {
+	f.Add(fuzzSeedStream())
 	f.Add([]byte{})
 	f.Add([]byte{0x49, 0x50, 0x44, 0x31, 0, 1, 0, 0, 0xff})
+	// A valid stream with a few bytes chopped out of the middle: the shape
+	// resynchronization exists for.
+	seed := fuzzSeedStream()
+	if len(seed) > 40 {
+		f.Add(append(append([]byte{}, seed[:30]...), seed[37:]...))
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, resync := range []bool{false, true} {
+			rd := NewReader(bytes.NewReader(data))
+			rd.SetMetrics(NewMetrics(telemetry.NewRegistry()))
+			rd.SetResync(resync)
+			// A decoded record consumes >= 25 bytes and a resync scan
+			// consumes >= 1, so len(data)+1 iterations guarantee either a
+			// terminal error or a stuck-reader bug.
+			var err error
+			var rec Record
+			for i := 0; i <= len(data); i++ {
+				rec, err = rd.Read()
+				if err != nil {
+					break
+				}
+				if resync {
+					// Resync mode only accepts plausible boundaries.
+					if ns := rec.Ts.UnixNano(); ns < tsPlausibleMin || ns >= tsPlausibleMax {
+						t.Fatalf("resync accepted implausible timestamp %v", rec.Ts)
+					}
+				}
+			}
+			if err == nil {
+				t.Fatalf("reader (resync=%v) did not terminate within %d reads", resync, len(data)+1)
+			}
+		}
+	})
+}
+
+// FuzzReaderResyncRoundTrip fuzzes structured corruption: a valid stream of
+// pseudo-random records with a fuzz-chosen window overwritten. The resync
+// reader must terminate loudly-or-cleanly and re-find the tail when the
+// corruption is interior.
+func FuzzReaderResyncRoundTrip(f *testing.F) {
+	f.Add(uint16(5), uint16(40), uint8(10))
+	f.Add(uint16(50), uint16(200), uint8(60))
+	f.Fuzz(func(t *testing.T, nRecs uint16, corruptAt uint16, corruptLen uint8) {
+		n := int(nRecs)%64 + 2
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		ts := time.Unix(1_600_000_000, 0).UTC()
+		for i := 0; i < n; i++ {
+			a := [4]byte{10, 0, byte(i / 256), byte(i % 256)}
+			if err := w.Write(Record{Ts: ts.Add(time.Duration(i) * time.Second),
+				Src: netip.AddrFrom4(a), In: Ingress{Router: 1, Iface: 1},
+				Bytes: 10, Packets: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+		// Overwrite a window after the header with 0xFF (invalid flags).
+		start := 8 + int(corruptAt)%(len(data)-8)
+		end := start + int(corruptLen)
+		if end > len(data) {
+			end = len(data)
+		}
+		for i := start; i < end; i++ {
+			data[i] = 0xff
+		}
 		rd := NewReader(bytes.NewReader(data))
-		for i := 0; i < 100; i++ {
-			if _, err := rd.Read(); err != nil {
-				return
+		rd.SetResync(true)
+		decoded := 0
+		var err error
+		for i := 0; i <= len(data); i++ {
+			if _, err = rd.Read(); err != nil {
+				break
+			}
+			decoded++
+		}
+		if err == nil {
+			t.Fatal("reader did not terminate")
+		}
+		if err != io.EOF && err != io.ErrUnexpectedEOF {
+			t.Fatalf("unexpected terminal error: %v", err)
+		}
+		// Interior corruption of w bytes can destroy at most the records it
+		// overlaps plus one boundary casualty on each side.
+		if end < len(data)-25 {
+			lost := (end-start)/25 + 3
+			if decoded < n-lost {
+				t.Fatalf("decoded %d of %d with %d corrupt bytes (expected >= %d)",
+					decoded, n, end-start, n-lost)
 			}
 		}
 	})

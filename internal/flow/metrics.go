@@ -15,6 +15,10 @@ type Metrics struct {
 	// 1-out-of-n sampler.
 	SamplerSeen telemetry.Counter
 	SamplerKept telemetry.Counter
+	// RecordsResynced counts corruption bursts skipped by record-boundary
+	// resynchronization (Reader.SetResync): each increment is one stretch
+	// of unparseable bytes scanned past to the next plausible record.
+	RecordsResynced telemetry.Counter
 }
 
 // NewMetrics returns a Metrics set, registered under the ipd_flow_*
@@ -32,5 +36,7 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		"Packets offered to the 1-out-of-n sampler.", &m.SamplerSeen)
 	reg.RegisterCounter("ipd_flow_sampler_kept_total",
 		"Packets surviving 1-out-of-n sampling.", &m.SamplerKept)
+	reg.RegisterCounter("ipd_records_resync_total",
+		"Corruption bursts skipped by flow-reader record-boundary resynchronization.", &m.RecordsResynced)
 	return m
 }

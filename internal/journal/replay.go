@@ -178,6 +178,45 @@ func Equal(replayed, engine []RangeView) bool {
 	return true
 }
 
+// ReplayTail reads an append-only JSONL decision log (the Options.Sink
+// format), skips events with Seq <= afterSeq, and feeds the rest to apply
+// in order. It returns how many events were applied — the
+// ipd_restore_journal_events_replayed accounting of crash recovery, where
+// afterSeq is the restored checkpoint's covered sequence and apply is
+// Engine.ApplyEvent (via Server.ApplyEvent under the server lock).
+//
+// Blank lines are skipped. A decode error aborts with the line number; an
+// apply error aborts with the line number and the count applied so far, so
+// a journal torn mid-line by the crash itself surfaces loudly instead of
+// being silently half-applied.
+func ReplayTail(rd io.Reader, afterSeq uint64, apply func(core.Event) error) (int, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line, applied := 0, 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev core.Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return applied, fmt.Errorf("journal: line %d: %v", line, err)
+		}
+		if ev.Seq <= afterSeq {
+			continue
+		}
+		if err := apply(ev); err != nil {
+			return applied, fmt.Errorf("journal: line %d: %v", line, err)
+		}
+		applied++
+	}
+	if err := sc.Err(); err != nil {
+		return applied, fmt.Errorf("journal: read: %v", err)
+	}
+	return applied, nil
+}
+
 // ReplayJSONL reads an append-only JSONL decision log (the Options.Sink
 // format) and returns the replayer state after the final event. Blank lines
 // are skipped; any decode or apply error aborts with the line number.

@@ -1,0 +1,130 @@
+package stattime
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ipd/internal/flow"
+	"ipd/internal/persist"
+)
+
+// EncodeState appends the Binner's restorable state — the inferred
+// statistical now and every open (buffered, not yet flushed) bucket with
+// its records — to enc. Buckets and records are written in deterministic
+// order (buckets by start, records in arrival order), so identical binner
+// states produce identical bytes. Call under the same lock that guards
+// Offer.
+func (b *Binner) EncodeState(enc *persist.Encoder) {
+	enc.Time(b.now)
+	keys := make([]int64, 0, len(b.open))
+	for k := range b.open {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	enc.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		bk := b.open[k]
+		enc.Varint(k)
+		enc.Uvarint(uint64(len(bk.Records)))
+		for _, rec := range bk.Records {
+			encodeRecord(enc, rec)
+		}
+	}
+}
+
+// RestoreState replaces the Binner's statistical now and open buckets with
+// the state read from dec. The decode is all-or-nothing: on error the
+// binner is left unchanged. Counters are not restored — they are cumulative
+// process telemetry, not algorithm state.
+func (b *Binner) RestoreState(dec *persist.Decoder) error {
+	now, err := dec.Time()
+	if err != nil {
+		return fmt.Errorf("stattime: restore now: %w", err)
+	}
+	n, err := dec.Len()
+	if err != nil {
+		return fmt.Errorf("stattime: restore bucket count: %w", err)
+	}
+	open := make(map[int64]*Bucket, n)
+	for i := 0; i < n; i++ {
+		key, err := dec.Varint()
+		if err != nil {
+			return fmt.Errorf("stattime: restore bucket key: %w", err)
+		}
+		cnt, err := dec.Len()
+		if err != nil {
+			return fmt.Errorf("stattime: restore record count: %w", err)
+		}
+		bk := &Bucket{Start: time.Unix(0, key).UTC()}
+		if cnt > 0 {
+			bk.Records = make([]flow.Record, 0, cnt)
+		}
+		for r := 0; r < cnt; r++ {
+			rec, err := decodeRecord(dec)
+			if err != nil {
+				return fmt.Errorf("stattime: restore record: %w", err)
+			}
+			bk.Records = append(bk.Records, rec)
+		}
+		open[key] = bk
+	}
+	b.now = now
+	b.open = open
+	b.rejoin = true
+	b.m.OpenBuckets.Set(int64(len(open)))
+	return nil
+}
+
+// encodeRecord writes one flow record with the persist primitives (the flow
+// wire codec is a stream format with its own header; checkpoints embed
+// records directly instead).
+func encodeRecord(enc *persist.Encoder, rec flow.Record) {
+	enc.Time(rec.Ts)
+	enc.Addr(rec.Src)
+	enc.Addr(rec.Dst)
+	enc.Uvarint(uint64(rec.In.Router))
+	enc.Uvarint(uint64(rec.In.Iface))
+	enc.Uvarint(uint64(rec.Bytes))
+	enc.Uvarint(uint64(rec.Packets))
+}
+
+func decodeRecord(dec *persist.Decoder) (flow.Record, error) {
+	var rec flow.Record
+	var err error
+	if rec.Ts, err = dec.Time(); err != nil {
+		return rec, err
+	}
+	if rec.Src, err = dec.Addr(); err != nil {
+		return rec, err
+	}
+	if rec.Dst, err = dec.Addr(); err != nil {
+		return rec, err
+	}
+	router, err := dec.Uvarint()
+	if err != nil {
+		return rec, err
+	}
+	iface, err := dec.Uvarint()
+	if err != nil {
+		return rec, err
+	}
+	if router > 0xffff || iface > 0xffff {
+		return rec, fmt.Errorf("stattime: ingress id out of range (%d, %d)", router, iface)
+	}
+	rec.In = flow.Ingress{Router: flow.RouterID(router), Iface: flow.IfaceID(iface)}
+	bytes, err := dec.Uvarint()
+	if err != nil {
+		return rec, err
+	}
+	packets, err := dec.Uvarint()
+	if err != nil {
+		return rec, err
+	}
+	if bytes > 0xffffffff || packets > 0xffffffff {
+		return rec, fmt.Errorf("stattime: counter out of range (%d, %d)", bytes, packets)
+	}
+	rec.Bytes = uint32(bytes)
+	rec.Packets = uint32(packets)
+	return rec, nil
+}

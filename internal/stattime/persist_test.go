@@ -1,0 +1,172 @@
+package stattime
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"ipd/internal/flow"
+	"ipd/internal/persist"
+)
+
+const (
+	persistTestMagic   = 0x53544254 // "STBT"
+	persistTestVersion = 1
+)
+
+func encodeBinner(t *testing.T, b *Binner) []byte {
+	t.Helper()
+	enc := persist.NewEncoder(persistTestMagic, persistTestVersion)
+	b.EncodeState(enc)
+	return enc.Finish()
+}
+
+func restoreBinner(t *testing.T, b *Binner, data []byte) error {
+	t.Helper()
+	dec, err := persist.NewDecoder(data, persistTestMagic, persistTestVersion)
+	if err != nil {
+		return err
+	}
+	if err := b.RestoreState(dec); err != nil {
+		return err
+	}
+	return dec.Finish()
+}
+
+func TestBinnerPersistRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	src, _ := collect(t, cfg)
+	// Populate several open buckets with distinct records.
+	recs := []flow.Record{
+		{Ts: t0.Add(5 * time.Second), Src: netip.MustParseAddr("192.0.2.1"),
+			In: flow.Ingress{Router: 1, Iface: 2}, Bytes: 100, Packets: 3},
+		{Ts: t0.Add(10 * time.Second), Src: netip.MustParseAddr("2001:db8::9"),
+			Dst: netip.MustParseAddr("198.51.100.4"),
+			In:  flow.Ingress{Router: 9, Iface: 1}, Bytes: 9000, Packets: 12},
+		{Ts: t0.Add(70 * time.Second), Src: netip.MustParseAddr("203.0.113.5"),
+			In: flow.Ingress{Router: 2, Iface: 7}, Bytes: 64, Packets: 1},
+	}
+	for _, r := range recs {
+		if !src.Offer(r) {
+			t.Fatalf("Offer(%v) rejected", r.Ts)
+		}
+	}
+
+	data := encodeBinner(t, src)
+
+	dst, dstOut := collect(t, cfg)
+	if err := restoreBinner(t, dst, data); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	// The restored binner must carry the same statistical now: offering the
+	// same future record to both flushes the same buckets.
+	if got := encodeBinner(t, dst); string(got) != string(data) {
+		t.Fatal("re-encoded restored state differs from original")
+	}
+	dst.Flush()
+	if len(*dstOut) != 2 {
+		t.Fatalf("restored binner flushed %d buckets, want 2", len(*dstOut))
+	}
+	total := 0
+	for _, bk := range *dstOut {
+		total += len(bk.Records)
+	}
+	if total != len(recs) {
+		t.Errorf("restored binner flushed %d records, want %d", total, len(recs))
+	}
+	// Record contents survive the trip.
+	first := (*dstOut)[0].Records[0]
+	if first != recs[0] {
+		t.Errorf("restored record = %+v, want %+v", first, recs[0])
+	}
+}
+
+func TestBinnerRestoreAllOrNothing(t *testing.T) {
+	cfg := DefaultConfig()
+	src, _ := collect(t, cfg)
+	src.Offer(rec(t0))
+	data := encodeBinner(t, src)
+
+	dst, _ := collect(t, cfg)
+	dst.Offer(rec(t0.Add(time.Minute)))
+	before := encodeBinner(t, dst)
+
+	// Truncate the payload: decode must fail and leave dst untouched.
+	if err := restoreBinner(t, dst, data[:len(data)-5]); err == nil {
+		t.Fatal("restore of truncated payload succeeded")
+	}
+	if got := encodeBinner(t, dst); string(got) != string(before) {
+		t.Error("failed restore mutated the binner")
+	}
+}
+
+// TestBinnerRestoreRejoinsAfterDowntime covers the restart-after-downtime
+// path: live traffic arriving more than MaxSkew ahead of the restored clock
+// must re-anchor the time axis (once) instead of being dropped as future —
+// otherwise a restart longer than MaxSkew would wedge the binner forever.
+func TestBinnerRestoreRejoinsAfterDowntime(t *testing.T) {
+	cfg := DefaultConfig()
+	src, _ := collect(t, cfg)
+	src.Offer(rec(t0))
+	data := encodeBinner(t, src)
+
+	dst, out := collect(t, cfg)
+	if err := restoreBinner(t, dst, data); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	// A pre-crash duplicate behind the clock must not burn the rejoin
+	// window, whatever its own fate.
+	dst.Offer(rec(t0.Add(-10 * cfg.Bucket)))
+	// Live traffic after downtime far exceeding MaxSkew.
+	live := t0.Add(cfg.MaxSkew + 30*time.Minute)
+	if !dst.Offer(rec(live)) {
+		t.Fatal("first live record after restored downtime was dropped")
+	}
+	// The jump flushed the restored pre-crash bucket downstream.
+	if len(*out) != 1 || (*out)[0].Start != t0 {
+		t.Fatalf("pre-crash buckets not flushed on rejoin: %+v", *out)
+	}
+	if got := dst.Now(); !got.Equal(live) {
+		t.Errorf("statistical now = %v, want re-anchored %v", got, live)
+	}
+	// The rejoin is one-shot: normal MaxSkew policy is back in force.
+	if dst.Offer(rec(live.Add(cfg.MaxSkew + time.Hour))) {
+		t.Error("second over-skew jump accepted; rejoin window did not close")
+	}
+	if dst.Stats().DroppedFuture == 0 {
+		t.Error("post-rejoin future record not counted")
+	}
+}
+
+// TestBinnerRestoreRejoinWithinSkew: when downtime is shorter than MaxSkew,
+// the normal drift path absorbs the gap and the rejoin window just closes.
+func TestBinnerRestoreRejoinWithinSkew(t *testing.T) {
+	cfg := DefaultConfig()
+	src, _ := collect(t, cfg)
+	src.Offer(rec(t0))
+	data := encodeBinner(t, src)
+
+	dst, _ := collect(t, cfg)
+	if err := restoreBinner(t, dst, data); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if !dst.Offer(rec(t0.Add(cfg.MaxSkew / 2))) {
+		t.Fatal("within-skew record after restore was dropped")
+	}
+	if dst.Offer(rec(t0.Add(10 * cfg.MaxSkew))) {
+		t.Error("over-skew record accepted after the rejoin window closed")
+	}
+}
+
+func TestBinnerRestoreEmpty(t *testing.T) {
+	cfg := DefaultConfig()
+	src, _ := collect(t, cfg)
+	data := encodeBinner(t, src)
+	dst, _ := collect(t, cfg)
+	if err := restoreBinner(t, dst, data); err != nil {
+		t.Fatalf("restore of empty state: %v", err)
+	}
+	if got := encodeBinner(t, dst); string(got) != string(data) {
+		t.Error("restored empty state re-encodes differently")
+	}
+}

@@ -168,6 +168,12 @@ type Binner struct {
 	now time.Time
 	// open buckets keyed by bucket start (unix nanos of aligned start).
 	open map[int64]*Bucket
+	// rejoin is set by RestoreState: the gap between a restored clock and
+	// live traffic is downtime, not a router clock error, so the first
+	// over-skew record after a restore re-anchors the time axis (once)
+	// instead of being dropped. Without this a restart longer than MaxSkew
+	// would drop every subsequent record as future, forever.
+	rejoin bool
 }
 
 // NewBinner returns a Binner that calls emit for every bucket that survives
@@ -231,7 +237,7 @@ func (b *Binner) Offer(rec flow.Record) bool {
 		b.now = ts
 	}
 	if ts.After(b.now) {
-		if ts.Sub(b.now) > b.cfg.MaxSkew {
+		if ts.Sub(b.now) > b.cfg.MaxSkew && !b.rejoin {
 			// A clock running far ahead must not drag the whole axis with
 			// it; sequence inference beats trusting any single router.
 			b.m.DroppedFuture.Inc()
@@ -253,6 +259,10 @@ func (b *Binner) Offer(rec flow.Record) bool {
 		b.open[key] = bk
 	}
 	bk.Records = append(bk.Records, rec)
+	// An accepted record ends the post-restore rejoin window; the normal
+	// MaxSkew policy applies from here on. (If the clock just jumped, the
+	// flushBefore below emits the restored pre-crash buckets.)
+	b.rejoin = false
 	b.m.Accepted.Inc()
 	b.m.RecordLag.Observe(b.now.Sub(ts).Seconds())
 	if start.Before(b.align(b.now)) {

@@ -37,6 +37,7 @@ import (
 	"ipd/internal/flow"
 	"ipd/internal/introspect"
 	"ipd/internal/journal"
+	"ipd/internal/persist"
 	"ipd/internal/stattime"
 	"ipd/internal/telemetry"
 	"ipd/internal/topology"
@@ -179,6 +180,45 @@ func NewReplayer() *Replayer { return journal.NewReplayer() }
 // ReplayJournal replays an append-only JSONL decision log (the
 // JournalOptions.Sink format) and returns the state after the last event.
 func ReplayJournal(r io.Reader) (*Replayer, error) { return journal.ReplayJSONL(r) }
+
+// Crash-safety types. A CheckpointManager rotates CRC-guarded checkpoint
+// files (atomic rename writes, newest-first restore with fallback past
+// corruption); an IngestQueue is the bounded shed-oldest overload buffer
+// between collectors and Server.RunQueue. See Engine.MarshalState /
+// UnmarshalState, Server.EncodeCheckpoint / RestoreCheckpoint /
+// SetCheckpoint, and ReplayJournalTail for the full recovery recipe.
+type (
+	// CheckpointManager writes, rotates, and restores checkpoint files.
+	CheckpointManager = persist.Manager
+	// CheckpointOptions configures a CheckpointManager (directory, retained
+	// file count, telemetry registry).
+	CheckpointOptions = persist.Options
+	// IngestQueue is the bounded shed-oldest record buffer consumed by
+	// Server.RunQueue.
+	IngestQueue = core.IngestQueue
+)
+
+// ErrNoCheckpoint is returned by CheckpointManager.Load when the checkpoint
+// directory holds no checkpoint (a cold start, not an error condition).
+var ErrNoCheckpoint = persist.ErrNoCheckpoint
+
+// NewCheckpointManager returns a checkpoint manager over opts.Dir (created
+// if missing), registering ipd_checkpoint_* and ipd_restore_* metrics when
+// opts.Registry is set.
+func NewCheckpointManager(opts CheckpointOptions) (*CheckpointManager, error) {
+	return persist.NewManager(opts)
+}
+
+// NewIngestQueue returns a bounded ingest queue (see IngestQueue).
+func NewIngestQueue(capacity int) *IngestQueue { return core.NewIngestQueue(capacity) }
+
+// ReplayJournalTail replays the events of an append-only JSONL decision log
+// with Seq > afterSeq through apply (typically Engine.ApplyEvent or
+// Server.ApplyEvent after restoring a checkpoint covering 1..afterSeq) and
+// returns how many events were applied.
+func ReplayJournalTail(r io.Reader, afterSeq uint64, apply func(Event) error) (int, error) {
+	return journal.ReplayTail(r, afterSeq, apply)
+}
 
 // NewIntrospectHandler returns the /ipd/* introspection handler over src
 // (typically a *Server) and an optional journal (nil disables history).
