@@ -354,6 +354,38 @@ func BenchmarkObserveTraced(b *testing.B) {
 	b.ReportMetric(float64(eng.RangeCount()), "ranges")
 }
 
+// BenchmarkObserveGoverned is BenchmarkObserve with a resource governor
+// attached under generous budgets, so the governor stays in the normal
+// state for the whole run — the cost every governed deployment pays on the
+// hot path when nothing is wrong (one atomic state load per budget-gated
+// decision plus the per-IP budget check). The acceptance gate is staying
+// within 10% of BenchmarkObserve (BENCH_4.json records the reference).
+func BenchmarkObserveGoverned(b *testing.B) {
+	records := benchRecords(b, 500_000)
+	cfg := ipd.DefaultConfig()
+	cfg.NCidrFactor4 = 0.01
+	cfg.NCidrFloor = 4
+	gov, err := ipd.NewGovernor(ipd.GovernorConfig{
+		MaxRanges:   1 << 20,
+		MaxIPStates: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Governor = gov
+	cfg.MaxRanges = 1 << 20
+	cfg.MaxIPStates = 1 << 30
+	eng, err := ipd.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Observe(records[i%len(records)])
+	}
+	b.ReportMetric(float64(eng.RangeCount()), "ranges")
+}
+
 // BenchmarkEngineEndToEnd measures stage 1 + stage 2 over a continuous
 // stream (cycles included).
 func BenchmarkEngineEndToEnd(b *testing.B) {

@@ -23,8 +23,10 @@
 //	/ipd/explain  LPM walk, vote shares, and reason chain for an IP
 //	/ipd/events   tail the decision journal by sequence number
 //	/ipd/traces   tail the pipeline span flight recorder (JSON)
+//	/ipd/governor resource-governor state, budgets, and utilization (JSON)
 //	/healthz      liveness (503 once no stage-2 cycle completed within the stall window)
-//	/readyz       readiness (additionally 503 while the last cycle overran its budget)
+//	/readyz       readiness (additionally 503 while the last cycle overran its budget
+//	              or the resource governor is in emergency)
 //
 // -log-level enables structured logs (one line per stage-2 cycle at info);
 // -journal mirrors every range-lifecycle decision to an append-only JSONL
@@ -39,6 +41,15 @@
 // oldest records under overload (ipd_records_shed_total) instead of silently
 // dropping the newest, and SIGTERM drains the queue, flushes open statistical
 // time buckets, and writes a final checkpoint before exiting.
+//
+// Resource governance: -max-ranges and -mem-budget bound the partition size
+// and live heap; either implies -governor, which additionally watches the
+// per-IP counter population and the ingest-queue depth. While degraded the
+// engine defers splits and the -sample denominator is multiplied by
+// -sample-boost; in emergency low-traffic subtrees are force-compacted and
+// the queue admits only 1 in N offered records. A panicking range or an
+// adversarial datagram is contained (quarantined range / abandoned
+// datagram), never a crashed daemon.
 package main
 
 import (
@@ -84,6 +95,11 @@ func main() {
 		queueCap   = flag.Int("queue", 1<<14, "bounded ingest queue capacity (oldest records shed under overload)")
 		ckptDir    = flag.String("checkpoint-dir", "", "write periodic CRC-guarded state checkpoints to this directory and restore the newest valid one on startup ('' disables)")
 		ckptEvery  = flag.Uint64("checkpoint-every", 10, "checkpoint every N stage-2 cycles (with -checkpoint-dir)")
+		govern     = flag.Bool("governor", false, "enable the resource governor (normal/degraded/emergency degradation; implied by -max-ranges or -mem-budget)")
+		maxRanges  = flag.Int("max-ranges", 0, "hard cap on active ranges; splits beyond it are deferred (0 = unlimited, implies -governor)")
+		memBudget  = flag.Int64("mem-budget", 0, "live-heap budget in bytes for the governor (0 = unlimited, implies -governor)")
+		sampleN    = flag.Int("sample", 1, "additional 1-in-N record sampling in front of the ingest queue (1 = keep everything; routers already sample)")
+		boostN     = flag.Int("sample-boost", 8, "multiply the -sample denominator by this factor while the governor is degraded or worse")
 	)
 	flag.Parse()
 	logger, err := newLogger(*logLevel)
@@ -91,12 +107,61 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(2)
 	}
+	if err := validateFlags(*ckptEvery, *traceSmpl, *queueCap, *maxRanges, *memBudget, *sampleN, *boostN); err != nil {
+		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
+		os.Exit(2)
+	}
 	cf := ckptFlags{dir: *ckptDir, every: *ckptEvery}
-	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q, logger, *journalOut, *journalCap, *traceCap, *traceSmpl, *queueCap, cf); err != nil {
+	gf := govFlags{enabled: *govern, maxRanges: *maxRanges, memBudget: *memBudget, sampleN: *sampleN, boostN: *boostN}
+	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q, logger, *journalOut, *journalCap, *traceCap, *traceSmpl, *queueCap, cf, gf); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(1)
 	}
 }
+
+// validateFlags rejects flag values that would otherwise be silently
+// "fixed" (a checkpoint cadence of 0 became 1) or produce a dead pipeline
+// (an empty ingest queue, a zero trace sample rate).
+func validateFlags(ckptEvery uint64, traceSample, queueCap, maxRanges int, memBudget int64, sampleN, boostN int) error {
+	if ckptEvery < 1 {
+		return fmt.Errorf("-checkpoint-every must be >= 1 (got %d)", ckptEvery)
+	}
+	if traceSample < 1 {
+		return fmt.Errorf("-trace-sample must be >= 1 (got %d)", traceSample)
+	}
+	if queueCap < 1 {
+		return fmt.Errorf("-queue must be >= 1 (got %d)", queueCap)
+	}
+	if maxRanges < 0 {
+		return fmt.Errorf("-max-ranges must be >= 0 (got %d)", maxRanges)
+	}
+	if maxRanges == 1 {
+		return fmt.Errorf("-max-ranges 1 cannot hold the two /0 roots (use 0 for unlimited or >= 2)")
+	}
+	if memBudget < 0 {
+		return fmt.Errorf("-mem-budget must be >= 0 (got %d)", memBudget)
+	}
+	if sampleN < 1 {
+		return fmt.Errorf("-sample must be >= 1 (got %d)", sampleN)
+	}
+	if boostN < 1 {
+		return fmt.Errorf("-sample-boost must be >= 1 (got %d)", boostN)
+	}
+	return nil
+}
+
+// govFlags carries the resource-governor flag values into run.
+type govFlags struct {
+	enabled   bool
+	maxRanges int
+	memBudget int64
+	sampleN   int
+	boostN    int
+}
+
+// active reports whether a governor should be built (explicitly enabled or
+// implied by a budget flag).
+func (g govFlags) active() bool { return g.enabled || g.maxRanges > 0 || g.memBudget > 0 }
 
 // ckptFlags carries the crash-safety flag values into run.
 type ckptFlags struct {
@@ -149,12 +214,53 @@ func newLogger(level string) (*slog.Logger, error) {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }
 
-func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64, logger *slog.Logger, journalOut string, journalCap, traceCap, traceSample, queueCap int, cf ckptFlags) error {
+func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64, logger *slog.Logger, journalOut string, journalCap, traceCap, traceSample, queueCap int, cf ckptFlags, gf govFlags) error {
 	cfg := ipd.DefaultConfig()
 	cfg.NCidrFactor4 = factor4
 	cfg.NCidrFloor = floor
 	cfg.Q = q
 	cfg.Logger = logger
+
+	// The bounded ingest queue decouples the UDP receive loops from the
+	// engine: Offer never blocks, and under overload the queue sheds the
+	// *oldest* buffered records (ipd_records_shed_total) — the statistical
+	// time binner would discard stale records anyway, so fresh traffic wins.
+	// It is built first so the governor can watch its depth.
+	queue := ipd.NewIngestQueue(queueCap)
+
+	// The degradation sampler sits between the collectors and the queue. At
+	// the configured -sample rate it is a plain 1-in-N subsampler; while the
+	// governor is degraded or worse its denominator is multiplied by
+	// -sample-boost, cutting inbound volume without reconfiguring exporters.
+	sampler := ipd.NewFlowSampler(gf.sampleN, 0)
+
+	// The governor is built before the server (it is part of the engine
+	// config) but registers its metrics after, on the server's registry. It
+	// watches all four budget axes here: ranges, per-IP counters, heap, and
+	// the ingest-queue depth.
+	var gov *ipd.Governor
+	if gf.active() {
+		var err error
+		gov, err = ipd.NewGovernor(ipd.GovernorConfig{
+			MaxRanges:  gf.maxRanges,
+			MemBudget:  uint64(gf.memBudget),
+			QueueCap:   queueCap,
+			QueueDepth: queue.Len,
+			OnTransition: func(from, to ipd.GovernorState, _ ipd.GovernorUsage) {
+				if to == ipd.GovernorNormal {
+					sampler.SetBoost(1)
+				} else {
+					sampler.SetBoost(gf.boostN)
+				}
+				logger.Warn("governor transition", "from", from.String(), "to", to.String())
+			},
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Governor = gov
+		cfg.MaxRanges = gf.maxRanges
+	}
 
 	// The decision journal records every range-lifecycle event for the
 	// /ipd/* introspection endpoints; -journal adds a durable JSONL sink.
@@ -184,6 +290,16 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 		return err
 	}
 	j.RegisterMetrics(srv.Telemetry())
+	queue.RegisterMetrics(srv.Telemetry())
+	if gov != nil {
+		gov.RegisterMetrics(srv.Telemetry())
+		// During emergency the queue admits 1 in EmergencyAdmitN offered
+		// records — deterministic, so the surviving subsample stays unbiased.
+		queue.SetAdmission(gov.AdmitIngest)
+	}
+	if gf.sampleN > 1 || gov != nil {
+		sampler.SetMetrics(ipd.NewFlowMetrics(srv.Telemetry()))
+	}
 
 	// Crash recovery: restore the newest valid checkpoint, replay the journal
 	// tail, and register the periodic checkpoint cadence with the server (it
@@ -218,20 +334,31 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 		return err
 	}
 	tracer.SetOnSpan(wd.ObserveSpan)
+	if gov != nil {
+		// /readyz flips to 503 while the governor is in emergency, steering
+		// load balancers away while the engine sheds state.
+		wd.SetGovernor(gov)
+	}
 
-	// The bounded ingest queue decouples the UDP receive loops from the
-	// engine: Offer never blocks, and under overload the queue sheds the
-	// *oldest* buffered records (ipd_records_shed_total) — the statistical
-	// time binner would discard stale records anyway, so fresh traffic wins.
-	queue := ipd.NewIngestQueue(queueCap)
-	queue.RegisterMetrics(srv.Telemetry())
-	coll, err := netflow.NewCollector(queue.Offer)
+	// The collectors feed the queue through the degradation sampler. When no
+	// sampling is configured and no governor runs, the sampler is a
+	// passthrough; keep the direct Offer in that case to spare the hot path
+	// a closure call per record.
+	sink := queue.Offer
+	if gf.sampleN > 1 || gov != nil {
+		sink = func(rec ipd.Record) {
+			if sampler.Keep() {
+				queue.Offer(rec)
+			}
+		}
+	}
+	coll, err := netflow.NewCollector(sink)
 	if err != nil {
 		return err
 	}
 	var ipfixColl *ipfix.Collector
 	if ipfixAddr != "" {
-		ipfixColl, err = ipfix.NewCollector(queue.Offer)
+		ipfixColl, err = ipfix.NewCollector(sink)
 		if err != nil {
 			return err
 		}
@@ -285,6 +412,9 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		ih := ipd.NewIntrospectHandler(srv, j)
 		ih.SetTraces(tracer.Recorder())
+		if gov != nil {
+			ih.SetGovernor(gov)
+		}
 		mux.Handle("/ipd/", ih)
 		mux.HandleFunc("/ranges", func(w http.ResponseWriter, _ *http.Request) {
 			mapped := srv.Mapped()
@@ -301,6 +431,7 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 					"records":          st.Records.Load(),
 					"malformed":        st.Malformed.Load(),
 					"unknown_exporter": st.UnknownExporter.Load(),
+					"panics":           st.Panics.Load(),
 				},
 				"engine": map[string]any{
 					"records":         eng.Records,
@@ -359,6 +490,8 @@ func registerCollectorMetrics(reg *ipd.TelemetryRegistry, coll *netflow.Collecto
 		"Malformed NetFlow v5 datagrams.", func() float64 { return float64(nf.Malformed.Load()) })
 	reg.CounterFunc("ipd_netflow_unknown_exporter_total",
 		"NetFlow v5 datagrams from unregistered exporters.", func() float64 { return float64(nf.UnknownExporter.Load()) })
+	reg.CounterFunc("ipd_netflow_panics_total",
+		"NetFlow v5 datagrams abandoned after a contained decode/sink panic.", func() float64 { return float64(nf.Panics.Load()) })
 	if ipfixColl == nil {
 		return
 	}
@@ -371,6 +504,8 @@ func registerCollectorMetrics(reg *ipd.TelemetryRegistry, coll *netflow.Collecto
 		"Malformed IPFIX messages.", func() float64 { return float64(ix.Malformed.Load()) })
 	reg.CounterFunc("ipd_ipfix_unknown_template_total",
 		"IPFIX records skipped for unknown templates.", func() float64 { return float64(ix.UnknownTemplate.Load()) })
+	reg.CounterFunc("ipd_ipfix_panics_total",
+		"IPFIX messages abandoned after a contained decode/sink panic.", func() float64 { return float64(ix.Panics.Load()) })
 }
 
 // loadExporters reads "address,router_id" lines and registers them with

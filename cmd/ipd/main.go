@@ -35,6 +35,14 @@
 // -resync switches the binary trace reader into degraded-mode ingest:
 // corrupt byte stretches are scanned past (counted in
 // ipd_records_resync_total) instead of aborting the run.
+//
+// Resource governance: -max-ranges and -mem-budget bound the partition size
+// and live heap; either implies -governor, which evaluates the budgets every
+// stage-2 cycle and degrades gracefully (defer splits while degraded,
+// force-compact low-traffic subtrees in emergency) instead of growing
+// without bound under adversarial traffic. Governor state is served at
+// /ipd/governor on the debug server, drives /readyz (503 in emergency), and
+// lands in the journal as governor events.
 package main
 
 import (
@@ -83,8 +91,15 @@ func main() {
 		ckptDir    = flag.String("checkpoint-dir", "", "write periodic CRC-guarded state checkpoints to this directory and restore the newest valid one on startup ('' disables)")
 		ckptEvery  = flag.Uint64("checkpoint-every", 10, "checkpoint every N stage-2 cycles (with -checkpoint-dir)")
 		resync     = flag.Bool("resync", false, "degraded-mode ingest: scan past corrupt bytes in the binary trace instead of aborting (counted in ipd_records_resync_total)")
+		govern     = flag.Bool("governor", false, "enable the resource governor (normal/degraded/emergency degradation; implied by -max-ranges or -mem-budget)")
+		maxRanges  = flag.Int("max-ranges", 0, "hard cap on active ranges; splits beyond it are deferred (0 = unlimited, implies -governor)")
+		memBudget  = flag.Int64("mem-budget", 0, "live-heap budget in bytes for the governor (0 = unlimited, implies -governor)")
 	)
 	flag.Parse()
+	if err := validateFlags(*ckptEvery, *traceSmpl, *maxRanges, *memBudget); err != nil {
+		fmt.Fprintln(os.Stderr, "ipd:", err)
+		os.Exit(2)
+	}
 
 	if *replayIn != "" {
 		if err := replay(*replayIn); err != nil {
@@ -105,10 +120,34 @@ func main() {
 	cfg.Logger = logger
 	tf := traceFlags{capacity: *traceCap, sampleN: *traceSmpl, out: *traceOut}
 	cf := ckptFlags{dir: *ckptDir, every: *ckptEvery, resync: *resync}
-	if err := run(*in, *format, cfg, *bin, *summary, *debugHTTP, *journalOut, *journalCap, *explainIPs, tf, cf); err != nil {
+	gf := govFlags{enabled: *govern, maxRanges: *maxRanges, memBudget: *memBudget}
+	if err := run(*in, *format, cfg, *bin, *summary, *debugHTTP, *journalOut, *journalCap, *explainIPs, tf, cf, gf); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd:", err)
 		os.Exit(1)
 	}
+}
+
+// validateFlags rejects flag values that earlier versions silently "fixed"
+// (a checkpoint cadence of 0 became 1, a non-positive trace sample rate
+// traced nothing): a typo like -checkpoint-every 0 now fails loudly instead
+// of checkpointing on every cycle.
+func validateFlags(ckptEvery uint64, traceSample, maxRanges int, memBudget int64) error {
+	if ckptEvery < 1 {
+		return fmt.Errorf("-checkpoint-every must be >= 1 (got %d)", ckptEvery)
+	}
+	if traceSample < 1 {
+		return fmt.Errorf("-trace-sample must be >= 1 (got %d)", traceSample)
+	}
+	if maxRanges < 0 {
+		return fmt.Errorf("-max-ranges must be >= 0 (got %d)", maxRanges)
+	}
+	if maxRanges == 1 {
+		return fmt.Errorf("-max-ranges 1 cannot hold the two /0 roots (use 0 for unlimited or >= 2)")
+	}
+	if memBudget < 0 {
+		return fmt.Errorf("-mem-budget must be >= 0 (got %d)", memBudget)
+	}
+	return nil
 }
 
 func config(f4, f6, floor, q float64, cm4, cm6 int, t, e time.Duration, bytesCnt bool) ipd.Config {
@@ -191,6 +230,17 @@ type ckptFlags struct {
 	resync bool
 }
 
+// govFlags carries the resource-governor flag values into run.
+type govFlags struct {
+	enabled   bool
+	maxRanges int
+	memBudget int64
+}
+
+// active reports whether a governor should be built (explicitly enabled or
+// implied by a budget flag).
+func (g govFlags) active() bool { return g.enabled || g.maxRanges > 0 || g.memBudget > 0 }
+
 // restoreState implements the startup half of crash recovery: load the
 // newest valid checkpoint from mgr into eng, then replay the tail of the
 // previous run's journal (events newer than the checkpoint) on top. A cold
@@ -254,7 +304,7 @@ func serveDebug(addr string, reg *ipd.TelemetryRegistry, introspect http.Handler
 	fmt.Fprintf(os.Stderr, "ipd: debug endpoints on http://%s\n", addr)
 }
 
-func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, debugHTTP, journalOut string, journalCap int, explainIPs string, tf traceFlags, cf ckptFlags) error {
+func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, debugHTTP, journalOut string, journalCap int, explainIPs string, tf traceFlags, cf ckptFlags, gf govFlags) error {
 	var r io.Reader = os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -290,11 +340,31 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 
 	j := ipd.NewJournal(jopts)
 	cfg.OnEvent = j.Record
+
+	// The governor is built before the engine (it is part of the engine
+	// config) but registers its metrics after, on the engine's registry.
+	var gov *ipd.Governor
+	if gf.active() {
+		var err error
+		gov, err = ipd.NewGovernor(ipd.GovernorConfig{
+			MaxRanges: gf.maxRanges,
+			MemBudget: uint64(gf.memBudget),
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Governor = gov
+		cfg.MaxRanges = gf.maxRanges
+	}
+
 	eng, err := ipd.NewEngine(cfg)
 	if err != nil {
 		return err
 	}
 	j.RegisterMetrics(eng.Telemetry())
+	if gov != nil {
+		gov.RegisterMetrics(eng.Telemetry())
+	}
 	flowMetrics := ipd.NewFlowMetrics(eng.Telemetry())
 	locked := &lockedEngine{eng: eng}
 
@@ -309,9 +379,6 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 		if err := restoreState(eng, mgr, journalOut); err != nil {
 			return err
 		}
-	}
-	if cf.every < 1 {
-		cf.every = 1
 	}
 	lastCkpt := eng.Cycles()
 	maybeCheckpoint := func(force bool) {
@@ -356,11 +423,18 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 			return err
 		}
 		tracer.SetOnSpan(wd.ObserveSpan)
+		if gov != nil {
+			// /readyz flips to 503 while the governor is in emergency.
+			wd.SetGovernor(gov)
+		}
 	}
 	if debugHTTP != "" {
 		ih := ipd.NewIntrospectHandler(locked, j)
 		if tracer != nil {
 			ih.SetTraces(tracer.Recorder())
+		}
+		if gov != nil {
+			ih.SetGovernor(gov)
 		}
 		serveDebug(debugHTTP, eng.Telemetry(), ih, wd)
 	}

@@ -21,9 +21,11 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"net/netip"
 	"time"
 
 	"ipd/internal/flow"
+	"ipd/internal/governor"
 	"ipd/internal/trace"
 )
 
@@ -132,6 +134,33 @@ type Config struct {
 	// umbrella) and a sampled 1-in-N span per Observe call. nil disables
 	// tracing; the only hot-path cost is a nil check.
 	Tracer *trace.Tracer
+
+	// MaxRanges caps the active-range count (the Appendix A memory proxy
+	// made a hard budget). Splits that would exceed it are deferred and
+	// counted in ipd_splits_deferred_total; since splits are the only way
+	// the range count grows, the cap holds unconditionally. 0 disables.
+	MaxRanges int
+
+	// MaxIPStates caps the per-masked-IP entry population across
+	// unclassified ranges. At the cap, stage 1 stops creating entries for
+	// previously unseen masked IPs (existing entries keep counting) and
+	// accounts the skips in ipd_ip_states_skipped_total. 0 disables.
+	MaxIPStates int
+
+	// Governor, when non-nil, is evaluated at the end of every stage-2
+	// cycle with the engine's live range and per-IP populations. Degraded
+	// state defers all splits; emergency state triggers compaction (forced
+	// joins of the deepest low-traffic sibling pairs) until utilization
+	// falls below the governor's recover target. State transitions are
+	// journaled as EventGovernor events.
+	Governor *governor.Governor
+
+	// CycleFault, when non-nil, is invoked with each range's prefix
+	// immediately before its stage-2 processing — the chaos/fault-injection
+	// hook. A panic raised here (or anywhere in a range's processing) is
+	// contained: the range is reset, quarantined for a few cycles, and an
+	// EventQuarantined is emitted while the cycle keeps going.
+	CycleFault func(netip.Prefix)
 }
 
 // DefaultConfig returns the deployment parameterization from Table 1.
@@ -172,6 +201,15 @@ func (c *Config) Validate() error {
 	}
 	if c.E <= 0 {
 		return fmt.Errorf("core: E %v must be positive", c.E)
+	}
+	if c.MaxRanges < 0 {
+		return fmt.Errorf("core: MaxRanges %d must be >= 0", c.MaxRanges)
+	}
+	if c.MaxRanges > 0 && c.MaxRanges < 2 {
+		return fmt.Errorf("core: MaxRanges %d must leave room for the two /0 roots", c.MaxRanges)
+	}
+	if c.MaxIPStates < 0 {
+		return fmt.Errorf("core: MaxIPStates %d must be >= 0", c.MaxIPStates)
 	}
 	return nil
 }

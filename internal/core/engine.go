@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ipd/internal/flow"
+	"ipd/internal/governor"
 	"ipd/internal/netaddr"
 	"ipd/internal/telemetry"
 	"ipd/internal/trace"
@@ -53,6 +54,12 @@ type rangeState struct {
 	// byteTotal tracks bytes regardless of the counting mode, for the
 	// flow/byte-count correlation study.
 	byteTotal float64
+
+	// quarantinedUntil is the last cycle id for which stage-2 skips this
+	// range after a contained panic (0 = not quarantined). Transient
+	// operational state: deliberately absent from checkpoints, so a restore
+	// re-admits the range.
+	quarantinedUntil uint64
 }
 
 func newRangeState(p netip.Prefix) *rangeState {
@@ -149,6 +156,15 @@ type Engine struct {
 	// the flight recorder; nil disables tracing at one nil check per call.
 	tracer *trace.Tracer
 
+	// ipCount is the live per-masked-IP entry population across all
+	// unclassified ranges, maintained at every mutation site so budget
+	// checks and gauges never walk the trie.
+	ipCount int
+
+	// gov is the attached resource governor (Config.Governor); nil runs
+	// ungoverned.
+	gov *governor.Governor
+
 	log *slog.Logger
 	// churn accumulates per-ingress classification churn within one cycle;
 	// non-nil only while a cycle runs with logging enabled.
@@ -167,6 +183,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		active: trie.New[*rangeState](),
 		tel:    newEngineMetrics(),
 		tracer: cfg.Tracer,
+		gov:    cfg.Governor,
 		log:    cfg.Logger,
 	}
 	root4 := netip.PrefixFrom(netip.IPv4Unspecified(), 0)
@@ -204,15 +221,9 @@ func (e *Engine) Now() time.Time { return e.now }
 func (e *Engine) RangeCount() int { return e.active.Len() }
 
 // IPStateCount returns the total number of per-IP entries held in
-// unclassified ranges.
-func (e *Engine) IPStateCount() int {
-	n := 0
-	e.active.Walk(func(_ netip.Prefix, rs *rangeState) bool {
-		n += len(rs.ips)
-		return true
-	})
-	return n
-}
+// unclassified ranges. The count is maintained live at every mutation site
+// (O(1); formerly a full trie walk per cycle).
+func (e *Engine) IPStateCount() int { return e.ipCount }
 
 // Observe ingests one flow record (stage 1). Records should already have
 // passed statistical-time cleaning; wildly out-of-order input degrades
@@ -258,13 +269,23 @@ func (e *Engine) Observe(rec flow.Record) {
 		k := netaddr.KeyOf(masked)
 		st := rs.ips[k]
 		if st == nil {
-			st = &ipState{counters: make(map[flow.Ingress]float64)}
-			rs.ips[k] = st
+			if e.cfg.MaxIPStates > 0 && e.ipCount >= e.cfg.MaxIPStates {
+				// Per-IP budget exhausted: keep counting the range-level
+				// votes (above) but do not mint new per-IP entries, so an
+				// address scan cannot grow this state without bound.
+				e.tel.ipStatesSkipped.Inc()
+			} else {
+				st = &ipState{counters: make(map[flow.Ingress]float64)}
+				rs.ips[k] = st
+				e.ipCount++
+			}
 		}
-		st.total += w
-		st.counters[logical] += w
-		if rec.Ts.After(st.lastSeen) {
-			st.lastSeen = rec.Ts
+		if st != nil {
+			st.total += w
+			st.counters[logical] += w
+			if rec.Ts.After(st.lastSeen) {
+				st.lastSeen = rec.Ts
+			}
 		}
 	}
 	e.tel.records.Inc()
@@ -386,10 +407,15 @@ func (e *Engine) runCycle(now time.Time) {
 	})
 	span.End(len(classified) + len(unclassified))
 
-	// Decay: idle-decay, expire, and invalidate classified ranges.
+	// Decay: idle-decay, expire, and invalidate classified ranges. Each
+	// range's processing runs under panic containment: a panic resets and
+	// quarantines that range, and the cycle keeps going.
 	span = e.tracer.Begin(trace.PhaseDecay, e.cycleID)
 	for _, rs := range classified {
-		e.cycleClassified(rs, now, cycleStart)
+		if rs.quarantinedUntil >= e.cycleID {
+			continue
+		}
+		e.contained(rs, now, func() { e.cycleClassified(rs, now, cycleStart) })
 	}
 	span.End(len(classified))
 
@@ -398,15 +424,29 @@ func (e *Engine) runCycle(now time.Time) {
 	span = e.tracer.Begin(trace.PhaseClassify, e.cycleID)
 	var splits []pendingSplit
 	for _, rs := range unclassified {
-		if ps, ok := e.cycleUnclassified(rs, now); ok {
-			splits = append(splits, ps)
+		if rs.quarantinedUntil >= e.cycleID {
+			continue
 		}
+		rs := rs
+		e.contained(rs, now, func() {
+			if ps, ok := e.cycleUnclassified(rs, now); ok {
+				splits = append(splits, ps)
+			}
+		})
 	}
 	span.End(len(unclassified))
 
-	// Split: apply the collected splits.
+	// Split: apply the collected splits, unless the governor is degraded
+	// (pause state growth) or the hard range budget is exhausted. Splits
+	// are the only way the active-range count grows, so gating them here
+	// enforces Config.MaxRanges unconditionally.
 	span = e.tracer.Begin(trace.PhaseSplit, e.cycleID)
+	deferSplits := e.gov != nil && e.gov.State() != governor.StateNormal
 	for _, ps := range splits {
+		if deferSplits || (e.cfg.MaxRanges > 0 && e.active.Len() >= e.cfg.MaxRanges) {
+			e.tel.splitsDeferred.Inc()
+			continue
+		}
 		e.split(ps.rs, now, ps.share, ps.ncidr)
 	}
 	span.End(len(splits))
@@ -420,6 +460,13 @@ func (e *Engine) runCycle(now time.Time) {
 	span = e.tracer.Begin(trace.PhaseDrop, e.cycleID)
 	drops := e.mergePass(now, true)
 	span.End(drops)
+
+	// Govern: evaluate the resource budgets against the post-cycle state
+	// and run the emergency compaction pass when one is breached.
+	if e.gov != nil {
+		span = e.tracer.Begin(trace.PhaseGovern, e.cycleID)
+		span.End(e.govern(now))
+	}
 
 	dur := time.Since(start)
 	e.tel.cycles.Inc()
@@ -525,6 +572,7 @@ func (e *Engine) cycleClassified(rs *rangeState, now, cycleStart time.Time) {
 // unclassify resets a range to empty unclassified state. Fresh traffic
 // rebuilds it; the join pass collapses empty sibling pairs upward.
 func (e *Engine) unclassify(rs *rangeState, now time.Time) {
+	e.ipCount -= len(rs.ips)
 	rs.classified = false
 	rs.ingress = flow.Ingress{}
 	rs.classifiedAt = time.Time{}
@@ -559,6 +607,7 @@ func (e *Engine) cycleUnclassified(rs *rangeState, now time.Time) (pendingSplit,
 			}
 			rs.total -= st.total
 			delete(rs.ips, k)
+			e.ipCount--
 		}
 	}
 	if rs.total < 0 {
@@ -577,6 +626,7 @@ func (e *Engine) cycleUnclassified(rs *rangeState, now time.Time) (pendingSplit,
 		rs.classified = true
 		rs.ingress = in
 		rs.classifiedAt = now
+		e.ipCount -= len(rs.ips)
 		rs.ips = nil
 		e.tel.classifications.Inc()
 		e.noteChurn(in)
@@ -620,6 +670,9 @@ func (e *Engine) split(rs *rangeState, now time.Time, share, ncidr float64) {
 				child.lastSeen = st.lastSeen
 			}
 		}
+	} else {
+		// The children start empty; the parent's per-IP entries die with it.
+		e.ipCount -= len(rs.ips)
 	}
 	e.active.Delete(rs.prefix)
 	e.active.Insert(lo, cl)

@@ -38,6 +38,19 @@ const (
 	// their empty parent (state cleanup after expiry). Prefix is the
 	// parent; Children lists the dropped ranges.
 	EventDropped
+	// EventCompacted : two siblings were force-merged into an empty
+	// unclassified parent by the governor's emergency compaction,
+	// discarding their counters and per-IP state. Prefix is the parent;
+	// Children lists the removed ranges.
+	EventCompacted
+	// EventQuarantined : a range's stage-2 processing panicked; the range
+	// was reset to empty unclassified state and is skipped for the next few
+	// cycles. Detail carries the recovered panic message.
+	EventQuarantined
+	// EventGovernor : the resource governor changed state. Prefix is empty
+	// (the event is about the whole pipeline); Detail carries the new state
+	// name (normal, degraded, emergency).
+	EventGovernor
 )
 
 func (k EventKind) String() string {
@@ -56,6 +69,12 @@ func (k EventKind) String() string {
 		return "created"
 	case EventDropped:
 		return "dropped"
+	case EventCompacted:
+		return "compacted"
+	case EventQuarantined:
+		return "quarantined"
+	case EventGovernor:
+		return "governor"
 	}
 	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }
@@ -67,7 +86,8 @@ func (k EventKind) MarshalText() ([]byte, error) { return []byte(k.String()), ni
 // UnmarshalText parses the name form written by MarshalText.
 func (k *EventKind) UnmarshalText(b []byte) error {
 	for _, c := range []EventKind{EventClassified, EventInvalidated, EventExpired,
-		EventSplit, EventJoined, EventCreated, EventDropped} {
+		EventSplit, EventJoined, EventCreated, EventDropped,
+		EventCompacted, EventQuarantined, EventGovernor} {
 		if string(b) == c.String() {
 			*k = c
 			return nil
@@ -103,6 +123,18 @@ const (
 	// ReasonEmptyIdle : both siblings stayed empty and unclassified for at
 	// least e (drop/collapse).
 	ReasonEmptyIdle
+	// ReasonOverBudget : a resource budget crossed its degraded or
+	// emergency fraction (governor upgrade).
+	ReasonOverBudget
+	// ReasonBudgetRecovered : all budgets stayed below the recover fraction
+	// for the configured hold cycles (governor downgrade).
+	ReasonBudgetRecovered
+	// ReasonForcedCompaction : the governor's emergency compaction merged a
+	// low-traffic sibling pair to reclaim memory.
+	ReasonForcedCompaction
+	// ReasonPanicRecovered : the range's stage-2 processing panicked and
+	// was contained (quarantine).
+	ReasonPanicRecovered
 )
 
 func (c ReasonCode) String() string {
@@ -123,6 +155,14 @@ func (c ReasonCode) String() string {
 		return "siblings-agree"
 	case ReasonEmptyIdle:
 		return "empty-idle"
+	case ReasonOverBudget:
+		return "over-budget"
+	case ReasonBudgetRecovered:
+		return "budget-recovered"
+	case ReasonForcedCompaction:
+		return "forced-compaction"
+	case ReasonPanicRecovered:
+		return "panic-recovered"
 	}
 	return fmt.Sprintf("ReasonCode(%d)", uint8(c))
 }
@@ -134,7 +174,8 @@ func (c ReasonCode) MarshalText() ([]byte, error) { return []byte(c.String()), n
 func (c *ReasonCode) UnmarshalText(b []byte) error {
 	for _, r := range []ReasonCode{ReasonNone, ReasonRoot, ReasonPrevalentIngress,
 		ReasonShareBelowQ, ReasonDecayedOut, ReasonMixedIngress,
-		ReasonSiblingsAgree, ReasonEmptyIdle} {
+		ReasonSiblingsAgree, ReasonEmptyIdle, ReasonOverBudget,
+		ReasonBudgetRecovered, ReasonForcedCompaction, ReasonPanicRecovered} {
 		if string(b) == r.String() {
 			*c = r
 			return nil
@@ -187,6 +228,15 @@ func (r Reason) String() string {
 			r.Observed, r.Threshold, r.Samples, r.MinSamples)
 	case ReasonEmptyIdle:
 		return fmt.Sprintf("empty-idle: idle %.0fs >= e %.0fs", r.Observed, r.Threshold)
+	case ReasonOverBudget:
+		return fmt.Sprintf("over-budget: utilization %.3f >= %.3f", r.Observed, r.Threshold)
+	case ReasonBudgetRecovered:
+		return fmt.Sprintf("budget-recovered: utilization %.3f < %.3f held for %.0f cycles",
+			r.Observed, r.Threshold, r.Samples)
+	case ReasonForcedCompaction:
+		return fmt.Sprintf("forced-compaction: combined samples %.0f (emergency memory reclamation)", r.Observed)
+	case ReasonPanicRecovered:
+		return "panic-recovered: stage-2 processing panicked; range reset and quarantined"
 	}
 	return r.Code.String()
 }
@@ -203,8 +253,9 @@ type Event struct {
 	Cycle uint64 `json:"cycle"`
 	// Kind is the lifecycle transition.
 	Kind EventKind `json:"kind"`
-	// Prefix is the affected range; for split/joined/dropped it is the
-	// parent of the structural change.
+	// Prefix is the affected range; for split/joined/dropped/compacted it
+	// is the parent of the structural change. Empty for governor events,
+	// which concern the whole pipeline.
 	Prefix string `json:"prefix"`
 	// Ingress is the relevant ingress (classified/invalidated/expired/
 	// joined); zero otherwise.
@@ -215,6 +266,9 @@ type Event struct {
 	// values.
 	Reason Reason `json:"reason"`
 	// Children lists the two child prefixes for split (the new ranges) and
-	// joined/dropped (the removed ranges); nil otherwise.
+	// joined/dropped/compacted (the removed ranges); nil otherwise.
 	Children []string `json:"children,omitempty"`
+	// Detail carries event-specific free text: the new state name for
+	// governor transitions, the recovered panic message for quarantines.
+	Detail string `json:"detail,omitempty"`
 }

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"ipd/internal/governor"
+	"ipd/internal/netaddr"
+)
+
+// quarantineCycles is how many stage-2 cycles a range sits out after a
+// contained panic. The range was reset to empty unclassified state, so the
+// skip only delays its re-classification; it exists so a deterministic
+// panic trigger (bad state rebuilt from the same traffic) cannot spin the
+// containment path every cycle.
+const quarantineCycles = 2
+
+// contained runs one range's stage-2 processing under panic containment:
+// a panic — from the processing itself or from the Config.CycleFault
+// injection hook — resets and quarantines that range while the cycle moves
+// on to the next. A panic raised by Config.OnEvent while *reporting* the
+// quarantine is not contained again (it escapes; containment is one level
+// deep by design).
+func (e *Engine) contained(rs *rangeState, now time.Time, fn func()) {
+	defer func() {
+		if cause := recover(); cause != nil {
+			e.quarantine(rs, now, cause)
+		}
+	}()
+	if e.cfg.CycleFault != nil {
+		e.cfg.CycleFault(rs.prefix)
+	}
+	fn()
+}
+
+// quarantine resets a range whose processing panicked — its state may be
+// arbitrarily corrupt, so everything is rebuilt from fresh traffic — and
+// marks it skipped for the next quarantineCycles cycles.
+func (e *Engine) quarantine(rs *rangeState, now time.Time, cause any) {
+	e.tel.panicsRecovered.Inc()
+	e.tel.quarantines.Inc()
+	e.unclassify(rs, now)
+	rs.quarantinedUntil = e.cycleID + quarantineCycles
+	if e.log != nil {
+		e.log.Error("stage-2 panic contained", "prefix", rs.prefix.String(), "cause", fmt.Sprint(cause))
+	}
+	e.emit(Event{Kind: EventQuarantined, Prefix: rs.prefix.String(), At: now,
+		Reason: Reason{Code: ReasonPanicRecovered},
+		Detail: fmt.Sprint(cause)})
+}
+
+// govern is the end-of-cycle governor hook: it evaluates the budgets
+// against the post-cycle populations, journals any state transition, and
+// runs the emergency compaction pass while the governor is in emergency.
+// Returns the number of forced joins applied (the govern span's count).
+func (e *Engine) govern(now time.Time) int {
+	prev := e.gov.State()
+	next := e.gov.Evaluate(governor.Usage{Ranges: e.active.Len(), IPStates: e.ipCount})
+	if next != prev {
+		cfg := e.gov.Config()
+		util := e.gov.Snapshot().Utilization
+		reason := Reason{Code: ReasonOverBudget, Observed: util}
+		switch {
+		case next == governor.StateEmergency:
+			reason.Threshold = cfg.EmergencyFraction
+		case next > prev:
+			reason.Threshold = cfg.DegradedFraction
+		default:
+			reason = Reason{Code: ReasonBudgetRecovered, Observed: util,
+				Threshold: cfg.RecoverFraction, Samples: float64(cfg.HoldCycles)}
+		}
+		e.emit(Event{Kind: EventGovernor, At: now, Reason: reason, Detail: next.String()})
+	}
+	if next != governor.StateEmergency {
+		return 0
+	}
+	return e.compact(now)
+}
+
+// compactCand is one force-joinable sibling pair.
+type compactCand struct {
+	lo, hi *rangeState
+	parent netip.Prefix
+	total  float64
+}
+
+// overRecoverTarget reports whether compaction still has work: a governed
+// population above its budget's recover fraction. Compacting down to the
+// recover target (not just under the emergency threshold) is what gives the
+// hysteresis room to actually downgrade afterwards.
+func (e *Engine) overRecoverTarget() bool {
+	cfg := e.gov.Config()
+	if cfg.MaxRanges > 0 && float64(e.active.Len()) > cfg.RecoverFraction*float64(cfg.MaxRanges) {
+		return true
+	}
+	if cfg.MaxIPStates > 0 && float64(e.ipCount) > cfg.RecoverFraction*float64(cfg.MaxIPStates) {
+		return true
+	}
+	return false
+}
+
+// compact is the emergency memory-reclamation pass: it force-joins sibling
+// pairs — deepest subtrees first, lowest combined traffic first — into
+// empty unclassified parents, discarding their counters and per-IP state
+// (the aggressive-decay end of the paper's §3.2 cleanup spectrum), until
+// every governed population is back under its recover target. Each forced
+// join nets one range removed and is journaled as an EventCompacted, so a
+// replayed run reconstructs the governed partition exactly.
+func (e *Engine) compact(now time.Time) int {
+	compacted := 0
+	for e.overRecoverTarget() {
+		cands := e.compactCandidates()
+		if len(cands) == 0 {
+			break
+		}
+		progressed := false
+		for _, c := range cands {
+			if !e.overRecoverTarget() {
+				break
+			}
+			e.forceJoin(c, now)
+			compacted++
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	return compacted
+}
+
+// compactCandidates collects every sibling pair currently present in the
+// active set, ordered deepest-first then lowest-traffic-first (ties break
+// on address order), so compaction sacrifices the most specific, least
+// loaded state first. Pairs are disjoint within one sweep; pairs enabled by
+// the sweep's own merges are picked up by the caller's next sweep.
+func (e *Engine) compactCandidates() []compactCand {
+	var cands []compactCand
+	for _, p := range e.active.Prefixes() {
+		if p.Bits() == 0 || !netaddr.IsLowChild(p) {
+			continue
+		}
+		rs, ok := e.active.Get(p)
+		if !ok {
+			continue
+		}
+		sibPfx, ok := netaddr.Sibling(p)
+		if !ok {
+			continue
+		}
+		sib, ok := e.active.Get(sibPfx)
+		if !ok {
+			continue
+		}
+		parent, _ := netaddr.Parent(p)
+		cands = append(cands, compactCand{lo: rs, hi: sib, parent: parent, total: rs.total + sib.total})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if bi, bj := cands[i].parent.Bits(), cands[j].parent.Bits(); bi != bj {
+			return bi > bj
+		}
+		if cands[i].total != cands[j].total {
+			return cands[i].total < cands[j].total
+		}
+		return netaddr.KeyOf(cands[i].parent).Less(netaddr.KeyOf(cands[j].parent))
+	})
+	return cands
+}
+
+// forceJoin merges one sibling pair into an empty unclassified parent,
+// dropping both children's counters and per-IP state.
+func (e *Engine) forceJoin(c compactCand, now time.Time) {
+	e.ipCount -= len(c.lo.ips) + len(c.hi.ips)
+	e.active.Delete(c.lo.prefix)
+	e.active.Delete(c.hi.prefix)
+	m := newRangeState(c.parent)
+	m.bornAt = now
+	e.active.Insert(c.parent, m)
+	e.tel.rangesCompacted.Inc()
+	e.emit(Event{Kind: EventCompacted, Prefix: c.parent.String(), At: now,
+		Reason:   Reason{Code: ReasonForcedCompaction, Observed: c.total},
+		Children: []string{c.lo.prefix.String(), c.hi.prefix.String()}})
+}

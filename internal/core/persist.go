@@ -148,6 +148,13 @@ func (e *Engine) commitState(st engineRestore) {
 	e.started = st.started
 	e.now = st.now
 	e.lastCycle = st.lastCycle
+	// Rebuild the live per-IP population counter from the restored
+	// partition (the one walk this counter's existence saves every cycle).
+	e.ipCount = 0
+	e.active.Walk(func(_ netip.Prefix, rs *rangeState) bool {
+		e.ipCount += len(rs.ips)
+		return true
+	})
 	e.tel.activeRanges.Set(int64(e.active.Len()))
 	e.tel.ipStates.Set(int64(e.IPStateCount()))
 	e.tel.trieNodes.Set(int64(e.active.Nodes()))
@@ -318,6 +325,12 @@ func (e *Engine) ApplyEvent(ev Event) error {
 	if ev.Seq <= e.seq {
 		return fmt.Errorf("core: apply event seq %d out of order (engine at %d)", ev.Seq, e.seq)
 	}
+	if ev.Kind == EventGovernor {
+		// Governor transitions carry no prefix: they change no range, only
+		// the event clocks below.
+		e.finishApply(ev)
+		return nil
+	}
 	p, err := netip.ParsePrefix(ev.Prefix)
 	if err != nil {
 		return fmt.Errorf("core: apply event seq %d: bad prefix: %v", ev.Seq, err)
@@ -330,20 +343,22 @@ func (e *Engine) ApplyEvent(ev Event) error {
 			e.active.Insert(p, rs)
 		}
 	case EventSplit:
-		if _, ok := e.active.Get(p); !ok {
+		old, ok := e.active.Get(p)
+		if !ok {
 			return fmt.Errorf("core: apply event seq %d splits unknown range %s", ev.Seq, ev.Prefix)
 		}
 		children, err := parseChildren(ev)
 		if err != nil {
 			return err
 		}
+		e.ipCount -= len(old.ips)
 		e.active.Delete(p)
 		for _, cp := range children {
 			rs := newRangeState(cp)
 			rs.bornAt = ev.At
 			e.active.Insert(cp, rs)
 		}
-	case EventJoined, EventDropped:
+	case EventJoined, EventDropped, EventCompacted:
 		children, err := parseChildren(ev)
 		if err != nil {
 			return err
@@ -354,6 +369,8 @@ func (e *Engine) ApplyEvent(ev Event) error {
 			}
 		}
 		for _, cp := range children {
+			old, _ := e.active.Get(cp)
+			e.ipCount -= len(old.ips)
 			e.active.Delete(cp)
 		}
 		rs := newRangeState(p)
@@ -375,12 +392,13 @@ func (e *Engine) ApplyEvent(ev Event) error {
 		rs.classified = true
 		rs.ingress = ev.Ingress
 		rs.classifiedAt = ev.At
+		e.ipCount -= len(rs.ips)
 		rs.ips = nil
 		if ev.At.After(rs.lastSeen) {
 			rs.lastSeen = ev.At
 		}
 		approximateCounters(rs, ev)
-	case EventInvalidated, EventExpired:
+	case EventInvalidated, EventExpired, EventQuarantined:
 		rs, ok := e.active.Get(p)
 		if !ok {
 			return fmt.Errorf("core: apply event seq %d unclassifies unknown range %s", ev.Seq, ev.Prefix)
@@ -389,6 +407,14 @@ func (e *Engine) ApplyEvent(ev Event) error {
 	default:
 		return fmt.Errorf("core: apply event seq %d has unknown kind %d", ev.Seq, ev.Kind)
 	}
+	e.finishApply(ev)
+	return nil
+}
+
+// finishApply advances the event and statistical clocks after a replayed
+// event mutated (or, for governor events, deliberately did not mutate) the
+// partition.
+func (e *Engine) finishApply(ev Event) {
 	e.seq = ev.Seq
 	if ev.Cycle > e.cycleID {
 		e.cycleID = ev.Cycle
@@ -398,7 +424,6 @@ func (e *Engine) ApplyEvent(ev Event) error {
 		e.started = true
 		e.lastCycle = ev.At.Truncate(e.cfg.T)
 	}
-	return nil
 }
 
 // approximateCounters rebuilds a classified range's vote state from the

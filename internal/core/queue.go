@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"ipd/internal/flow"
 	"ipd/internal/telemetry"
@@ -27,8 +28,14 @@ type IngestQueue struct {
 
 	wake chan struct{}
 
-	shed  telemetry.Counter
-	depth telemetry.Gauge
+	// admit, when non-nil, is consulted before buffering; a false verdict
+	// rejects the record outright (the governor's emergency admission
+	// control). Set during setup, read atomically from receive loops.
+	admit atomic.Pointer[func() bool]
+
+	shed     telemetry.Counter
+	rejected telemetry.Counter
+	depth    telemetry.Gauge
 }
 
 // NewIngestQueue returns a queue buffering up to capacity records
@@ -48,13 +55,35 @@ func NewIngestQueue(capacity int) *IngestQueue {
 func (q *IngestQueue) RegisterMetrics(reg *telemetry.Registry) {
 	reg.RegisterCounter("ipd_records_shed_total",
 		"Records shed (oldest first) by the bounded ingest queue under overload.", &q.shed)
+	reg.RegisterCounter("ipd_records_rejected_total",
+		"Records rejected by emergency admission control before buffering.", &q.rejected)
 	reg.RegisterGauge("ipd_ingest_queue_depth",
 		"Records currently buffered in the ingest queue.", &q.depth)
 }
 
+// SetAdmission installs an admission predicate consulted by every Offer;
+// records it rejects are counted in ipd_records_rejected_total and never
+// buffered. Wire governor.AdmitIngest here so emergency mode sheds load at
+// the door instead of churning the shed-oldest ring. nil removes the
+// predicate.
+func (q *IngestQueue) SetAdmission(admit func() bool) {
+	if admit == nil {
+		q.admit.Store(nil)
+		return
+	}
+	q.admit.Store(&admit)
+}
+
+// Rejected returns how many records admission control has turned away.
+func (q *IngestQueue) Rejected() uint64 { return q.rejected.Value() }
+
 // Offer enqueues rec, evicting the oldest buffered record when the queue is
 // full (counted in ipd_records_shed_total). Offers after Close are shed.
 func (q *IngestQueue) Offer(rec flow.Record) {
+	if admit := q.admit.Load(); admit != nil && !(*admit)() {
+		q.rejected.Inc()
+		return
+	}
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()

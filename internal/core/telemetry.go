@@ -27,6 +27,15 @@ type engineMetrics struct {
 	invalidations   telemetry.Counter
 	expirations     telemetry.Counter
 
+	// Governed-path accounting: split deferrals (budget cap or degraded
+	// state), emergency compactions, per-IP entries not created at the cap,
+	// and panic containment.
+	splitsDeferred  telemetry.Counter
+	rangesCompacted telemetry.Counter
+	ipStatesSkipped telemetry.Counter
+	panicsRecovered telemetry.Counter
+	quarantines     telemetry.Counter
+
 	activeRanges telemetry.Gauge
 	ipStates     telemetry.Gauge
 	trieNodes    telemetry.Gauge
@@ -62,6 +71,16 @@ func newEngineMetrics() *engineMetrics {
 		"Classified ranges dropped after losing their prevalent ingress.", &m.invalidations)
 	m.reg.RegisterCounter("ipd_expirations_total",
 		"Classified ranges expired by idle decay.", &m.expirations)
+	m.reg.RegisterCounter("ipd_splits_deferred_total",
+		"Range splits deferred by the resource governor (budget cap reached or degraded state).", &m.splitsDeferred)
+	m.reg.RegisterCounter("ipd_ranges_compacted_total",
+		"Sibling pairs force-merged by emergency compaction.", &m.rangesCompacted)
+	m.reg.RegisterCounter("ipd_ip_states_skipped_total",
+		"Per-IP state entries not created because the MaxIPStates budget was reached.", &m.ipStatesSkipped)
+	m.reg.RegisterCounter("ipd_cycle_panics_recovered_total",
+		"Panics recovered during per-range stage-2 processing.", &m.panicsRecovered)
+	m.reg.RegisterCounter("ipd_ranges_quarantined_total",
+		"Ranges reset and quarantined after a contained stage-2 panic.", &m.quarantines)
 	m.reg.RegisterGauge("ipd_active_ranges",
 		"Active IPD ranges after the last stage-2 cycle (Appendix A memory proxy).", &m.activeRanges)
 	m.reg.RegisterGauge("ipd_ip_states",

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ipd/internal/governor"
 	"ipd/internal/telemetry"
 	"ipd/internal/trace"
 )
@@ -58,6 +59,8 @@ type Watchdog struct {
 	lastEnd     atomic.Int64 // unix nanos of the last completed cycle
 	lastOverrun atomic.Bool
 	overruns    *telemetry.Counter
+
+	gov atomic.Pointer[governor.Governor]
 }
 
 // NewWatchdog returns a watchdog armed at cfg.Now() (the stall window starts
@@ -137,11 +140,26 @@ func (w *Watchdog) lastCycleAge() time.Duration {
 	return w.now().Sub(time.Unix(0, last))
 }
 
+// SetGovernor ties readiness to the resource governor: while the governor
+// is in its emergency state the instance reports not-ready, so a load
+// balancer stops routing new traffic at it while it sheds state. nil
+// detaches.
+func (w *Watchdog) SetGovernor(g *governor.Governor) { w.gov.Store(g) }
+
+// governorEmergency reports whether an attached governor is in emergency.
+func (w *Watchdog) governorEmergency() bool {
+	g := w.gov.Load()
+	return g != nil && g.State() == governor.StateEmergency
+}
+
 // Healthy reports liveness: a cycle completed within the stall window.
 func (w *Watchdog) Healthy() bool { return w.lastCycleAge() <= w.stallAfter }
 
-// Ready reports readiness: Healthy, and the last cycle did not overrun.
-func (w *Watchdog) Ready() bool { return w.Healthy() && !w.lastOverrun.Load() }
+// Ready reports readiness: Healthy, the last cycle did not overrun, and an
+// attached governor (SetGovernor) is not in emergency.
+func (w *Watchdog) Ready() bool {
+	return w.Healthy() && !w.lastOverrun.Load() && !w.governorEmergency()
+}
 
 // HealthzHandler serves liveness: 200 "ok" while Healthy, 503 with the last
 // cycle age once stalled. Mount at /healthz.
@@ -149,10 +167,21 @@ func (w *Watchdog) HealthzHandler() http.Handler {
 	return w.checkHandler(w.Healthy, "stalled")
 }
 
-// ReadyzHandler serves readiness: 200 "ok" while Ready, 503 otherwise.
-// Mount at /readyz.
+// ReadyzHandler serves readiness: 200 "ok" while Ready, 503 otherwise. The
+// failure body names the cause — governor emergency is reported distinctly
+// from overrun/stall so operators can tell overload shedding from a wedged
+// pipeline. Mount at /readyz.
 func (w *Watchdog) ReadyzHandler() http.Handler {
-	return w.checkHandler(w.Ready, "not ready")
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if w.governorEmergency() {
+			rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			rw.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(rw, "not ready: governor state %s (resource budgets exceeded, shedding state)\n",
+				governor.StateEmergency)
+			return
+		}
+		w.checkHandler(w.Ready, "not ready").ServeHTTP(rw, r)
+	})
 }
 
 func (w *Watchdog) checkHandler(ok func() bool, fail string) http.Handler {

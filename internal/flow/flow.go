@@ -13,6 +13,7 @@ package flow
 import (
 	"fmt"
 	"net/netip"
+	"sync/atomic"
 	"time"
 )
 
@@ -88,6 +89,31 @@ type Sampler struct {
 	N     int
 	state uint64
 	m     *Metrics
+
+	// boost multiplies N while the resource governor is degraded; 0 reads
+	// as 1 so the zero value stays usable. Written by SetBoost (a governor
+	// transition callback on another goroutine), read by every decide.
+	boost atomic.Int64
+}
+
+// SetBoost multiplies the sampling denominator by k until the next call
+// (k <= 1 restores the configured rate). The resource governor raises the
+// boost while degraded — traffic volume drops without reconfiguring the
+// exporters — and the sampler stays deterministic for a given seed and
+// boost schedule. Safe for concurrent use with Keep.
+func (s *Sampler) SetBoost(k int) {
+	if k < 1 {
+		k = 1
+	}
+	s.boost.Store(int64(k))
+}
+
+// Boost returns the current boost factor (1 when unset).
+func (s *Sampler) Boost() int {
+	if b := s.boost.Load(); b > 1 {
+		return int(b)
+	}
+	return 1
 }
 
 // SetMetrics attaches a telemetry set; nil detaches. Every Keep call counts
@@ -115,7 +141,12 @@ func (s *Sampler) Keep() bool {
 }
 
 func (s *Sampler) decide() bool {
-	if s.N <= 1 {
+	n := s.N
+	if n < 1 {
+		n = 1
+	}
+	n *= s.Boost()
+	if n <= 1 {
 		return true
 	}
 	// xorshift64* — cheap, deterministic, good enough for packet sampling.
@@ -123,5 +154,5 @@ func (s *Sampler) decide() bool {
 	s.state ^= s.state << 25
 	s.state ^= s.state >> 27
 	v := s.state * 0x2545f4914f6cdd1d
-	return v%uint64(s.N) == 0
+	return v%uint64(n) == 0
 }

@@ -324,3 +324,51 @@ func TestIngressTextRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestSamplerBoost pins the governor hook: SetBoost(k) multiplies the
+// effective denominator (keep rate drops ~k-fold), SetBoost(1) restores the
+// configured rate, and boosting a passthrough sampler starts sampling.
+func TestSamplerBoost(t *testing.T) {
+	const trials = 200_000
+	count := func(s *Sampler) int {
+		kept := 0
+		for i := 0; i < trials; i++ {
+			if s.Keep() {
+				kept++
+			}
+		}
+		return kept
+	}
+	normal := count(NewSampler(100, 42))
+
+	boosted := NewSampler(100, 42)
+	boosted.SetBoost(8)
+	if got := boosted.Boost(); got != 8 {
+		t.Fatalf("Boost = %d, want 8", got)
+	}
+	keptBoosted := count(boosted)
+	if lo, hi := trials/800/2, trials*2/800; keptBoosted < lo || keptBoosted > hi {
+		t.Errorf("boosted sampler kept %d of %d, want about %d", keptBoosted, trials, trials/800)
+	}
+	if keptBoosted*4 >= normal {
+		t.Errorf("boost 8 kept %d vs normal %d; rate did not drop", keptBoosted, normal)
+	}
+
+	// Restoring the boost restores the configured rate.
+	boosted.SetBoost(1)
+	if got := boosted.Boost(); got != 1 {
+		t.Errorf("Boost after reset = %d, want 1", got)
+	}
+
+	// A passthrough sampler (N<=1) starts sampling under boost.
+	pass := NewSampler(1, 7)
+	pass.SetBoost(10)
+	kept := count(pass)
+	if kept == trials {
+		t.Error("boosted passthrough sampler kept everything")
+	}
+	pass.SetBoost(0) // below 1 clamps to 1: passthrough again
+	if !pass.Keep() || pass.Boost() != 1 {
+		t.Error("SetBoost(0) did not restore passthrough")
+	}
+}

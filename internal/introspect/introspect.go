@@ -6,6 +6,7 @@
 //	GET /ipd/explain?ip=10.1.2.3                          LPM walk + votes + reasons
 //	GET /ipd/events?since=<seq>&limit=                    tail the journal
 //	GET /ipd/traces?limit=&phase=                         tail the flight recorder
+//	GET /ipd/governor                                     resource-governor state + budgets
 //
 // The handlers read through a Source (core.Server implements it; cmd/ipd
 // wraps its single-threaded engine in a mutex adapter) and never mutate, so
@@ -23,6 +24,7 @@ import (
 
 	"ipd/internal/core"
 	"ipd/internal/flow"
+	"ipd/internal/governor"
 	"ipd/internal/journal"
 	"ipd/internal/trace"
 )
@@ -44,8 +46,9 @@ type Source interface {
 type Handler struct {
 	mux *http.ServeMux
 	src Source
-	j   *journal.Journal // may be nil: history fields are omitted, /ipd/events is 404
-	rec *trace.Recorder  // may be nil: /ipd/traces is 404
+	j   *journal.Journal   // may be nil: history fields are omitted, /ipd/events is 404
+	rec *trace.Recorder    // may be nil: /ipd/traces is 404
+	gov *governor.Governor // may be nil: /ipd/governor is 404
 }
 
 // New builds the handler. j may be nil when no journal is attached; the
@@ -58,12 +61,17 @@ func New(src Source, j *journal.Journal) *Handler {
 	h.mux.HandleFunc("/ipd/explain", h.explain)
 	h.mux.HandleFunc("/ipd/events", h.events)
 	h.mux.HandleFunc("/ipd/traces", h.traces)
+	h.mux.HandleFunc("/ipd/governor", h.governor)
 	return h
 }
 
 // SetTraces attaches the pipeline tracer's flight recorder, enabling
 // /ipd/traces. Call during setup, before serving.
 func (h *Handler) SetTraces(rec *trace.Recorder) { h.rec = rec }
+
+// SetGovernor attaches the resource governor, enabling /ipd/governor. Call
+// during setup, before serving.
+func (h *Handler) SetGovernor(g *governor.Governor) { h.gov = g }
 
 // ServeHTTP dispatches to the /ipd/* routes.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
@@ -350,6 +358,17 @@ func (h *Handler) events(w http.ResponseWriter, r *http.Request) {
 		"count":      len(evs),
 		"events":     toEventJSON(evs),
 	})
+}
+
+// governor serves GET /ipd/governor: the resource governor's current state,
+// per-budget utilization, transition counts, and downgrade-hold progress —
+// the first stop when an instance reports not-ready or starts shedding.
+func (h *Handler) governor(w http.ResponseWriter, _ *http.Request) {
+	if h.gov == nil {
+		writeErr(w, http.StatusNotFound, "no governor attached")
+		return
+	}
+	writeJSON(w, http.StatusOK, h.gov.Snapshot())
 }
 
 // traces serves GET /ipd/traces?limit=&phase=: the flight recorder's span

@@ -14,6 +14,7 @@ import (
 
 	"ipd/internal/core"
 	"ipd/internal/flow"
+	"ipd/internal/governor"
 	"ipd/internal/journal"
 	"ipd/internal/stattime"
 	"ipd/internal/trace"
@@ -443,5 +444,40 @@ func TestConcurrentTailDuringIngest(t *testing.T) {
 	}
 	if !journal.Equal(rp.Snapshot(), journal.Project(srv.Snapshot())) {
 		t.Error("journal replay diverged from the live server snapshot")
+	}
+}
+
+// TestGovernorEndpoint pins /ipd/governor: 404 without a governor, and with
+// one attached the JSON carries the state, per-budget utilization, and
+// hysteresis progress.
+func TestGovernorEndpoint(t *testing.T) {
+	e, j := quadrantEngine(t)
+	h := New(e, j)
+	if code, _ := get(t, h, "/ipd/governor"); code != http.StatusNotFound {
+		t.Errorf("governor without attachment = %d, want 404", code)
+	}
+	g, err := governor.New(governor.Config{MaxRanges: 10, HoldCycles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Evaluate(governor.Usage{Ranges: 10}) // util 1.0: emergency
+	h.SetGovernor(g)
+	code, body := get(t, h, "/ipd/governor")
+	if code != http.StatusOK {
+		t.Fatalf("governor = %d, want 200", code)
+	}
+	if got := body["state"]; got != "emergency" {
+		t.Errorf("state = %v, want emergency", got)
+	}
+	if got := body["utilization"]; got != 1.0 {
+		t.Errorf("utilization = %v, want 1", got)
+	}
+	budgets, ok := body["budgets"].([]any)
+	if !ok || len(budgets) == 0 {
+		t.Fatalf("budgets missing from %v", body)
+	}
+	b0 := budgets[0].(map[string]any)
+	if b0["name"] != "ranges" || b0["max"] != 10.0 {
+		t.Errorf("budget[0] = %v, want the ranges budget with max 10", b0)
 	}
 }

@@ -22,6 +22,9 @@ type CollectorStats struct {
 	// (they are dropped, as RFC 7011 collectors commonly do over UDP).
 	UnknownTemplate atomic.Uint64
 	SkippedRecords  atomic.Uint64
+	// Panics counts messages whose decode or sink handoff panicked; the
+	// receive loop recovers and keeps serving (the message is abandoned).
+	Panics atomic.Uint64
 }
 
 // Collector receives IPFIX messages over UDP, resolves templates per
@@ -101,8 +104,15 @@ func (c *Collector) Serve(ctx context.Context) error {
 }
 
 // HandleMessage processes one raw IPFIX message from the given exporter
-// address (exposed for socketless pipelines and tests).
+// address (exposed for socketless pipelines and tests). A panic while
+// decoding or sinking is contained: the message is abandoned,
+// Stats().Panics counts it, and the receive loop keeps serving.
 func (c *Collector) HandleMessage(b []byte, from netip.Addr) {
+	defer func() {
+		if recover() != nil {
+			c.stats.Panics.Add(1)
+		}
+	}()
 	from = from.Unmap()
 	c.mu.RLock()
 	router, ok := c.exporters[from]

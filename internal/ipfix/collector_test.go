@@ -143,3 +143,36 @@ func TestCollectorUnknownExporterAndMalformed(t *testing.T) {
 		t.Error("malformed not counted")
 	}
 }
+
+// TestCollectorContainsSinkPanic pins the receive-loop containment: a panic
+// out of the sink (or decoder) must not escape HandleMessage — the message
+// is abandoned, counted in Stats().Panics, and the next one flows normally.
+func TestCollectorContainsSinkPanic(t *testing.T) {
+	calls := 0
+	c, _ := NewCollector(func(flow.Record) {
+		calls++
+		if calls == 1 {
+			panic("poisoned record")
+		}
+	})
+	src := netip.MustParseAddr("192.0.2.9")
+	c.RegisterExporter(src, 1)
+	mb := NewMessageBuilder(1)
+	tmplMsg, err := mb.TemplateMessage(exportTime, DefaultTemplateV4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.HandleMessage(tmplMsg, src)
+	dataMsg, err := mb.DataMessage(exportTime, DefaultTemplateV4, []flow.Record{v4Record(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.HandleMessage(dataMsg, src) // sink panics: contained
+	if got := c.Stats().Panics.Load(); got != 1 {
+		t.Fatalf("Panics = %d, want 1", got)
+	}
+	c.HandleMessage(dataMsg, src) // collector still serves
+	if calls != 2 {
+		t.Errorf("sink calls = %d, want 2 (loop survived the panic)", calls)
+	}
+}

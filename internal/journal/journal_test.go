@@ -10,6 +10,7 @@ import (
 
 	"ipd/internal/core"
 	"ipd/internal/flow"
+	"ipd/internal/governor"
 	"ipd/internal/telemetry"
 )
 
@@ -291,5 +292,100 @@ func TestEventJSONRoundTrip(t *testing.T) {
 	}
 	if got := rp.Snapshot(); len(got) != 1 || got[0].Prefix.String() != "10.0.0.0/8" {
 		t.Errorf("replay of hand-written line = %+v", got)
+	}
+}
+
+// driveGovernedEngine runs a resource-governed workload through overload and
+// recovery: mixed scan traffic grows per-IP state past the governor's
+// thresholds, emergency compaction force-joins the populated subtree, an
+// injected panic quarantines one range, and calm cycles walk the state back
+// to normal. It exercises EventGovernor, EventCompacted, and
+// EventQuarantined alongside the ordinary lifecycle kinds.
+func driveGovernedEngine(t *testing.T, cfg core.Config) *core.Engine {
+	t.Helper()
+	g, err := governor.New(governor.Config{
+		MaxIPStates:       500,
+		DegradedFraction:  0.5,
+		EmergencyFraction: 0.8,
+		RecoverFraction:   0.3,
+		HoldCycles:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Governor = g
+	// The fault targets the idle v6 root so the quarantine (which resets the
+	// range) cannot drain the v4 state the overload needs.
+	faulted := false
+	cfg.CycleFault = func(p netip.Prefix) {
+		if !faulted && !p.Addr().Is4() {
+			faulted = true
+			panic("journal-test fault")
+		}
+	}
+	e, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1_600_000_000, 0).UTC().Truncate(time.Minute)
+	// One record per /28 block (the cidr_max mask) with alternating
+	// ingresses, so ranges stay mixed and per-IP state grows one entry per
+	// record.
+	feedMixed := func(ts time.Time, src string, n int) {
+		a4 := netip.MustParseAddr(src).As4()
+		for i := 0; i < n; i++ {
+			a4[3] = byte(i % 16 * 16)
+			a4[2] = byte(i / 16)
+			in := inA
+			if i%2 == 1 {
+				in = inB
+			}
+			e.Observe(flow.Record{Ts: ts, Src: netip.AddrFrom4(a4), In: in, Bytes: 1000, Packets: 1})
+		}
+	}
+	feedMixed(base, "10.0.0.0", 150)
+	e.AdvanceTo(base.Add(1 * time.Minute)) // normal; root splits
+	feedMixed(base.Add(1*time.Minute), "10.1.0.0", 150)
+	e.AdvanceTo(base.Add(2 * time.Minute)) // degraded
+	feedMixed(base.Add(2*time.Minute), "10.2.0.0", 300)
+	e.AdvanceTo(base.Add(3 * time.Minute)) // emergency + compaction
+	e.AdvanceTo(base.Add(7 * time.Minute)) // hysteresis back to normal
+	if !faulted {
+		t.Fatal("fault never injected; governed workload shape changed")
+	}
+	return e
+}
+
+// TestReplayGovernedRun is the governed sibling of
+// TestReplayReconstructsSnapshot: a journal carrying governor transitions,
+// forced compactions, and a panic quarantine must still replay to the exact
+// engine partition, and the replayer must surface the final governor state.
+func TestReplayGovernedRun(t *testing.T) {
+	var sink bytes.Buffer
+	cfg := engineConfig()
+	j := New(Options{Capacity: 1024, Sink: &sink})
+	cfg.OnEvent = j.Record
+	e := driveGovernedEngine(t, cfg)
+
+	seen := map[core.EventKind]bool{}
+	for _, ev := range j.All() {
+		seen[ev.Kind] = true
+	}
+	for _, kind := range []core.EventKind{core.EventGovernor, core.EventCompacted, core.EventQuarantined} {
+		if !seen[kind] {
+			t.Fatalf("governed run emitted no %v; the test lost its teeth", kind)
+		}
+	}
+
+	rp, err := ReplayJSONL(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(rp.Snapshot(), Project(e.Snapshot())) {
+		t.Errorf("replayed snapshot != engine snapshot\nreplayed: %+v\nengine:   %+v",
+			rp.Snapshot(), Project(e.Snapshot()))
+	}
+	if got := rp.GovernorState(); got != "normal" {
+		t.Errorf("GovernorState = %q, want %q (the run recovered)", got, "normal")
 	}
 }

@@ -33,8 +33,9 @@ type RangeView struct {
 // JSONL sink of a run, or Journal.All of an un-overflowed ring) and its
 // Snapshot matches the engine's at the same point in the stream.
 type Replayer struct {
-	ranges map[netip.Prefix]*RangeView
-	seq    uint64
+	ranges   map[netip.Prefix]*RangeView
+	seq      uint64
+	govState string
 }
 
 // NewReplayer returns an empty replayer. The /0 roots arrive as the first
@@ -51,6 +52,12 @@ func (r *Replayer) Apply(ev core.Event) error {
 		return fmt.Errorf("journal: event seq %d out of order (already at %d)", ev.Seq, r.seq)
 	}
 	r.seq = ev.Seq
+	if ev.Kind == core.EventGovernor {
+		// Governor transitions carry no prefix; they advance the replayed
+		// governor state and nothing else.
+		r.govState = ev.Detail
+		return nil
+	}
 	p, err := netip.ParsePrefix(ev.Prefix)
 	if err != nil {
 		return fmt.Errorf("journal: event seq %d: bad prefix: %v", ev.Seq, err)
@@ -62,7 +69,9 @@ func (r *Replayer) Apply(ev core.Event) error {
 		if err := r.replaceWithChildren(ev, p); err != nil {
 			return err
 		}
-	case core.EventJoined, core.EventDropped:
+	case core.EventJoined, core.EventDropped, core.EventCompacted:
+		// Only a join leaves the parent classified; drops and forced
+		// compactions produce an empty unclassified parent.
 		if err := r.replaceChildrenWithParent(ev, p); err != nil {
 			return err
 		}
@@ -78,7 +87,7 @@ func (r *Replayer) Apply(ev core.Event) error {
 		rv.Classified = true
 		rv.Ingress = ev.Ingress
 		rv.LastSeq = ev.Seq
-	case core.EventInvalidated, core.EventExpired:
+	case core.EventInvalidated, core.EventExpired, core.EventQuarantined:
 		rv, ok := r.ranges[p]
 		if !ok {
 			return fmt.Errorf("journal: event seq %d unclassifies unknown range %s", ev.Seq, ev.Prefix)
@@ -135,6 +144,10 @@ func (r *Replayer) replaceChildrenWithParent(ev core.Event, parent netip.Prefix)
 
 // Seq returns the sequence number of the last applied event.
 func (r *Replayer) Seq() uint64 { return r.seq }
+
+// GovernorState returns the governor state named by the last EventGovernor
+// applied, or "" when the journal carries none (an ungoverned run).
+func (r *Replayer) GovernorState() string { return r.govState }
 
 // Snapshot returns the reconstructed partition sorted like
 // core.Engine.Snapshot (family, address, length), so the two can be compared

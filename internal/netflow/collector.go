@@ -19,6 +19,9 @@ type CollectorStats struct {
 	Records         atomic.Uint64
 	Malformed       atomic.Uint64
 	UnknownExporter atomic.Uint64
+	// Panics counts datagrams whose decode or sink handoff panicked; the
+	// receive loop recovers and keeps serving (the datagram is abandoned).
+	Panics atomic.Uint64
 }
 
 // Collector receives NetFlow v5 datagrams over UDP, attributes them to
@@ -138,8 +141,16 @@ func (c *Collector) Serve(ctx context.Context) error {
 // HandleDatagram processes one raw datagram attributed to the given source
 // (exposed separately so the pipeline can be driven without a socket, e.g.
 // from pcap replays or tests). Attribution prefers an exact (addr, port)
-// registration, then the source address.
+// registration, then the source address. A panic while decoding or sinking
+// — one adversarial datagram tripping a decoder bug — is contained: the
+// datagram is abandoned, Stats().Panics counts it, and the receive loop
+// keeps serving.
 func (c *Collector) HandleDatagram(b []byte, from netip.AddrPort) {
+	defer func() {
+		if recover() != nil {
+			c.stats.Panics.Add(1)
+		}
+	}()
 	d, err := Decode(b)
 	if err != nil {
 		c.stats.Malformed.Add(1)

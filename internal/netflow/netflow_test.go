@@ -380,3 +380,37 @@ func TestCollectorUnknownPolicy(t *testing.T) {
 		t.Errorf("exporters = %d", c.Exporters())
 	}
 }
+
+// TestCollectorContainsSinkPanic pins the receive-loop containment: a panic
+// out of the sink (or decoder) must not escape HandleDatagram — the datagram
+// is abandoned, counted in Stats().Panics, and the next one flows normally.
+func TestCollectorContainsSinkPanic(t *testing.T) {
+	calls := 0
+	c, err := NewCollector(func(flow.Record) {
+		calls++
+		if calls == 1 {
+			panic("poisoned record")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := netip.MustParseAddr("192.0.2.7")
+	c.RegisterExporter(src, 1)
+	good, err := (&Datagram{Header: sampleHeader(), Records: []Record{sampleRecord()}}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := netip.AddrPortFrom(src, 2055)
+	c.HandleDatagram(good, from) // sink panics: contained
+	if got := c.Stats().Panics.Load(); got != 1 {
+		t.Fatalf("Panics = %d, want 1", got)
+	}
+	c.HandleDatagram(good, from) // collector still serves
+	if calls != 2 {
+		t.Errorf("sink calls = %d, want 2 (loop survived the panic)", calls)
+	}
+	if got := c.Stats().Panics.Load(); got != 1 {
+		t.Errorf("Panics = %d after healthy datagram, want still 1", got)
+	}
+}

@@ -48,6 +48,9 @@ const (
 	PhaseJoin
 	// PhaseDrop collapses empty-idle sibling pairs (state cleanup).
 	PhaseDrop
+	// PhaseGovern evaluates the resource governor's budgets and runs the
+	// emergency compaction pass when one is breached.
+	PhaseGovern
 	// PhaseCycle is the whole stage-2 cycle (umbrella span; the watchdog
 	// keys its overrun and stall checks off these).
 	PhaseCycle
@@ -65,6 +68,7 @@ var phaseNames = [numPhases]string{
 	PhaseSplit:    "split",
 	PhaseJoin:     "join",
 	PhaseDrop:     "drop",
+	PhaseGovern:   "govern",
 	PhaseCycle:    "cycle",
 }
 

@@ -35,6 +35,7 @@ import (
 	"ipd/internal/core"
 	"ipd/internal/export"
 	"ipd/internal/flow"
+	"ipd/internal/governor"
 	"ipd/internal/introspect"
 	"ipd/internal/journal"
 	"ipd/internal/persist"
@@ -92,6 +93,9 @@ const (
 	EventJoined      = core.EventJoined
 	EventCreated     = core.EventCreated
 	EventDropped     = core.EventDropped
+	EventCompacted   = core.EventCompacted
+	EventQuarantined = core.EventQuarantined
+	EventGovernor    = core.EventGovernor
 )
 
 // Reason codes (which threshold comparison decided an event).
@@ -104,7 +108,48 @@ const (
 	ReasonMixedIngress     = core.ReasonMixedIngress
 	ReasonSiblingsAgree    = core.ReasonSiblingsAgree
 	ReasonEmptyIdle        = core.ReasonEmptyIdle
+	ReasonOverBudget       = core.ReasonOverBudget
+	ReasonBudgetRecovered  = core.ReasonBudgetRecovered
+	ReasonForcedCompaction = core.ReasonForcedCompaction
+	ReasonPanicRecovered   = core.ReasonPanicRecovered
 )
+
+// Resource-governor types. A Governor tracks live resource budgets (active
+// ranges, per-IP counter population, ingest-queue depth, heap bytes) and
+// drives a normal → degraded → emergency state machine with hysteresis;
+// attach it via Config.Governor and the engine evaluates it every stage-2
+// cycle, deferring splits while degraded and force-compacting low-traffic
+// subtrees plus shedding ingest while in emergency. Transitions are
+// journaled as EventGovernor events so replay reconstructs governed runs.
+type (
+	// Governor is the budget-tracking degradation state machine.
+	Governor = governor.Governor
+	// GovernorConfig sets the budgets, thresholds, and hysteresis.
+	GovernorConfig = governor.Config
+	// GovernorState is the operating mode: normal, degraded, or emergency.
+	GovernorState = governor.State
+	// GovernorUsage is one point-in-time resource reading.
+	GovernorUsage = governor.Usage
+	// GovernorSnapshot is the JSON view served at /ipd/governor.
+	GovernorSnapshot = governor.Snapshot
+	// GovernorBudgetStatus is one budget axis inside a snapshot.
+	GovernorBudgetStatus = governor.BudgetStatus
+)
+
+// Governor states.
+const (
+	GovernorNormal    = governor.StateNormal
+	GovernorDegraded  = governor.StateDegraded
+	GovernorEmergency = governor.StateEmergency
+)
+
+// NewGovernor validates cfg, applies threshold defaults (0.8 degraded,
+// 0.95 emergency, 0.6 recover, 3 hold cycles), and returns a governor in
+// the normal state. Wire it into an engine via Config.Governor, into the
+// ingest queue via IngestQueue.SetAdmission(g.AdmitIngest), into the
+// watchdog via Watchdog.SetGovernor, and into the introspection surface via
+// IntrospectHandler.SetGovernor.
+func NewGovernor(cfg GovernorConfig) (*Governor, error) { return governor.New(cfg) }
 
 // Decision-provenance types. A Journal records the engine's lifecycle
 // events (attach it via Config.OnEvent = j.Record); the introspection
@@ -240,7 +285,14 @@ type (
 	TraceWriter = flow.Writer
 	// TraceReader decodes records from the binary trace format.
 	TraceReader = flow.Reader
+	// FlowSampler is the deterministic 1-out-of-n packet sampler; the
+	// governor raises its boost factor while degraded.
+	FlowSampler = flow.Sampler
 )
+
+// NewFlowSampler returns a deterministic 1-out-of-n sampler (n <= 1 passes
+// everything; seed 0 selects a fixed default).
+func NewFlowSampler(n int, seed uint64) *FlowSampler { return flow.NewSampler(n, seed) }
 
 // Statistical-time types.
 type (
