@@ -332,6 +332,35 @@ func BenchmarkObserveJournaled(b *testing.B) {
 	b.ReportMetric(float64(eng.RangeCount()), "ranges")
 }
 
+// BenchmarkObserveTimeline is BenchmarkObserve with the full longitudinal
+// observability stack attached: a timeline collector chained behind the
+// journal on Config.OnEvent, plus the Config.OnCycle sampling hook. Observe
+// itself never fires either hook (sampling happens once per stage-2 cycle),
+// so the per-record cost is the reentrancy guard and the cycle-gate check;
+// the acceptance gate is staying within 3% of BenchmarkObserve.
+func BenchmarkObserveTimeline(b *testing.B) {
+	records := benchRecords(b, 500_000)
+	cfg := ipd.DefaultConfig()
+	cfg.NCidrFactor4 = 0.01
+	cfg.NCidrFloor = 4
+	j := ipd.NewJournal(ipd.JournalOptions{})
+	coll := ipd.NewTimelineCollector(ipd.TimelineOptions{})
+	cfg.OnEvent = func(ev ipd.Event) {
+		j.Record(ev)
+		coll.ObserveEvent(ev)
+	}
+	cfg.OnCycle = coll.OnCycle
+	eng, err := ipd.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Observe(records[i%len(records)])
+	}
+	b.ReportMetric(float64(eng.RangeCount()), "ranges")
+}
+
 // BenchmarkObserveTraced is BenchmarkObserve with a pipeline tracer
 // attached at the default 1-in-1024 span sampling — the enabled-tracing
 // cost. BenchmarkObserve itself measures the disabled path (nil tracer:

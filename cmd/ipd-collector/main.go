@@ -24,6 +24,8 @@
 //	/ipd/events   tail the decision journal by sequence number
 //	/ipd/traces   tail the pipeline span flight recorder (JSON)
 //	/ipd/governor resource-governor state, budgets, and utilization (JSON)
+//	/ipd/timeline longitudinal per-cycle series (JSON, or format=csv)
+//	/ipd/alerts   active flap/drift alerts and recent alert history (JSON)
 //	/healthz      liveness (503 once no stage-2 cycle completed within the stall window)
 //	/readyz       readiness (additionally 503 while the last cycle overran its budget
 //	              or the resource governor is in emergency)
@@ -65,6 +67,7 @@ import (
 	"net/netip"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -100,6 +103,9 @@ func main() {
 		memBudget  = flag.Int64("mem-budget", 0, "live-heap budget in bytes for the governor (0 = unlimited, implies -governor)")
 		sampleN    = flag.Int("sample", 1, "additional 1-in-N record sampling in front of the ingest queue (1 = keep everything; routers already sample)")
 		boostN     = flag.Int("sample-boost", 8, "multiply the -sample denominator by this factor while the governor is degraded or worse")
+		tlWindow   = flag.Int("timeline-window", 512, "per-series timeline ring window in cycles; older points are downsampled into coarser tiers (0 disables the timeline)")
+		tlEvery    = flag.Int("timeline-every", 1, "sample the timeline every N stage-2 cycles")
+		mutexProf  = flag.Int("mutexprofile", 0, "runtime mutex/block profiling fraction for /debug/pprof/{mutex,block} (0 disables)")
 	)
 	flag.Parse()
 	logger, err := newLogger(*logLevel)
@@ -107,13 +113,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(2)
 	}
-	if err := validateFlags(*ckptEvery, *traceSmpl, *queueCap, *maxRanges, *memBudget, *sampleN, *boostN); err != nil {
+	if err := validateFlags(*ckptEvery, *traceSmpl, *queueCap, *maxRanges, *memBudget, *sampleN, *boostN, *tlWindow, *tlEvery, *mutexProf); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(2)
 	}
+	if *mutexProf > 0 {
+		runtime.SetMutexProfileFraction(*mutexProf)
+		runtime.SetBlockProfileRate(*mutexProf)
+	}
 	cf := ckptFlags{dir: *ckptDir, every: *ckptEvery}
 	gf := govFlags{enabled: *govern, maxRanges: *maxRanges, memBudget: *memBudget, sampleN: *sampleN, boostN: *boostN}
-	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q, logger, *journalOut, *journalCap, *traceCap, *traceSmpl, *queueCap, cf, gf); err != nil {
+	tl := timelineFlags{window: *tlWindow, every: *tlEvery}
+	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q, logger, *journalOut, *journalCap, *traceCap, *traceSmpl, *queueCap, cf, gf, tl); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(1)
 	}
@@ -122,7 +133,7 @@ func main() {
 // validateFlags rejects flag values that would otherwise be silently
 // "fixed" (a checkpoint cadence of 0 became 1) or produce a dead pipeline
 // (an empty ingest queue, a zero trace sample rate).
-func validateFlags(ckptEvery uint64, traceSample, queueCap, maxRanges int, memBudget int64, sampleN, boostN int) error {
+func validateFlags(ckptEvery uint64, traceSample, queueCap, maxRanges int, memBudget int64, sampleN, boostN, tlWindow, tlEvery, mutexProf int) error {
 	if ckptEvery < 1 {
 		return fmt.Errorf("-checkpoint-every must be >= 1 (got %d)", ckptEvery)
 	}
@@ -147,6 +158,15 @@ func validateFlags(ckptEvery uint64, traceSample, queueCap, maxRanges int, memBu
 	if boostN < 1 {
 		return fmt.Errorf("-sample-boost must be >= 1 (got %d)", boostN)
 	}
+	if tlWindow < 0 {
+		return fmt.Errorf("-timeline-window must be >= 0 (got %d)", tlWindow)
+	}
+	if tlEvery < 1 {
+		return fmt.Errorf("-timeline-every must be >= 1 (got %d)", tlEvery)
+	}
+	if mutexProf < 0 {
+		return fmt.Errorf("-mutexprofile must be >= 0 (got %d)", mutexProf)
+	}
 	return nil
 }
 
@@ -167,6 +187,12 @@ func (g govFlags) active() bool { return g.enabled || g.maxRanges > 0 || g.memBu
 type ckptFlags struct {
 	dir   string
 	every uint64
+}
+
+// timelineFlags carries the longitudinal-observability flag values into run.
+type timelineFlags struct {
+	window int // per-series ring window in cycles; 0 disables the timeline
+	every  int // sample every N stage-2 cycles
 }
 
 // restoreState implements the startup half of crash recovery: load the
@@ -214,7 +240,7 @@ func newLogger(level string) (*slog.Logger, error) {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }
 
-func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64, logger *slog.Logger, journalOut string, journalCap, traceCap, traceSample, queueCap int, cf ckptFlags, gf govFlags) error {
+func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64, logger *slog.Logger, journalOut string, journalCap, traceCap, traceSample, queueCap int, cf ckptFlags, gf govFlags, tl timelineFlags) error {
 	cfg := ipd.DefaultConfig()
 	cfg.NCidrFactor4 = factor4
 	cfg.NCidrFloor = floor
@@ -285,12 +311,33 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 	j := ipd.NewJournal(jopts)
 	cfg.OnEvent = j.Record
 
+	// The timeline collector turns the end-of-cycle samples and the journal
+	// event stream into longitudinal series plus flap/drift/convergence
+	// analytics, served at /ipd/timeline and /ipd/alerts.
+	var tlColl *ipd.TimelineCollector
+	if tl.window > 0 {
+		tlColl = ipd.NewTimelineCollector(ipd.TimelineOptions{Window: tl.window})
+		cfg.OnEvent = func(ev ipd.Event) {
+			j.Record(ev)
+			tlColl.ObserveEvent(ev)
+		}
+		cfg.OnCycle = tlColl.OnCycle
+		cfg.OnCycleEvery = tl.every
+	}
+
 	srv, err := ipd.NewServer(cfg, ipd.DefaultStatTimeConfig())
 	if err != nil {
 		return err
 	}
 	j.RegisterMetrics(srv.Telemetry())
 	queue.RegisterMetrics(srv.Telemetry())
+	if tlColl != nil {
+		tlColl.RegisterMetrics(srv.Telemetry())
+		// The ingest-lock contention series (lock wait, batch count) is the
+		// one wall-clock input; it lands only in the timeline store, never in
+		// journaled events, so replay determinism is unaffected.
+		tlColl.SetContention(srv.LockContention)
+	}
 	if gov != nil {
 		gov.RegisterMetrics(srv.Telemetry())
 		// During emergency the queue admits 1 in EmergencyAdmitN offered
@@ -414,6 +461,9 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 		ih.SetTraces(tracer.Recorder())
 		if gov != nil {
 			ih.SetGovernor(gov)
+		}
+		if tlColl != nil {
+			ih.SetTimeline(tlColl)
 		}
 		mux.Handle("/ipd/", ih)
 		mux.HandleFunc("/ranges", func(w http.ResponseWriter, _ *http.Request) {

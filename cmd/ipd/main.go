@@ -43,6 +43,14 @@
 // without bound under adversarial traffic. Governor state is served at
 // /ipd/governor on the debug server, drives /readyz (503 in emergency), and
 // lands in the journal as governor events.
+//
+// Longitudinal observability: a bounded in-process timeline samples the
+// engine at the end of every stage-2 cycle (-timeline-every thins the
+// cadence, -timeline-window sizes the per-series ring, 0 disables) and runs
+// flap/drift/convergence analytics on top; alerts land in the journal as
+// alert events and the series are served at /ipd/timeline (JSON or
+// format=csv) next to /ipd/alerts on the debug server. -mutexprofile
+// enables runtime mutex/block profiling for /debug/pprof/{mutex,block}.
 package main
 
 import (
@@ -56,6 +64,7 @@ import (
 	"net/http/pprof"
 	"net/netip"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -94,11 +103,18 @@ func main() {
 		govern     = flag.Bool("governor", false, "enable the resource governor (normal/degraded/emergency degradation; implied by -max-ranges or -mem-budget)")
 		maxRanges  = flag.Int("max-ranges", 0, "hard cap on active ranges; splits beyond it are deferred (0 = unlimited, implies -governor)")
 		memBudget  = flag.Int64("mem-budget", 0, "live-heap budget in bytes for the governor (0 = unlimited, implies -governor)")
+		tlWindow   = flag.Int("timeline-window", 512, "per-series timeline ring window in cycles; older points are downsampled into coarser tiers (0 disables the timeline)")
+		tlEvery    = flag.Int("timeline-every", 1, "sample the timeline every N stage-2 cycles")
+		mutexProf  = flag.Int("mutexprofile", 0, "runtime mutex/block profiling fraction for /debug/pprof/{mutex,block} (0 disables)")
 	)
 	flag.Parse()
-	if err := validateFlags(*ckptEvery, *traceSmpl, *maxRanges, *memBudget); err != nil {
+	if err := validateFlags(*ckptEvery, *traceSmpl, *maxRanges, *memBudget, *tlWindow, *tlEvery, *mutexProf); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd:", err)
 		os.Exit(2)
+	}
+	if *mutexProf > 0 {
+		runtime.SetMutexProfileFraction(*mutexProf)
+		runtime.SetBlockProfileRate(*mutexProf)
 	}
 
 	if *replayIn != "" {
@@ -121,7 +137,8 @@ func main() {
 	tf := traceFlags{capacity: *traceCap, sampleN: *traceSmpl, out: *traceOut}
 	cf := ckptFlags{dir: *ckptDir, every: *ckptEvery, resync: *resync}
 	gf := govFlags{enabled: *govern, maxRanges: *maxRanges, memBudget: *memBudget}
-	if err := run(*in, *format, cfg, *bin, *summary, *debugHTTP, *journalOut, *journalCap, *explainIPs, tf, cf, gf); err != nil {
+	tl := timelineFlags{window: *tlWindow, every: *tlEvery}
+	if err := run(*in, *format, cfg, *bin, *summary, *debugHTTP, *journalOut, *journalCap, *explainIPs, tf, cf, gf, tl); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd:", err)
 		os.Exit(1)
 	}
@@ -131,7 +148,7 @@ func main() {
 // (a checkpoint cadence of 0 became 1, a non-positive trace sample rate
 // traced nothing): a typo like -checkpoint-every 0 now fails loudly instead
 // of checkpointing on every cycle.
-func validateFlags(ckptEvery uint64, traceSample, maxRanges int, memBudget int64) error {
+func validateFlags(ckptEvery uint64, traceSample, maxRanges int, memBudget int64, tlWindow, tlEvery, mutexProf int) error {
 	if ckptEvery < 1 {
 		return fmt.Errorf("-checkpoint-every must be >= 1 (got %d)", ckptEvery)
 	}
@@ -146,6 +163,15 @@ func validateFlags(ckptEvery uint64, traceSample, maxRanges int, memBudget int64
 	}
 	if memBudget < 0 {
 		return fmt.Errorf("-mem-budget must be >= 0 (got %d)", memBudget)
+	}
+	if tlWindow < 0 {
+		return fmt.Errorf("-timeline-window must be >= 0 (got %d)", tlWindow)
+	}
+	if tlEvery < 1 {
+		return fmt.Errorf("-timeline-every must be >= 1 (got %d)", tlEvery)
+	}
+	if mutexProf < 0 {
+		return fmt.Errorf("-mutexprofile must be >= 0 (got %d)", mutexProf)
 	}
 	return nil
 }
@@ -241,6 +267,12 @@ type govFlags struct {
 // implied by a budget flag).
 func (g govFlags) active() bool { return g.enabled || g.maxRanges > 0 || g.memBudget > 0 }
 
+// timelineFlags carries the longitudinal-observability flag values into run.
+type timelineFlags struct {
+	window int // per-series ring window in cycles; 0 disables the timeline
+	every  int // sample every N stage-2 cycles
+}
+
 // restoreState implements the startup half of crash recovery: load the
 // newest valid checkpoint from mgr into eng, then replay the tail of the
 // previous run's journal (events newer than the checkpoint) on top. A cold
@@ -304,7 +336,7 @@ func serveDebug(addr string, reg *ipd.TelemetryRegistry, introspect http.Handler
 	fmt.Fprintf(os.Stderr, "ipd: debug endpoints on http://%s\n", addr)
 }
 
-func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, debugHTTP, journalOut string, journalCap int, explainIPs string, tf traceFlags, cf ckptFlags, gf govFlags) error {
+func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, debugHTTP, journalOut string, journalCap int, explainIPs string, tf traceFlags, cf ckptFlags, gf govFlags, tl timelineFlags) error {
 	var r io.Reader = os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -341,6 +373,20 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 	j := ipd.NewJournal(jopts)
 	cfg.OnEvent = j.Record
 
+	// The timeline collector turns the end-of-cycle samples and the journal
+	// event stream into longitudinal series plus flap/drift/convergence
+	// analytics (served at /ipd/timeline and /ipd/alerts with -debug-http).
+	var tlColl *ipd.TimelineCollector
+	if tl.window > 0 {
+		tlColl = ipd.NewTimelineCollector(ipd.TimelineOptions{Window: tl.window})
+		cfg.OnEvent = func(ev ipd.Event) {
+			j.Record(ev)
+			tlColl.ObserveEvent(ev)
+		}
+		cfg.OnCycle = tlColl.OnCycle
+		cfg.OnCycleEvery = tl.every
+	}
+
 	// The governor is built before the engine (it is part of the engine
 	// config) but registers its metrics after, on the engine's registry.
 	var gov *ipd.Governor
@@ -364,6 +410,9 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 	j.RegisterMetrics(eng.Telemetry())
 	if gov != nil {
 		gov.RegisterMetrics(eng.Telemetry())
+	}
+	if tlColl != nil {
+		tlColl.RegisterMetrics(eng.Telemetry())
 	}
 	flowMetrics := ipd.NewFlowMetrics(eng.Telemetry())
 	locked := &lockedEngine{eng: eng}
@@ -435,6 +484,9 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 		}
 		if gov != nil {
 			ih.SetGovernor(gov)
+		}
+		if tlColl != nil {
+			ih.SetTimeline(tlColl)
 		}
 		serveDebug(debugHTTP, eng.Telemetry(), ih, wd)
 	}

@@ -122,6 +122,23 @@ type Config struct {
 	// and return quickly.
 	OnEvent func(Event)
 
+	// OnCycle, when non-nil, receives a CycleSample at the end of every
+	// stage-2 cycle on the OnCycleEvery cadence: engine shape, per-cycle
+	// lifecycle deltas, per-ingress traffic shares, and the governor
+	// snapshot. The hook returns the operational alerts its analytics decided
+	// this cycle; the engine emits each as an EventAlertRaised or
+	// EventAlertCleared lifecycle event, so alerts are journaled with the
+	// usual seq/cycle stamps and replay deterministically.
+	//
+	// The same reentrancy contract as OnEvent applies: the callback must not
+	// call back into the engine, and the sample's slices are only valid for
+	// the duration of the call. Attach timeline.Collector.OnCycle here.
+	OnCycle func(CycleSample) []Alert
+
+	// OnCycleEvery thins the OnCycle cadence to every Nth cycle (sampled
+	// when cycle id % N == 0). 0 or 1 samples every cycle.
+	OnCycleEvery int
+
 	// Logger, when non-nil, receives one structured log record per stage-2
 	// cycle (cycle number, duration, range delta, lifecycle deltas,
 	// top-ingress churn) at Info level. nil disables cycle logging; the
@@ -210,6 +227,9 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxIPStates < 0 {
 		return fmt.Errorf("core: MaxIPStates %d must be >= 0", c.MaxIPStates)
+	}
+	if c.OnCycleEvery < 0 {
+		return fmt.Errorf("core: OnCycleEvery %d must be >= 0", c.OnCycleEvery)
 	}
 	return nil
 }

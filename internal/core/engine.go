@@ -169,6 +169,10 @@ type Engine struct {
 	// churn accumulates per-ingress classification churn within one cycle;
 	// non-nil only while a cycle runs with logging enabled.
 	churn map[flow.Ingress]int
+
+	// samp holds the reusable buffers behind Config.OnCycle samples;
+	// lazily built on the first sampled cycle.
+	samp *sampleBufs
 }
 
 // NewEngine validates cfg and returns an engine with the two /0 root ranges
@@ -384,11 +388,14 @@ func (e *Engine) runCycle(now time.Time) {
 	cycleSpan := e.tracer.Begin(trace.PhaseCycle, e.cycleID)
 
 	logging := e.log != nil && e.log.Enabled(context.Background(), slog.LevelInfo)
+	sampling := e.sampleThisCycle()
 	rangesBefore := e.active.Len()
 	var before cycleCounters
+	if logging || sampling {
+		before = e.cycleCounters()
+	}
 	if logging {
 		e.churn = make(map[flow.Ingress]int)
-		before = e.cycleCounters()
 	}
 
 	// Snapshot: collect and partition the active set once; splits mutate
@@ -480,22 +487,27 @@ func (e *Engine) runCycle(now time.Time) {
 		e.logCycle(now, dur, rangesBefore, before)
 		e.churn = nil
 	}
+	if sampling {
+		e.deliverCycleSample(now, dur, before)
+	}
 	cycleSpan.End(e.active.Len())
 }
 
 // cycleCounters is the subset of counters whose per-cycle deltas the
-// structured cycle log reports.
+// structured cycle log and the Config.OnCycle sample report.
 type cycleCounters struct {
-	splits, joins, classifications, invalidations, expirations uint64
+	splits, joins, drops, classifications, invalidations, expirations, compactions uint64
 }
 
 func (e *Engine) cycleCounters() cycleCounters {
 	return cycleCounters{
 		splits:          e.tel.splits.Value(),
 		joins:           e.tel.joins.Value(),
+		drops:           e.tel.drops.Value(),
 		classifications: e.tel.classifications.Value(),
 		invalidations:   e.tel.invalidations.Value(),
 		expirations:     e.tel.expirations.Value(),
+		compactions:     e.tel.rangesCompacted.Value(),
 	}
 }
 

@@ -51,6 +51,18 @@ const (
 	// (the event is about the whole pipeline); Detail carries the new state
 	// name (normal, degraded, emergency).
 	EventGovernor
+	// EventAlertRaised : the timeline analytics layer (Config.OnCycle) raised
+	// an operational alert. Flap alerts carry the oscillating range in Prefix;
+	// drift alerts carry the shifting ingress in Ingress with an empty Prefix
+	// (the alert is about the ingress, not a range). Detail names the alert
+	// kind ("flap", "drift"). Like governor events, alert events describe the
+	// pipeline's self-observation, not a partition mutation: replay treats
+	// them as structural no-ops.
+	EventAlertRaised
+	// EventAlertCleared : a previously raised alert's condition stayed below
+	// its clear threshold for the configured hold, and the alert was retired.
+	// Subject fields mirror EventAlertRaised.
+	EventAlertCleared
 )
 
 func (k EventKind) String() string {
@@ -75,6 +87,10 @@ func (k EventKind) String() string {
 		return "quarantined"
 	case EventGovernor:
 		return "governor"
+	case EventAlertRaised:
+		return "alert-raised"
+	case EventAlertCleared:
+		return "alert-cleared"
 	}
 	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }
@@ -87,7 +103,8 @@ func (k EventKind) MarshalText() ([]byte, error) { return []byte(k.String()), ni
 func (k *EventKind) UnmarshalText(b []byte) error {
 	for _, c := range []EventKind{EventClassified, EventInvalidated, EventExpired,
 		EventSplit, EventJoined, EventCreated, EventDropped,
-		EventCompacted, EventQuarantined, EventGovernor} {
+		EventCompacted, EventQuarantined, EventGovernor,
+		EventAlertRaised, EventAlertCleared} {
 		if string(b) == c.String() {
 			*k = c
 			return nil
@@ -135,6 +152,14 @@ const (
 	// ReasonPanicRecovered : the range's stage-2 processing panicked and
 	// was contained (quarantine).
 	ReasonPanicRecovered
+	// ReasonFlapRate : a range's classification transitions within the flap
+	// window crossed the raise threshold (flap alert), or stayed at or below
+	// the clear threshold long enough (flap clear).
+	ReasonFlapRate
+	// ReasonShareDrift : an ingress's per-cycle traffic share deviated from
+	// its EWMA beyond the drift threshold (drift alert), or stayed within the
+	// clear band long enough (drift clear).
+	ReasonShareDrift
 )
 
 func (c ReasonCode) String() string {
@@ -163,6 +188,10 @@ func (c ReasonCode) String() string {
 		return "forced-compaction"
 	case ReasonPanicRecovered:
 		return "panic-recovered"
+	case ReasonFlapRate:
+		return "flap-rate"
+	case ReasonShareDrift:
+		return "share-drift"
 	}
 	return fmt.Sprintf("ReasonCode(%d)", uint8(c))
 }
@@ -175,7 +204,8 @@ func (c *ReasonCode) UnmarshalText(b []byte) error {
 	for _, r := range []ReasonCode{ReasonNone, ReasonRoot, ReasonPrevalentIngress,
 		ReasonShareBelowQ, ReasonDecayedOut, ReasonMixedIngress,
 		ReasonSiblingsAgree, ReasonEmptyIdle, ReasonOverBudget,
-		ReasonBudgetRecovered, ReasonForcedCompaction, ReasonPanicRecovered} {
+		ReasonBudgetRecovered, ReasonForcedCompaction, ReasonPanicRecovered,
+		ReasonFlapRate, ReasonShareDrift} {
 		if string(b) == r.String() {
 			*c = r
 			return nil
@@ -237,6 +267,12 @@ func (r Reason) String() string {
 		return fmt.Sprintf("forced-compaction: combined samples %.0f (emergency memory reclamation)", r.Observed)
 	case ReasonPanicRecovered:
 		return "panic-recovered: stage-2 processing panicked; range reset and quarantined"
+	case ReasonFlapRate:
+		return fmt.Sprintf("flap-rate: %.0f classification transitions in the last %.0f cycles (threshold %.0f)",
+			r.Observed, r.Samples, r.Threshold)
+	case ReasonShareDrift:
+		return fmt.Sprintf("share-drift: share fell %.3f below its EWMA baseline (threshold %.3f, share %.3f)",
+			r.Observed, r.Threshold, r.Samples)
 	}
 	return r.Code.String()
 }

@@ -325,9 +325,11 @@ func (e *Engine) ApplyEvent(ev Event) error {
 	if ev.Seq <= e.seq {
 		return fmt.Errorf("core: apply event seq %d out of order (engine at %d)", ev.Seq, e.seq)
 	}
-	if ev.Kind == EventGovernor {
-		// Governor transitions carry no prefix: they change no range, only
-		// the event clocks below.
+	if ev.Kind == EventGovernor || ev.Kind == EventAlertRaised || ev.Kind == EventAlertCleared {
+		// Governor transitions and analytics alerts describe the pipeline's
+		// self-observation, not a partition mutation (and drift alerts carry
+		// no prefix at all): they change no range, only the event clocks
+		// below.
 		e.finishApply(ev)
 		return nil
 	}

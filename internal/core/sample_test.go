@@ -1,0 +1,182 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// driveCycles feeds one /24 per ingress for n minutes, advancing a cycle per
+// minute.
+func driveCycles(e *Engine, n int) {
+	for m := 0; m < n; m++ {
+		ts := base.Add(time.Duration(m) * time.Minute)
+		feedN(e, ts, netip.MustParseAddr("10.0.0.0"), 60, inA)
+		feedN(e, ts, netip.MustParseAddr("10.1.0.0"), 20, inB)
+		e.AdvanceTo(ts.Add(time.Minute))
+	}
+}
+
+func TestOnCycleSampleContents(t *testing.T) {
+	cfg := testConfig()
+	var samples []CycleSample
+	cfg.OnCycle = func(s CycleSample) []Alert {
+		// The slices reference engine-owned buffers; copy what outlives the
+		// callback, exactly as a real collector must.
+		s.Ingress = append([]IngressCycleStat(nil), s.Ingress...)
+		s.Depth4 = append([]int(nil), s.Depth4...)
+		samples = append(samples, s)
+		return nil
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveCycles(e, 30)
+
+	if len(samples) != 30 {
+		t.Fatalf("got %d samples over 30 cycles, want 30", len(samples))
+	}
+	last := samples[len(samples)-1]
+	if last.Cycle != 30 {
+		t.Fatalf("last sample cycle %d, want 30", last.Cycle)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Cycle != samples[i-1].Cycle+1 {
+			t.Fatalf("non-monotonic cycles: %d then %d", samples[i-1].Cycle, samples[i].Cycle)
+		}
+	}
+	if last.Ranges == 0 || last.Ranges != len(e.Snapshot()) {
+		t.Fatalf("sample ranges %d, engine has %d", last.Ranges, len(e.Snapshot()))
+	}
+	if last.TrieNodes == 0 {
+		t.Fatal("sample reports an empty trie under live traffic")
+	}
+
+	// The depth histogram totals the active ranges.
+	depthTotal := 0
+	for _, n := range last.Depth4 {
+		depthTotal += n
+	}
+	if depthTotal != last.Ranges-1 { // minus the v6 root (Depth6 holds it)
+		t.Fatalf("depth4 histogram totals %d, want %d v4 ranges", depthTotal, last.Ranges-1)
+	}
+
+	// Per-ingress shares are sorted and sum to ~1 once traffic flows.
+	if len(last.Ingress) != 2 {
+		t.Fatalf("ingress stats %+v, want 2 entries", last.Ingress)
+	}
+	if last.Ingress[0].Ingress != inA || last.Ingress[1].Ingress != inB {
+		t.Fatalf("ingress stats not sorted: %+v", last.Ingress)
+	}
+	sum := last.Ingress[0].Share + last.Ingress[1].Share
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %v, want 1", sum)
+	}
+	if last.Ingress[0].Share <= last.Ingress[1].Share {
+		t.Fatalf("inA carries 3x the traffic but shares are %+v", last.Ingress)
+	}
+
+	// Lifecycle deltas are per-cycle (not cumulative): summing them over all
+	// samples must reproduce the engine totals.
+	var classifications, splits uint64
+	for _, s := range samples {
+		classifications += s.Classifications
+		splits += s.Splits
+	}
+	st := e.Stats()
+	if classifications != st.Classifications || splits != st.Splits {
+		t.Fatalf("summed deltas %d classifications / %d splits, engine totals %d / %d",
+			classifications, splits, st.Classifications, st.Splits)
+	}
+}
+
+func TestOnCycleEveryGate(t *testing.T) {
+	cfg := testConfig()
+	var cycles []uint64
+	cfg.OnCycle = func(s CycleSample) []Alert {
+		cycles = append(cycles, s.Cycle)
+		return nil
+	}
+	cfg.OnCycleEvery = 5
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveCycles(e, 23)
+	if len(cycles) != 4 {
+		t.Fatalf("got %d samples over 23 cycles at every=5, want 4 (%v)", len(cycles), cycles)
+	}
+	for _, c := range cycles {
+		if c%5 != 0 {
+			t.Fatalf("sampled cycle %d, want multiples of 5", c)
+		}
+	}
+}
+
+// TestOnCycleAlertsJournaled checks the alert-emission contract: alerts
+// returned from OnCycle come back through OnEvent as seq-stamped alert
+// events, and replaying them through ApplyEvent is a structural no-op.
+func TestOnCycleAlertsJournaled(t *testing.T) {
+	cfg := testConfig()
+	var events []Event
+	cfg.OnEvent = func(ev Event) { events = append(events, ev) }
+	fired := false
+	cfg.OnCycle = func(s CycleSample) []Alert {
+		if s.Cycle != 3 {
+			return nil
+		}
+		fired = true
+		return []Alert{
+			{Kind: AlertDrift, Raise: true, Ingress: inA,
+				Reason: Reason{Code: ReasonShareDrift, Observed: 0.5, Threshold: 0.25}},
+			{Kind: AlertFlap, Raise: false, Prefix: "10.0.0.0/24",
+				Reason: Reason{Code: ReasonFlapRate, Observed: 1, Threshold: 1}},
+		}
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveCycles(e, 5)
+	if !fired {
+		t.Fatal("OnCycle never saw cycle 3")
+	}
+
+	var raised, cleared *Event
+	for i := range events {
+		switch events[i].Kind {
+		case EventAlertRaised:
+			raised = &events[i]
+		case EventAlertCleared:
+			cleared = &events[i]
+		}
+	}
+	if raised == nil || cleared == nil {
+		t.Fatalf("alert events missing from the stream (%d events)", len(events))
+	}
+	if raised.Seq == 0 || raised.Cycle != 3 || raised.Ingress != inA || raised.Detail != AlertDrift.String() {
+		t.Fatalf("raised event %+v", raised)
+	}
+	if raised.Reason.Code != ReasonShareDrift {
+		t.Fatalf("raised reason %v", raised.Reason.Code)
+	}
+	if cleared.Prefix != "10.0.0.0/24" || cleared.Detail != AlertFlap.String() {
+		t.Fatalf("cleared event %+v", cleared)
+	}
+
+	// Alert events replay as structural no-ops: applying the whole stream to
+	// a fresh engine must not error and must land on the same seq.
+	e2, err := NewEngine(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if err := e2.ApplyEvent(ev); err != nil {
+			t.Fatalf("ApplyEvent(%v): %v", ev.Kind, err)
+		}
+	}
+	if e2.Seq() != e.Seq() {
+		t.Fatalf("replayed seq %d, engine seq %d", e2.Seq(), e.Seq())
+	}
+}

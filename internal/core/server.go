@@ -4,6 +4,8 @@ import (
 	"context"
 	"net/netip"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ipd/internal/flow"
 	"ipd/internal/persist"
@@ -39,6 +41,14 @@ type Server struct {
 	ckpt       *persist.Manager
 	ckptEvery  uint64
 	ckptCycles uint64 // cycle count at the last checkpoint
+
+	// lockWaitNanos accumulates how long ingestBatch waited to acquire mu;
+	// lockAcquisitions counts the acquisitions. Together they are the
+	// ingest-lock contention signal the timeline records (the measurement
+	// that motivates the sharded-engine direction): wait time per batch is
+	// exactly how much snapshot/scrape readers delay ingest.
+	lockWaitNanos    atomic.Int64
+	lockAcquisitions atomic.Uint64
 }
 
 // runBatch bounds how many records Run drains per mu acquisition: large
@@ -114,13 +124,26 @@ func (s *Server) ingestBucket(b stattime.Bucket) {
 }
 
 // ingestBatch offers one drained batch to the binner under a single lock
-// acquisition (the locking contract on Server).
+// acquisition (the locking contract on Server), measuring how long the
+// acquisition blocked. The two clock reads per batch (not per record) are
+// noise next to the 512-record batch body.
 func (s *Server) ingestBatch(batch []flow.Record) {
+	t0 := time.Now()
 	s.mu.Lock()
+	s.lockWaitNanos.Add(int64(time.Since(t0)))
+	s.lockAcquisitions.Add(1)
 	for _, rec := range batch {
 		s.bin.Offer(rec)
 	}
 	s.mu.Unlock()
+}
+
+// LockContention returns the cumulative time ingestBatch spent waiting for
+// the ingest lock and the number of acquisitions (safe for concurrent use).
+// Feed it to timeline.Collector.SetContention so contention lands in the
+// timeline as a per-cycle series.
+func (s *Server) LockContention() (wait time.Duration, acquisitions uint64) {
+	return time.Duration(s.lockWaitNanos.Load()), s.lockAcquisitions.Load()
 }
 
 // Run consumes records until in is closed or ctx is cancelled, then flushes

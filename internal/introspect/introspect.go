@@ -7,6 +7,8 @@
 //	GET /ipd/events?since=<seq>&limit=                    tail the journal
 //	GET /ipd/traces?limit=&phase=                         tail the flight recorder
 //	GET /ipd/governor                                     resource-governor state + budgets
+//	GET /ipd/timeline?series=&from=&to=&format=           windowed time series (JSON or CSV)
+//	GET /ipd/alerts                                       active + recent flap/drift alerts
 //
 // The handlers read through a Source (core.Server implements it; cmd/ipd
 // wraps its single-threaded engine in a mutex adapter) and never mutate, so
@@ -20,12 +22,14 @@ import (
 	"net/netip"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"ipd/internal/core"
 	"ipd/internal/flow"
 	"ipd/internal/governor"
 	"ipd/internal/journal"
+	"ipd/internal/timeline"
 	"ipd/internal/trace"
 )
 
@@ -46,9 +50,10 @@ type Source interface {
 type Handler struct {
 	mux *http.ServeMux
 	src Source
-	j   *journal.Journal   // may be nil: history fields are omitted, /ipd/events is 404
-	rec *trace.Recorder    // may be nil: /ipd/traces is 404
-	gov *governor.Governor // may be nil: /ipd/governor is 404
+	j   *journal.Journal    // may be nil: history fields are omitted, /ipd/events is 404
+	rec *trace.Recorder     // may be nil: /ipd/traces is 404
+	gov *governor.Governor  // may be nil: /ipd/governor is 404
+	tl  *timeline.Collector // may be nil: /ipd/timeline and /ipd/alerts are 404
 }
 
 // New builds the handler. j may be nil when no journal is attached; the
@@ -62,6 +67,8 @@ func New(src Source, j *journal.Journal) *Handler {
 	h.mux.HandleFunc("/ipd/events", h.events)
 	h.mux.HandleFunc("/ipd/traces", h.traces)
 	h.mux.HandleFunc("/ipd/governor", h.governor)
+	h.mux.HandleFunc("/ipd/timeline", h.timeline)
+	h.mux.HandleFunc("/ipd/alerts", h.alerts)
 	return h
 }
 
@@ -72,6 +79,10 @@ func (h *Handler) SetTraces(rec *trace.Recorder) { h.rec = rec }
 // SetGovernor attaches the resource governor, enabling /ipd/governor. Call
 // during setup, before serving.
 func (h *Handler) SetGovernor(g *governor.Governor) { h.gov = g }
+
+// SetTimeline attaches the timeline collector, enabling /ipd/timeline and
+// /ipd/alerts. Call during setup, before serving.
+func (h *Handler) SetTimeline(c *timeline.Collector) { h.tl = c }
 
 // ServeHTTP dispatches to the /ipd/* routes.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
@@ -369,6 +380,76 @@ func (h *Handler) governor(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, h.gov.Snapshot())
+}
+
+// timeline serves GET /ipd/timeline?series=&from=&to=&format=: the windowed
+// time-series history. series is a comma-separated name filter (empty means
+// all; unknown names are silently absent); from/to bound the cycle window
+// (0/absent means unbounded); format=csv streams the CSV export instead of
+// JSON. The JSON body carries the available series names, the newest sample
+// cycle, and the convergence histogram alongside the windowed points.
+func (h *Handler) timeline(w http.ResponseWriter, r *http.Request) {
+	if h.tl == nil {
+		writeErr(w, http.StatusNotFound, "no timeline attached")
+		return
+	}
+	q := r.URL.Query()
+	var names []string
+	if s := q.Get("series"); s != "" {
+		for _, n := range strings.Split(s, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	var from, to uint64
+	for _, p := range []struct {
+		key string
+		dst *uint64
+	}{{"from", &from}, {"to", &to}} {
+		if s := q.Get(p.key); s != "" {
+			n, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, p.key+" must be a cycle number")
+				return
+			}
+			*p.dst = n
+		}
+	}
+	switch q.Get("format") {
+	case "", "json":
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		_ = h.tl.WriteCSV(w, names, from, to)
+		return
+	default:
+		writeErr(w, http.StatusBadRequest, "format must be json or csv")
+		return
+	}
+	cycle, at := h.tl.LastCycle()
+	resp := map[string]any{
+		"last_cycle":  cycle,
+		"names":       h.tl.Store().Names(),
+		"window":      h.tl.Store().Window(),
+		"downsample":  h.tl.Store().Downsample(),
+		"series":      h.tl.Window(names, from, to),
+		"convergence": h.tl.Convergence(),
+	}
+	if !at.IsZero() {
+		resp["last_at"] = at
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// alerts serves GET /ipd/alerts: the currently raised flap/drift alerts and
+// the bounded raise/clear history — the operator's first stop when an
+// ingress mapping looks unstable.
+func (h *Handler) alerts(w http.ResponseWriter, _ *http.Request) {
+	if h.tl == nil {
+		writeErr(w, http.StatusNotFound, "no timeline attached")
+		return
+	}
+	writeJSON(w, http.StatusOK, h.tl.Alerts())
 }
 
 // traces serves GET /ipd/traces?limit=&phase=: the flight recorder's span

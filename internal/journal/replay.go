@@ -36,6 +36,9 @@ type Replayer struct {
 	ranges   map[netip.Prefix]*RangeView
 	seq      uint64
 	govState string
+
+	alertsRaised  uint64
+	alertsCleared uint64
 }
 
 // NewReplayer returns an empty replayer. The /0 roots arrive as the first
@@ -56,6 +59,18 @@ func (r *Replayer) Apply(ev core.Event) error {
 		// Governor transitions carry no prefix; they advance the replayed
 		// governor state and nothing else.
 		r.govState = ev.Detail
+		return nil
+	}
+	if ev.Kind == core.EventAlertRaised || ev.Kind == core.EventAlertCleared {
+		// Analytics alerts are the pipeline observing itself, not a
+		// partition mutation — and their subject may be an ingress (empty
+		// prefix) or a range that has since merged away. Count them, change
+		// nothing.
+		if ev.Kind == core.EventAlertRaised {
+			r.alertsRaised++
+		} else {
+			r.alertsCleared++
+		}
 		return nil
 	}
 	p, err := netip.ParsePrefix(ev.Prefix)
@@ -148,6 +163,12 @@ func (r *Replayer) Seq() uint64 { return r.seq }
 // GovernorState returns the governor state named by the last EventGovernor
 // applied, or "" when the journal carries none (an ungoverned run).
 func (r *Replayer) GovernorState() string { return r.govState }
+
+// Alerts returns how many alert-raised and alert-cleared events the journal
+// carried — the offline view of the run's analytics decisions.
+func (r *Replayer) Alerts() (raised, cleared uint64) {
+	return r.alertsRaised, r.alertsCleared
+}
 
 // Snapshot returns the reconstructed partition sorted like
 // core.Engine.Snapshot (family, address, length), so the two can be compared

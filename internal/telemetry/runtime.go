@@ -1,6 +1,10 @@
 package telemetry
 
-import "runtime"
+import (
+	"runtime"
+	"runtime/debug"
+	"strconv"
+)
 
 // RegisterProcessMetrics adds Go-runtime gauges (heap, GC, goroutines) to
 // reg. Values are read at scrape time; the binaries call this once, the
@@ -25,4 +29,23 @@ func RegisterProcessMetrics(reg *Registry) {
 		runtime.ReadMemStats(&ms)
 		return float64(ms.NumGC)
 	})
+	RegisterBuildInfo(reg)
+}
+
+// RegisterBuildInfo adds the constant ipd_build_info gauge: value 1 with
+// version, go runtime, and GOMAXPROCS labels, so scrapes can correlate
+// behavior changes with deploys. The version label is the main module
+// version from the embedded build info ("(devel)" for plain go-build
+// binaries); GOMAXPROCS is read once at registration, matching its usual
+// set-at-startup lifecycle.
+func RegisterBuildInfo(reg *Registry) {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	reg.LabeledGauge("ipd_build_info", []Label{
+		{Name: "version", Value: version},
+		{Name: "go", Value: runtime.Version()},
+		{Name: "gomaxprocs", Value: strconv.Itoa(runtime.GOMAXPROCS(0))},
+	}, "Constant 1; the labels identify the running build.").Set(1)
 }

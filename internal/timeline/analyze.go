@@ -1,0 +1,460 @@
+package timeline
+
+import (
+	"sort"
+
+	"ipd/internal/core"
+	"ipd/internal/flow"
+)
+
+// AnalyzerConfig parameterizes the three analytics. The zero value selects
+// the defaults below. All thresholds use hysteresis: a raise threshold, a
+// lower clear threshold, and a hold of consecutive calm cycles before the
+// clear — so boundary noise cannot make an alert itself flap.
+type AnalyzerConfig struct {
+	// FlapWindow is the cycle window over which classification transitions
+	// are counted (default 30). FlapRaise transitions in the window raise
+	// the alert (default 4); the alert clears after FlapHold consecutive
+	// evaluations with at most FlapClear transitions in the window
+	// (defaults 1 and 5).
+	FlapWindow int
+	FlapRaise  int
+	FlapClear  int
+	FlapHold   int
+
+	// DriftAlpha is the EWMA smoothing factor for per-ingress traffic share
+	// (default 0.05; one cycle contributes 5%). A share falling at least
+	// DriftDelta below its EWMA raises the drift alert (default 0.25 — a
+	// quarter of total traffic left that ingress); it clears after DriftHold
+	// consecutive cycles with the deficit at most DriftDelta*DriftClearFrac
+	// (defaults 5 and 0.5). Only the collapse direction alerts: shares are
+	// relative, so when one ingress's traffic vanishes every other share
+	// inflates mechanically — alerting the complement would double-report a
+	// single episode. Ingresses whose share and EWMA are both below
+	// DriftMinShare are ignored (default 0.02): a 1%-of-traffic ingress
+	// vanishing is churn, not drift. A newly seen ingress initializes its
+	// EWMA to the first observed share, so appearing is never itself drift.
+	DriftAlpha     float64
+	DriftDelta     float64
+	DriftClearFrac float64
+	DriftHold      int
+	DriftMinShare  float64
+
+	// ConvergenceBuckets are the upper bounds of the creation-to-first-
+	// classification histogram, in cycles (default 1,2,3,5,8,13,21,34,55;
+	// a final +Inf bucket is implicit).
+	ConvergenceBuckets []float64
+
+	// MaxTracked caps the per-prefix tracking maps (flap transition history,
+	// convergence birth records). At the cap the longest-quiet entries are
+	// evicted deterministically (oldest activity, then prefix order), so two
+	// identical runs evict identically (default 4096).
+	MaxTracked int
+}
+
+func (c *AnalyzerConfig) withDefaults() AnalyzerConfig {
+	out := *c
+	if out.FlapWindow <= 0 {
+		out.FlapWindow = 30
+	}
+	if out.FlapRaise <= 0 {
+		out.FlapRaise = 4
+	}
+	if out.FlapClear <= 0 {
+		out.FlapClear = 1
+	}
+	if out.FlapHold <= 0 {
+		out.FlapHold = 5
+	}
+	if out.DriftAlpha <= 0 || out.DriftAlpha > 1 {
+		out.DriftAlpha = 0.05
+	}
+	if out.DriftDelta <= 0 {
+		out.DriftDelta = 0.25
+	}
+	if out.DriftClearFrac <= 0 || out.DriftClearFrac >= 1 {
+		out.DriftClearFrac = 0.5
+	}
+	if out.DriftHold <= 0 {
+		out.DriftHold = 5
+	}
+	if out.DriftMinShare <= 0 {
+		out.DriftMinShare = 0.02
+	}
+	if len(out.ConvergenceBuckets) == 0 {
+		out.ConvergenceBuckets = []float64{1, 2, 3, 5, 8, 13, 21, 34, 55}
+	}
+	if out.MaxTracked <= 0 {
+		out.MaxTracked = 4096
+	}
+	return out
+}
+
+// flapState tracks one prefix's classification transitions. transitions
+// holds the cycles of the most recent transitions (bounded by the raise
+// threshold plus slack — counting above the threshold adds nothing).
+type flapState struct {
+	transitions []uint64
+	lastIngress flow.Ingress
+	hasIngress  bool
+	alerted     bool
+	calm        int
+	lastTouch   uint64 // cycle of the last transition (eviction key)
+}
+
+// driftState tracks one ingress's share EWMA. lastDev is the signed deficit
+// (EWMA minus share): positive when traffic left the ingress.
+type driftState struct {
+	ewma      float64
+	alerted   bool
+	calm      int
+	lastShare float64
+	lastDev   float64
+}
+
+// analyzer runs the three analytics. It is not safe for concurrent use; the
+// Collector serializes access under its own lock. Everything the analyzer
+// consumes is virtual-time and everything it returns is deterministically
+// ordered, so the alert events it produces replay byte-identically.
+type analyzer struct {
+	cfg AnalyzerConfig
+
+	flaps  map[string]*flapState
+	drifts map[flow.Ingress]*driftState
+	births map[string]uint64 // prefix -> creation cycle (convergence)
+
+	// convergence histogram: counts[i] observes delta <= buckets[i];
+	// the last slot is the +Inf overflow. onConv, when set, mirrors each
+	// observation into the registry histogram.
+	convCounts []uint64
+	convTotal  uint64
+	convSum    float64
+	onConv     func(float64)
+
+	// transitionsThisCycle counts classification transitions seen since the
+	// last evaluate, for the "transitions" series.
+	transitionsThisCycle int
+}
+
+func newAnalyzer(cfg AnalyzerConfig) *analyzer {
+	c := cfg.withDefaults()
+	return &analyzer{
+		cfg:        c,
+		flaps:      make(map[string]*flapState),
+		drifts:     make(map[flow.Ingress]*driftState),
+		births:     make(map[string]uint64),
+		convCounts: make([]uint64, len(c.ConvergenceBuckets)+1),
+	}
+}
+
+// observeEvent feeds one lifecycle event into the flap and convergence
+// tracking. Called from the Config.OnEvent chain, so it sees every decision
+// the engine journals, in order.
+func (a *analyzer) observeEvent(ev core.Event) {
+	switch ev.Kind {
+	case core.EventCreated:
+		a.recordBirth(ev.Prefix, ev.Cycle)
+	case core.EventSplit:
+		// The parent leaves; its children start their convergence clocks.
+		delete(a.births, ev.Prefix)
+		a.dropFlap(ev.Prefix)
+		for _, c := range ev.Children {
+			a.recordBirth(c, ev.Cycle)
+		}
+	case core.EventJoined, core.EventDropped, core.EventCompacted:
+		// The children leave the partition; a joined parent is born
+		// classified, so no convergence clock starts for it.
+		for _, c := range ev.Children {
+			delete(a.births, c)
+			a.dropFlap(c)
+		}
+		delete(a.births, ev.Prefix)
+	case core.EventClassified:
+		if born, ok := a.births[ev.Prefix]; ok {
+			delta := float64(ev.Cycle - born)
+			a.observeConvergence(delta)
+			delete(a.births, ev.Prefix)
+		}
+		fs := a.flap(ev.Prefix)
+		if fs.hasIngress && fs.lastIngress != ev.Ingress {
+			a.noteTransition(fs, ev.Cycle)
+		}
+		fs.lastIngress = ev.Ingress
+		fs.hasIngress = true
+	case core.EventInvalidated:
+		// Losing the prevalent ingress is the core flap signal: the range
+		// oscillates between classified and not, or between ingresses.
+		fs := a.flap(ev.Prefix)
+		a.noteTransition(fs, ev.Cycle)
+	case core.EventExpired:
+		// Idle decay is not a flap — the range went quiet, it did not
+		// contradict itself — but the next classification starts fresh.
+		if fs, ok := a.flaps[ev.Prefix]; ok {
+			fs.hasIngress = false
+		}
+	}
+}
+
+func (a *analyzer) recordBirth(prefix string, cycle uint64) {
+	if len(a.births) >= a.cfg.MaxTracked {
+		a.evictBirth()
+	}
+	a.births[prefix] = cycle
+}
+
+// evictBirth removes the oldest (then lexically smallest) birth record:
+// deterministic, so identical runs track identical sets.
+func (a *analyzer) evictBirth() {
+	var (
+		victim string
+		oldest uint64
+		found  bool
+	)
+	for p, c := range a.births {
+		if !found || c < oldest || (c == oldest && p < victim) {
+			victim, oldest, found = p, c, true
+		}
+	}
+	if found {
+		delete(a.births, victim)
+	}
+}
+
+func (a *analyzer) flap(prefix string) *flapState {
+	fs := a.flaps[prefix]
+	if fs == nil {
+		if len(a.flaps) >= a.cfg.MaxTracked {
+			a.evictFlap()
+		}
+		fs = &flapState{}
+		a.flaps[prefix] = fs
+	}
+	return fs
+}
+
+// evictFlap removes the longest-quiet non-alerted entry (then lexically
+// smallest prefix). Alerted entries are never evicted — an active alert must
+// survive until it clears.
+func (a *analyzer) evictFlap() {
+	var (
+		victim string
+		oldest uint64
+		found  bool
+	)
+	for p, fs := range a.flaps {
+		if fs.alerted {
+			continue
+		}
+		if !found || fs.lastTouch < oldest || (fs.lastTouch == oldest && p < victim) {
+			victim, oldest, found = p, fs.lastTouch, true
+		}
+	}
+	if found {
+		delete(a.flaps, victim)
+	}
+}
+
+func (a *analyzer) dropFlap(prefix string) {
+	if fs, ok := a.flaps[prefix]; ok && !fs.alerted {
+		delete(a.flaps, prefix)
+	}
+}
+
+func (a *analyzer) noteTransition(fs *flapState, cycle uint64) {
+	a.transitionsThisCycle++
+	fs.lastTouch = cycle
+	// Keep at most FlapRaise+FlapClear+1 recent transition cycles: counting
+	// further above the raise threshold never changes a decision.
+	keep := a.cfg.FlapRaise + a.cfg.FlapClear + 1
+	if len(fs.transitions) >= keep {
+		copy(fs.transitions, fs.transitions[1:])
+		fs.transitions = fs.transitions[:keep-1]
+	}
+	fs.transitions = append(fs.transitions, cycle)
+}
+
+// inWindow counts transitions with cycle > cur-window.
+func (fs *flapState) inWindow(cur uint64, window int) int {
+	floor := uint64(0)
+	if cur > uint64(window) {
+		floor = cur - uint64(window)
+	}
+	n := 0
+	for _, c := range fs.transitions {
+		if c > floor {
+			n++
+		}
+	}
+	return n
+}
+
+// observeConvergence records one creation-to-classification delta.
+func (a *analyzer) observeConvergence(delta float64) {
+	a.convTotal++
+	a.convSum += delta
+	if a.onConv != nil {
+		a.onConv(delta)
+	}
+	for i, ub := range a.cfg.ConvergenceBuckets {
+		if delta <= ub {
+			a.convCounts[i]++
+			return
+		}
+	}
+	a.convCounts[len(a.convCounts)-1]++
+}
+
+// takeTransitions returns and resets the per-cycle transition count.
+func (a *analyzer) takeTransitions() int {
+	n := a.transitionsThisCycle
+	a.transitionsThisCycle = 0
+	return n
+}
+
+// evaluate runs the per-cycle alert decisions against the sample's
+// per-ingress shares, returning the alerts raised and cleared this cycle
+// sorted (kind, subject) so the engine journals them in deterministic order.
+func (a *analyzer) evaluate(s core.CycleSample) []core.Alert {
+	var alerts []core.Alert
+	alerts = a.evaluateFlaps(s.Cycle, alerts)
+	alerts = a.evaluateDrift(s, alerts)
+	return alerts
+}
+
+func (a *analyzer) evaluateFlaps(cycle uint64, alerts []core.Alert) []core.Alert {
+	// Deterministic iteration: collect the keys that change state, sorted.
+	var changed []string
+	for p, fs := range a.flaps {
+		n := fs.inWindow(cycle, a.cfg.FlapWindow)
+		if !fs.alerted {
+			if n >= a.cfg.FlapRaise {
+				changed = append(changed, p)
+			}
+			continue
+		}
+		if n <= a.cfg.FlapClear {
+			if fs.calm+1 >= a.cfg.FlapHold {
+				changed = append(changed, p)
+			}
+		}
+	}
+	sort.Strings(changed)
+	for _, p := range changed {
+		fs := a.flaps[p]
+		n := fs.inWindow(cycle, a.cfg.FlapWindow)
+		if !fs.alerted {
+			fs.alerted = true
+			fs.calm = 0
+			alerts = append(alerts, core.Alert{
+				Kind: core.AlertFlap, Raise: true, Prefix: p, Ingress: fs.lastIngress,
+				Reason: core.Reason{Code: core.ReasonFlapRate,
+					Observed: float64(n), Threshold: float64(a.cfg.FlapRaise),
+					Samples: float64(a.cfg.FlapWindow)},
+			})
+		} else {
+			fs.alerted = false
+			fs.calm = 0
+			alerts = append(alerts, core.Alert{
+				Kind: core.AlertFlap, Raise: false, Prefix: p, Ingress: fs.lastIngress,
+				Reason: core.Reason{Code: core.ReasonFlapRate,
+					Observed: float64(n), Threshold: float64(a.cfg.FlapClear),
+					Samples: float64(a.cfg.FlapWindow)},
+			})
+		}
+	}
+	// Advance the calm counters of alerted entries that did not clear yet.
+	for _, fs := range a.flaps {
+		if !fs.alerted {
+			continue
+		}
+		if fs.inWindow(cycle, a.cfg.FlapWindow) <= a.cfg.FlapClear {
+			fs.calm++
+		} else {
+			fs.calm = 0
+		}
+	}
+	return alerts
+}
+
+func (a *analyzer) evaluateDrift(s core.CycleSample, alerts []core.Alert) []core.Alert {
+	// Shares for ingresses present this cycle; tracked ingresses absent from
+	// the sample contribute share 0 (their traffic vanished — the strongest
+	// drift there is).
+	seen := make(map[flow.Ingress]float64, len(s.Ingress))
+	for _, st := range s.Ingress {
+		seen[st.Ingress] = st.Share
+	}
+	// New ingresses enter tracking with EWMA = first share (appearing is
+	// not drift). Iterate the sorted sample slice so map insertion order is
+	// deterministic (irrelevant for output, but keeps eviction deterministic
+	// too).
+	for _, st := range s.Ingress {
+		if _, ok := a.drifts[st.Ingress]; !ok {
+			a.drifts[st.Ingress] = &driftState{ewma: st.Share}
+		}
+	}
+
+	var changed []flow.Ingress
+	for in, ds := range a.drifts {
+		share := seen[in]
+		// Signed deficit: positive when the share fell below its baseline.
+		// A share above baseline (dev < 0) never raises and always counts as
+		// calm for the clear hold.
+		dev := ds.ewma - share
+		ds.lastShare = share
+		ds.lastDev = dev
+		significant := share >= a.cfg.DriftMinShare || ds.ewma >= a.cfg.DriftMinShare
+		if !ds.alerted {
+			if significant && dev >= a.cfg.DriftDelta {
+				changed = append(changed, in)
+			}
+		} else if dev <= a.cfg.DriftDelta*a.cfg.DriftClearFrac {
+			if ds.calm+1 >= a.cfg.DriftHold {
+				changed = append(changed, in)
+			}
+		}
+	}
+	sort.Slice(changed, func(i, j int) bool { return lessIngress(changed[i], changed[j]) })
+	for _, in := range changed {
+		ds := a.drifts[in]
+		if !ds.alerted {
+			ds.alerted = true
+			ds.calm = 0
+			alerts = append(alerts, core.Alert{
+				Kind: core.AlertDrift, Raise: true, Ingress: in,
+				Reason: core.Reason{Code: core.ReasonShareDrift,
+					Observed: ds.lastDev, Threshold: a.cfg.DriftDelta,
+					Samples: ds.lastShare},
+			})
+		} else {
+			ds.alerted = false
+			ds.calm = 0
+			alerts = append(alerts, core.Alert{
+				Kind: core.AlertDrift, Raise: false, Ingress: in,
+				Reason: core.Reason{Code: core.ReasonShareDrift,
+					Observed: ds.lastDev, Threshold: a.cfg.DriftDelta * a.cfg.DriftClearFrac,
+					Samples: ds.lastShare},
+			})
+		}
+	}
+	// Advance calm counters and the EWMA after the decisions, so the raise
+	// compares this cycle's share against the pre-shift baseline.
+	for _, ds := range a.drifts {
+		if ds.alerted {
+			if ds.lastDev <= a.cfg.DriftDelta*a.cfg.DriftClearFrac {
+				ds.calm++
+			} else {
+				ds.calm = 0
+			}
+		}
+		ds.ewma += a.cfg.DriftAlpha * (ds.lastShare - ds.ewma)
+	}
+	return alerts
+}
+
+func lessIngress(a, b flow.Ingress) bool {
+	if a.Router != b.Router {
+		return a.Router < b.Router
+	}
+	return a.Iface < b.Iface
+}

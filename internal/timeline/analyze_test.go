@@ -1,0 +1,301 @@
+package timeline
+
+import (
+	"testing"
+
+	"ipd/internal/core"
+	"ipd/internal/flow"
+)
+
+var (
+	tIn1 = flow.Ingress{Router: 1, Iface: 1}
+	tIn2 = flow.Ingress{Router: 2, Iface: 1}
+)
+
+// sampleWithShares builds a minimal cycle sample carrying per-ingress shares.
+func sampleWithShares(cycle uint64, shares map[flow.Ingress]float64) core.CycleSample {
+	s := core.CycleSample{Cycle: cycle}
+	for in, sh := range shares {
+		s.Ingress = append(s.Ingress, core.IngressCycleStat{Ingress: in, Share: sh})
+	}
+	return s
+}
+
+func classify(a *analyzer, cycle uint64, prefix string, in flow.Ingress) {
+	a.observeEvent(core.Event{Kind: core.EventClassified, Cycle: cycle, Prefix: prefix, Ingress: in})
+}
+
+func invalidate(a *analyzer, cycle uint64, prefix string) {
+	a.observeEvent(core.Event{Kind: core.EventInvalidated, Cycle: cycle, Prefix: prefix})
+}
+
+// collectAlerts runs evaluate for one cycle and splits the result by kind.
+func collectAlerts(a *analyzer, s core.CycleSample) (raised, cleared []core.Alert) {
+	for _, al := range a.evaluate(s) {
+		if al.Raise {
+			raised = append(raised, al)
+		} else {
+			cleared = append(cleared, al)
+		}
+	}
+	return raised, cleared
+}
+
+func TestFlapRaiseAndClear(t *testing.T) {
+	a := newAnalyzer(AnalyzerConfig{FlapWindow: 10, FlapRaise: 3, FlapClear: 1, FlapHold: 3})
+	const p = "10.0.0.0/24"
+
+	classify(a, 1, p, tIn1) // first classification: not a transition
+	var raises, clears int
+	var raiseCycle, clearCycle uint64
+	cycle := uint64(1)
+	flip := tIn2
+	for ; cycle <= 6; cycle++ {
+		classify(a, cycle, p, flip) // ingress change each cycle: a transition
+		if flip == tIn1 {
+			flip = tIn2
+		} else {
+			flip = tIn1
+		}
+		r, c := collectAlerts(a, core.CycleSample{Cycle: cycle})
+		raises += len(r)
+		clears += len(c)
+		if len(r) == 1 && raiseCycle == 0 {
+			raiseCycle = cycle
+			if r[0].Kind != core.AlertFlap || r[0].Prefix != p {
+				t.Fatalf("unexpected raise %+v", r[0])
+			}
+			if r[0].Reason.Code != core.ReasonFlapRate {
+				t.Fatalf("raise reason %v", r[0].Reason.Code)
+			}
+		}
+	}
+	if raises != 1 || raiseCycle != 3 {
+		t.Fatalf("got %d raises (first at cycle %d), want 1 at cycle 3", raises, raiseCycle)
+	}
+
+	// Quiet cycles: the window drains, then FlapHold calm evaluations clear.
+	for ; cycle <= 40 && clearCycle == 0; cycle++ {
+		r, c := collectAlerts(a, core.CycleSample{Cycle: cycle})
+		raises += len(r)
+		clears += len(c)
+		if len(c) == 1 {
+			clearCycle = cycle
+		}
+	}
+	if raises != 1 || clears != 1 {
+		t.Fatalf("got %d raises / %d clears, want exactly 1 / 1", raises, clears)
+	}
+	// Transitions at cycles 1..6 leave the 10-cycle window by cycle 16; one
+	// may remain at <= FlapClear from cycle 15 on, so the 3-cycle hold can
+	// complete at cycle 17 at the earliest.
+	if clearCycle < 17 {
+		t.Fatalf("cleared at cycle %d, before the hold could possibly elapse", clearCycle)
+	}
+}
+
+// TestFlapHysteresisBoundaryNoise drives the transition count back and forth
+// across the clear threshold (but below the raise threshold) after a flap
+// episode: the alert must clear exactly once and never re-raise — boundary
+// noise must not make the alert itself flap.
+func TestFlapHysteresisBoundaryNoise(t *testing.T) {
+	a := newAnalyzer(AnalyzerConfig{FlapWindow: 10, FlapRaise: 4, FlapClear: 1, FlapHold: 4})
+	const p = "10.1.0.0/24"
+
+	classify(a, 1, p, tIn1)
+	// Burn a real flap episode: 4 transitions in 4 cycles.
+	var raises, clears int
+	cycle := uint64(1)
+	for ; cycle <= 4; cycle++ {
+		invalidate(a, cycle, p)
+		classify(a, cycle, p, tIn1)
+		r, c := collectAlerts(a, core.CycleSample{Cycle: cycle})
+		raises += len(r)
+		clears += len(c)
+	}
+	if raises != 1 {
+		t.Fatalf("setup: got %d raises, want 1", raises)
+	}
+
+	// Boundary noise: one transition every 5 cycles keeps the window count
+	// oscillating between 1 (== FlapClear: calm) and 2-3 (> FlapClear: not
+	// calm, but below FlapRaise). The calm hold keeps being interrupted.
+	for ; cycle <= 30; cycle++ {
+		if cycle%5 == 0 {
+			invalidate(a, cycle, p)
+			classify(a, cycle, p, tIn1)
+		}
+		r, c := collectAlerts(a, core.CycleSample{Cycle: cycle})
+		raises += len(r)
+		clears += len(c)
+	}
+	// Then true calm: the alert clears once and stays cleared even when a
+	// single isolated transition (count 1 <= FlapRaise) happens later.
+	for ; cycle <= 60; cycle++ {
+		if cycle == 50 {
+			invalidate(a, cycle, p)
+			classify(a, cycle, p, tIn1)
+		}
+		r, c := collectAlerts(a, core.CycleSample{Cycle: cycle})
+		raises += len(r)
+		clears += len(c)
+	}
+	if raises != 1 || clears != 1 {
+		t.Fatalf("boundary noise flapped the alert: %d raises / %d clears, want 1 / 1", raises, clears)
+	}
+}
+
+func TestDriftCollapseRaisesAndClearsOnce(t *testing.T) {
+	a := newAnalyzer(AnalyzerConfig{})
+	shares := map[flow.Ingress]float64{tIn1: 0.8, tIn2: 0.2}
+	var raises, clears int
+	cycle := uint64(1)
+	for ; cycle <= 20; cycle++ {
+		r, c := collectAlerts(a, sampleWithShares(cycle, shares))
+		raises += len(r)
+		clears += len(c)
+	}
+	if raises != 0 || clears != 0 {
+		t.Fatalf("steady shares alerted: %d raises / %d clears", raises, clears)
+	}
+
+	// tIn1 vanishes; tIn2 mechanically inflates to the full share. Only the
+	// collapse direction may alert.
+	shares = map[flow.Ingress]float64{tIn2: 1.0}
+	var raisedOn []flow.Ingress
+	for ; cycle <= 200; cycle++ {
+		r, c := collectAlerts(a, sampleWithShares(cycle, shares))
+		for _, al := range r {
+			raisedOn = append(raisedOn, al.Ingress)
+		}
+		raises += len(r)
+		clears += len(c)
+	}
+	if raises != 1 || len(raisedOn) != 1 || raisedOn[0] != tIn1 {
+		t.Fatalf("want exactly 1 raise on %v, got %d raises on %v", tIn1, raises, raisedOn)
+	}
+	if clears != 1 {
+		t.Fatalf("want the drift alert cleared once as the EWMA baseline catches up, got %d clears", clears)
+	}
+}
+
+func TestDriftAppearingIngressNeverAlerts(t *testing.T) {
+	a := newAnalyzer(AnalyzerConfig{})
+	var alerts int
+	for cycle := uint64(1); cycle <= 50; cycle++ {
+		shares := map[flow.Ingress]float64{tIn1: 1.0}
+		if cycle >= 10 {
+			// tIn2 appears with most of the traffic; its EWMA initializes to
+			// the first observed share, so appearing is not drift — and tIn1
+			// keeps 0.4, a 0.6 deficit... but gradual EWMA tracking below the
+			// delta would not fire; use a deficit below DriftDelta.
+			shares = map[flow.Ingress]float64{tIn1: 0.8, tIn2: 0.2}
+		}
+		alerts += len(a.evaluate(sampleWithShares(cycle, shares)))
+	}
+	if alerts != 0 {
+		t.Fatalf("appearing ingress alerted %d times", alerts)
+	}
+}
+
+func TestDriftIgnoresTinyShares(t *testing.T) {
+	a := newAnalyzer(AnalyzerConfig{})
+	var alerts int
+	for cycle := uint64(1); cycle <= 50; cycle++ {
+		shares := map[flow.Ingress]float64{tIn1: 0.99, tIn2: 0.01}
+		if cycle >= 25 {
+			shares = map[flow.Ingress]float64{tIn1: 1.0} // the 1% ingress vanishes
+		}
+		alerts += len(a.evaluate(sampleWithShares(cycle, shares)))
+	}
+	if alerts != 0 {
+		t.Fatalf("sub-DriftMinShare churn alerted %d times", alerts)
+	}
+}
+
+func TestConvergenceHistogram(t *testing.T) {
+	a := newAnalyzer(AnalyzerConfig{ConvergenceBuckets: []float64{1, 3, 10}})
+	var observed []float64
+	a.onConv = func(d float64) { observed = append(observed, d) }
+
+	// Three ranges: classified after 1, 3, and 20 cycles; a fourth is dropped
+	// before classifying (no observation).
+	a.observeEvent(core.Event{Kind: core.EventCreated, Cycle: 5, Prefix: "10.0.0.0/24"})
+	a.observeEvent(core.Event{Kind: core.EventCreated, Cycle: 5, Prefix: "10.0.1.0/24"})
+	a.observeEvent(core.Event{Kind: core.EventCreated, Cycle: 5, Prefix: "10.0.2.0/24"})
+	a.observeEvent(core.Event{Kind: core.EventCreated, Cycle: 5, Prefix: "10.0.3.0/24"})
+	classify(a, 6, "10.0.0.0/24", tIn1)
+	classify(a, 8, "10.0.1.0/24", tIn1)
+	classify(a, 25, "10.0.2.0/24", tIn2)
+	a.observeEvent(core.Event{Kind: core.EventDropped, Cycle: 26, Prefix: "10.0.2.0/26",
+		Children: []string{"10.0.3.0/24"}})
+	// Reclassification of an already-converged range observes nothing.
+	classify(a, 30, "10.0.0.0/24", tIn2)
+
+	if a.convTotal != 3 {
+		t.Fatalf("convTotal %d, want 3", a.convTotal)
+	}
+	want := []uint64{1, 1, 0, 1} // deltas 1, 3, 20 into buckets <=1, <=3, <=10, +Inf
+	for i, n := range want {
+		if a.convCounts[i] != n {
+			t.Fatalf("bucket %d count %d, want %d (counts %v)", i, a.convCounts[i], n, a.convCounts)
+		}
+	}
+	if len(observed) != 3 || observed[0] != 1 || observed[1] != 3 || observed[2] != 20 {
+		t.Fatalf("onConv saw %v, want [1 3 20]", observed)
+	}
+	if got := a.convSum; got != 24 {
+		t.Fatalf("convSum %v, want 24", got)
+	}
+}
+
+// TestAnalyzerEvictionDeterministic fills the tracking maps past MaxTracked
+// twice with identical input and checks the surviving sets match — eviction
+// must be a pure function of the event history.
+func TestAnalyzerEvictionDeterministic(t *testing.T) {
+	runOnce := func() ([]string, []string) {
+		a := newAnalyzer(AnalyzerConfig{MaxTracked: 8})
+		for i := 0; i < 40; i++ {
+			p := prefixFor(i)
+			a.observeEvent(core.Event{Kind: core.EventCreated, Cycle: uint64(i + 1), Prefix: p})
+			classify(a, uint64(i+1), p, tIn1)
+			classify(a, uint64(i+1), p, tIn2) // one transition each: flap entries
+		}
+		var births, flaps []string
+		for p := range a.births {
+			births = append(births, p)
+		}
+		for p := range a.flaps {
+			flaps = append(flaps, p)
+		}
+		return births, flaps
+	}
+	b1, f1 := runOnce()
+	b2, f2 := runOnce()
+	if len(b1) > 8 || len(f1) > 8 {
+		t.Fatalf("maps exceed MaxTracked: %d births, %d flaps", len(b1), len(f1))
+	}
+	if !sameSet(b1, b2) || !sameSet(f1, f2) {
+		t.Fatalf("eviction diverged between identical runs:\nbirths %v vs %v\nflaps  %v vs %v", b1, b2, f1, f2)
+	}
+}
+
+func prefixFor(i int) string {
+	return "10." + string(rune('0'+i/10)) + string(rune('0'+i%10)) + ".0.0/24"
+}
+
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := make(map[string]bool, len(a))
+	for _, s := range a {
+		m[s] = true
+	}
+	for _, s := range b {
+		if !m[s] {
+			return false
+		}
+	}
+	return true
+}

@@ -41,6 +41,7 @@ import (
 	"ipd/internal/persist"
 	"ipd/internal/stattime"
 	"ipd/internal/telemetry"
+	"ipd/internal/timeline"
 	"ipd/internal/topology"
 	"ipd/internal/trace"
 	"ipd/internal/trafficgen"
@@ -82,20 +83,39 @@ type (
 	// IngressMapper folds physical interfaces into logical ingresses
 	// (LAG bundles).
 	IngressMapper = core.IngressMapper
+	// CycleSample is the end-of-cycle observation delivered via
+	// Config.OnCycle: engine shape, lifecycle deltas, per-ingress traffic
+	// shares, and the governor snapshot.
+	CycleSample = core.CycleSample
+	// IngressCycleStat is the per-ingress slice of a CycleSample.
+	IngressCycleStat = core.IngressCycleStat
+	// Alert is one analytics decision returned by Config.OnCycle; the
+	// engine journals each as an alert lifecycle event.
+	Alert = core.Alert
+	// AlertKind enumerates the analytics alerts (flap, drift).
+	AlertKind = core.AlertKind
 )
 
 // Event kinds (the full range lifecycle).
 const (
-	EventClassified  = core.EventClassified
-	EventInvalidated = core.EventInvalidated
-	EventExpired     = core.EventExpired
-	EventSplit       = core.EventSplit
-	EventJoined      = core.EventJoined
-	EventCreated     = core.EventCreated
-	EventDropped     = core.EventDropped
-	EventCompacted   = core.EventCompacted
-	EventQuarantined = core.EventQuarantined
-	EventGovernor    = core.EventGovernor
+	EventClassified   = core.EventClassified
+	EventInvalidated  = core.EventInvalidated
+	EventExpired      = core.EventExpired
+	EventSplit        = core.EventSplit
+	EventJoined       = core.EventJoined
+	EventCreated      = core.EventCreated
+	EventDropped      = core.EventDropped
+	EventCompacted    = core.EventCompacted
+	EventQuarantined  = core.EventQuarantined
+	EventGovernor     = core.EventGovernor
+	EventAlertRaised  = core.EventAlertRaised
+	EventAlertCleared = core.EventAlertCleared
+)
+
+// Alert kinds (the timeline analytics).
+const (
+	AlertFlap  = core.AlertFlap
+	AlertDrift = core.AlertDrift
 )
 
 // Reason codes (which threshold comparison decided an event).
@@ -112,6 +132,8 @@ const (
 	ReasonBudgetRecovered  = core.ReasonBudgetRecovered
 	ReasonForcedCompaction = core.ReasonForcedCompaction
 	ReasonPanicRecovered   = core.ReasonPanicRecovered
+	ReasonFlapRate         = core.ReasonFlapRate
+	ReasonShareDrift       = core.ReasonShareDrift
 )
 
 // Resource-governor types. A Governor tracks live resource budgets (active
@@ -170,9 +192,41 @@ type (
 	// *Server implements it.
 	IntrospectSource = introspect.Source
 	// IntrospectHandler serves /ipd/ranges, /ipd/range, /ipd/explain,
-	// /ipd/events, and /ipd/traces.
+	// /ipd/events, /ipd/traces, /ipd/timeline, and /ipd/alerts.
 	IntrospectHandler = introspect.Handler
 )
+
+// Longitudinal-observability types. A TimelineCollector samples the engine at
+// the end of every stage-2 cycle into a bounded multi-resolution time-series
+// store and runs the flap/drift/convergence analytics over the history. Wire
+// it with Config.OnCycle = c.OnCycle, chain c.ObserveEvent into the
+// Config.OnEvent callback after the journal, and attach it to the
+// introspection surface via IntrospectHandler.SetTimeline (enabling
+// /ipd/timeline and /ipd/alerts).
+type (
+	// TimelineCollector binds the store and analytics to an engine.
+	TimelineCollector = timeline.Collector
+	// TimelineOptions configures a TimelineCollector (ring window,
+	// downsample factor, series cap, analyzer thresholds).
+	TimelineOptions = timeline.Options
+	// TimelineAnalyzerConfig sets the flap/drift/convergence thresholds and
+	// hysteresis.
+	TimelineAnalyzerConfig = timeline.AnalyzerConfig
+	// TimelineStore is the bounded multi-tier time-series store.
+	TimelineStore = timeline.Store
+	// TimelinePoint is one aggregated observation of a series.
+	TimelinePoint = timeline.Point
+	// TimelineSeries is the windowed view of one series.
+	TimelineSeries = timeline.Series
+	// TimelineAlertsView is the /ipd/alerts response body.
+	TimelineAlertsView = timeline.AlertsView
+)
+
+// NewTimelineCollector returns a timeline collector with its own bounded
+// store.
+func NewTimelineCollector(opts TimelineOptions) *TimelineCollector {
+	return timeline.NewCollector(opts)
+}
 
 // Pipeline-tracing types. A Tracer threads low-overhead spans through the
 // whole pipeline — flow decode, statistical-time binning, stage-1 Observe
@@ -345,9 +399,14 @@ type (
 // their own; this is for auxiliary metric sets such as flow-codec counters).
 func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
 
-// RegisterProcessMetrics adds Go-runtime gauges (heap, GC, goroutines) to
-// reg; binaries call it once on their serving registry.
+// RegisterProcessMetrics adds Go-runtime gauges (heap, GC, goroutines) and
+// the ipd_build_info gauge to reg; binaries call it once on their serving
+// registry.
 func RegisterProcessMetrics(reg *TelemetryRegistry) { telemetry.RegisterProcessMetrics(reg) }
+
+// RegisterBuildInfo adds only the constant ipd_build_info gauge (version, go
+// runtime, GOMAXPROCS labels); RegisterProcessMetrics already includes it.
+func RegisterBuildInfo(reg *TelemetryRegistry) { telemetry.RegisterBuildInfo(reg) }
 
 // NewFlowMetrics returns the flow-layer metric set (trace decode outcomes,
 // sampler decisions), registered under ipd_flow_* when reg is non-nil. Attach
