@@ -415,6 +415,32 @@ func BenchmarkObserveGoverned(b *testing.B) {
 	b.ReportMetric(float64(eng.RangeCount()), "ranges")
 }
 
+// BenchmarkObserveExporterHealth is BenchmarkObserve with the exporter
+// health tracker attached the way cmd/ipd wires it for trace input:
+// per-record rate accounting (ObserveRecord: one lock-free slice load plus
+// an atomic add) and the coverage provider consulted at classification
+// time. The acceptance gate is staying within 3% of BenchmarkObserve
+// (BENCH_6.json records the reference).
+func BenchmarkObserveExporterHealth(b *testing.B) {
+	records := benchRecords(b, 500_000)
+	cfg := ipd.DefaultConfig()
+	cfg.NCidrFactor4 = 0.01
+	cfg.NCidrFloor = 4
+	health := ipd.NewExporterHealth(ipd.ExporterHealthOptions{})
+	cfg.Coverage = health.IngressCoverage
+	eng, err := ipd.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := records[i%len(records)]
+		health.ObserveRecord(rec.In.Router)
+		eng.Observe(rec)
+	}
+	b.ReportMetric(float64(eng.RangeCount()), "ranges")
+}
+
 // BenchmarkEngineEndToEnd measures stage 1 + stage 2 over a continuous
 // stream (cycles included).
 func BenchmarkEngineEndToEnd(b *testing.B) {

@@ -8,6 +8,12 @@
 //
 //	flowgen -minutes 30 -rate 5000 -seed 1 -o trace.ipd
 //	flowgen -minutes 5 -format csv -o - | head
+//
+// Exporter faults (deterministic, seeded by -fault-seed) degrade named
+// routers' feeds to exercise the exporter-health detectors downstream:
+//
+//	flowgen -minutes 60 -fault-loss 2:0.3 -fault-skew 4:10m \
+//	        -fault-silence 9:10m-30m -o degraded.ipd
 package main
 
 import (
@@ -16,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"ipd"
@@ -32,16 +40,98 @@ func main() {
 		out     = flag.String("o", "-", "output file ('-' = stdout)")
 		startAt = flag.Duration("offset", 0, "virtual offset into the scenario (e.g. 200h)")
 		diurnal = flag.Bool("diurnal", true, "apply the diurnal volume pattern")
+
+		faultSeed    = flag.Uint64("fault-seed", 1, "seed for fault coin flips")
+		faultLoss    = flag.String("fault-loss", "", "per-router record loss, e.g. 2:0.3,7:0.1")
+		faultSkew    = flag.String("fault-skew", "", "per-router export-clock skew, e.g. 4:10m")
+		faultSilence = flag.String("fault-silence", "", "per-router silent window as offsets, e.g. 9:10m-30m")
 	)
 	flag.Parse()
 
-	if err := run(*minutes, *rate, *seed, *noise, *format, *out, *startAt, *diurnal); err != nil {
+	faults, err := parseFaults(*faultSeed, *faultLoss, *faultSkew, *faultSilence)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowgen:", err)
+		os.Exit(1)
+	}
+	if err := run(*minutes, *rate, *seed, *noise, *format, *out, *startAt, *diurnal, faults); err != nil {
 		fmt.Fprintln(os.Stderr, "flowgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(minutes, rate int, seed int64, noise float64, format, out string, offset time.Duration, diurnal bool) error {
+// parseFaults builds a fault spec from the router:value flag lists.
+func parseFaults(seed uint64, loss, skew, silence string) (ipd.SimFaultSpec, error) {
+	spec := ipd.SimFaultSpec{Seed: seed}
+	each := func(list string, fn func(router ipd.RouterID, val string) error) error {
+		if list == "" {
+			return nil
+		}
+		for _, item := range strings.Split(list, ",") {
+			r, val, ok := strings.Cut(strings.TrimSpace(item), ":")
+			if !ok {
+				return fmt.Errorf("fault %q: want router:value", item)
+			}
+			id, err := strconv.ParseUint(r, 10, 32)
+			if err != nil {
+				return fmt.Errorf("fault %q: bad router: %v", item, err)
+			}
+			if err := fn(ipd.RouterID(id), val); err != nil {
+				return fmt.Errorf("fault %q: %v", item, err)
+			}
+		}
+		return nil
+	}
+	if err := each(loss, func(r ipd.RouterID, v string) error {
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return err
+		}
+		if spec.Loss == nil {
+			spec.Loss = map[ipd.RouterID]float64{}
+		}
+		spec.Loss[r] = p
+		return nil
+	}); err != nil {
+		return spec, err
+	}
+	if err := each(skew, func(r ipd.RouterID, v string) error {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return err
+		}
+		if spec.Skew == nil {
+			spec.Skew = map[ipd.RouterID]time.Duration{}
+		}
+		spec.Skew[r] = d
+		return nil
+	}); err != nil {
+		return spec, err
+	}
+	if err := each(silence, func(r ipd.RouterID, v string) error {
+		from, to, ok := strings.Cut(v, "-")
+		if !ok {
+			return fmt.Errorf("want from-to window, got %q", v)
+		}
+		df, err := time.ParseDuration(from)
+		if err != nil {
+			return err
+		}
+		dt, err := time.ParseDuration(to)
+		if err != nil {
+			return err
+		}
+		if spec.Silence == nil {
+			spec.Silence = map[ipd.RouterID]ipd.SimFaultWindow{}
+		}
+		spec.Silence[r] = ipd.SimFaultWindow{From: df, To: dt}
+		return nil
+	}); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}
+
+func run(minutes, rate int, seed int64, noise float64, format, out string, offset time.Duration, diurnal bool, faults ipd.SimFaultSpec) error {
 	spec := ipd.DefaultSimSpec()
 	spec.Seed = seed
 	scn, err := ipd.NewSimScenario(spec)
@@ -67,11 +157,23 @@ func run(minutes, rate int, seed int64, noise float64, format, out string, offse
 	start := scn.Start.Add(offset)
 	end := start.Add(time.Duration(minutes) * time.Minute)
 
-	count := 0
+	// The fault filter sits between the generator and the writer so that
+	// degraded feeds (lost records, skewed stamps, silent routers) land in
+	// the trace exactly as a broken export path would deliver them.
+	filter, err := ipd.NewSimRecordFaults(faults, start)
+	if err != nil {
+		return err
+	}
+	count, faulted := 0, 0
 	switch format {
 	case "binary":
 		tw := ipd.NewTraceWriter(w)
 		err = scn.Stream(start, end, cfg, func(rec ipd.Record) bool {
+			var ok bool
+			if rec, ok = filter(rec); !ok {
+				faulted++
+				return true
+			}
 			if werr := tw.Write(rec); werr != nil {
 				err = werr
 				return false
@@ -90,6 +192,11 @@ func run(minutes, rate int, seed int64, noise float64, format, out string, offse
 		fmt.Fprintln(bw, "# ts_unix_nanos,src,dst,router,iface,bytes,packets")
 		var buf []byte
 		err = scn.Stream(start, end, cfg, func(rec ipd.Record) bool {
+			var ok bool
+			if rec, ok = filter(rec); !ok {
+				faulted++
+				return true
+			}
 			buf = flow.AppendCSV(buf[:0], rec)
 			if _, werr := bw.Write(buf); werr != nil {
 				err = werr
@@ -109,5 +216,8 @@ func run(minutes, rate int, seed int64, noise float64, format, out string, offse
 	}
 	fmt.Fprintf(os.Stderr, "flowgen: wrote %d records covering %s - %s\n",
 		count, start.Format(time.RFC3339), end.Format(time.RFC3339))
+	if !faults.Empty() {
+		fmt.Fprintf(os.Stderr, "flowgen: faults suppressed %d records\n", faulted)
+	}
 	return nil
 }

@@ -25,7 +25,8 @@
 //	/ipd/traces   tail the pipeline span flight recorder (JSON)
 //	/ipd/governor resource-governor state, budgets, and utilization (JSON)
 //	/ipd/timeline longitudinal per-cycle series (JSON, or format=csv)
-//	/ipd/alerts   active flap/drift alerts and recent alert history (JSON)
+//	/ipd/alerts   active flap/drift/exporter alerts and recent alert history (JSON)
+//	/ipd/exporters per-exporter feed health: loss, skew, staleness, coverage (JSON)
 //	/healthz      liveness (503 once no stage-2 cycle completed within the stall window)
 //	/readyz       readiness (additionally 503 while the last cycle overran its budget
 //	              or the resource governor is in emergency)
@@ -105,6 +106,8 @@ func main() {
 		boostN     = flag.Int("sample-boost", 8, "multiply the -sample denominator by this factor while the governor is degraded or worse")
 		tlWindow   = flag.Int("timeline-window", 512, "per-series timeline ring window in cycles; older points are downsampled into coarser tiers (0 disables the timeline)")
 		tlEvery    = flag.Int("timeline-every", 1, "sample the timeline every N stage-2 cycles")
+		staleAfter = flag.Duration("exporter-stale-after", 3*time.Minute, "raise AlertExporterStale once an exporter feed has been silent this long (statistical time)")
+		skewMax    = flag.Duration("skew-max", 5*time.Minute, "raise AlertClockSkew once an exporter's export clock drifts this far from the collector clock")
 		mutexProf  = flag.Int("mutexprofile", 0, "runtime mutex/block profiling fraction for /debug/pprof/{mutex,block} (0 disables)")
 	)
 	flag.Parse()
@@ -117,6 +120,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(2)
 	}
+	if err := validateExporterFlags(*staleAfter, *skewMax); err != nil {
+		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
+		os.Exit(2)
+	}
 	if *mutexProf > 0 {
 		runtime.SetMutexProfileFraction(*mutexProf)
 		runtime.SetBlockProfileRate(*mutexProf)
@@ -124,7 +131,8 @@ func main() {
 	cf := ckptFlags{dir: *ckptDir, every: *ckptEvery}
 	gf := govFlags{enabled: *govern, maxRanges: *maxRanges, memBudget: *memBudget, sampleN: *sampleN, boostN: *boostN}
 	tl := timelineFlags{window: *tlWindow, every: *tlEvery}
-	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q, logger, *journalOut, *journalCap, *traceCap, *traceSmpl, *queueCap, cf, gf, tl); err != nil {
+	ef := exporterFlags{staleAfter: *staleAfter, skewMax: *skewMax}
+	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q, logger, *journalOut, *journalCap, *traceCap, *traceSmpl, *queueCap, cf, gf, tl, ef); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(1)
 	}
@@ -168,6 +176,24 @@ func validateFlags(ckptEvery uint64, traceSample, queueCap, maxRanges int, memBu
 		return fmt.Errorf("-mutexprofile must be >= 0 (got %d)", mutexProf)
 	}
 	return nil
+}
+
+// validateExporterFlags rejects exporter-health thresholds that would
+// disable the alerts silently.
+func validateExporterFlags(staleAfter, skewMax time.Duration) error {
+	if staleAfter <= 0 {
+		return fmt.Errorf("-exporter-stale-after must be positive (got %v)", staleAfter)
+	}
+	if skewMax <= 0 {
+		return fmt.Errorf("-skew-max must be positive (got %v)", skewMax)
+	}
+	return nil
+}
+
+// exporterFlags carries the exporter-health flag values into run.
+type exporterFlags struct {
+	staleAfter time.Duration
+	skewMax    time.Duration
 }
 
 // govFlags carries the resource-governor flag values into run.
@@ -240,7 +266,7 @@ func newLogger(level string) (*slog.Logger, error) {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }
 
-func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64, logger *slog.Logger, journalOut string, journalCap, traceCap, traceSample, queueCap int, cf ckptFlags, gf govFlags, tl timelineFlags) error {
+func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64, logger *slog.Logger, journalOut string, journalCap, traceCap, traceSample, queueCap int, cf ckptFlags, gf govFlags, tl timelineFlags, ef exporterFlags) error {
 	cfg := ipd.DefaultConfig()
 	cfg.NCidrFactor4 = factor4
 	cfg.NCidrFloor = floor
@@ -311,18 +337,40 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 	j := ipd.NewJournal(jopts)
 	cfg.OnEvent = j.Record
 
+	// The exporter-health tracker accounts every decoded datagram per
+	// exporter feed (sequence-gap loss, clock skew, staleness) and folds
+	// them into a per-router coverage score at each cycle tick. The engine
+	// consults it at classification time: decisions made over a degraded
+	// feed carry a ReasonDegradedCoverage annotation in their events and in
+	// /ipd/explain.
+	health := ipd.NewExporterHealth(ipd.ExporterHealthOptions{
+		StaleAfter: ef.staleAfter,
+		SkewMax:    ef.skewMax,
+	})
+	cfg.Coverage = health.IngressCoverage
+
 	// The timeline collector turns the end-of-cycle samples and the journal
 	// event stream into longitudinal series plus flap/drift/convergence
-	// analytics, served at /ipd/timeline and /ipd/alerts.
+	// analytics, served at /ipd/timeline and /ipd/alerts. It also drives
+	// the exporter-health cycle ticks and the exporter alerts.
 	var tlColl *ipd.TimelineCollector
 	if tl.window > 0 {
 		tlColl = ipd.NewTimelineCollector(ipd.TimelineOptions{Window: tl.window})
+		tlColl.SetExporterHealth(health)
 		cfg.OnEvent = func(ev ipd.Event) {
 			j.Record(ev)
 			tlColl.ObserveEvent(ev)
 		}
 		cfg.OnCycle = tlColl.OnCycle
 		cfg.OnCycleEvery = tl.every
+	} else {
+		// No timeline: still tick the tracker on statistical time so
+		// staleness and coverage stay live for /ipd/exporters and the
+		// engine's coverage annotations (no alerts without the analyzer).
+		cfg.OnCycle = func(s ipd.CycleSample) []ipd.Alert {
+			health.Tick(s.At)
+			return nil
+		}
 	}
 
 	srv, err := ipd.NewServer(cfg, ipd.DefaultStatTimeConfig())
@@ -331,6 +379,7 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 	}
 	j.RegisterMetrics(srv.Telemetry())
 	queue.RegisterMetrics(srv.Telemetry())
+	health.RegisterMetrics(srv.Telemetry())
 	if tlColl != nil {
 		tlColl.RegisterMetrics(srv.Telemetry())
 		// The ingest-lock contention series (lock wait, batch count) is the
@@ -403,12 +452,14 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 	if err != nil {
 		return err
 	}
+	coll.SetHealth(health)
 	var ipfixColl *ipfix.Collector
 	if ipfixAddr != "" {
 		ipfixColl, err = ipfix.NewCollector(sink)
 		if err != nil {
 			return err
 		}
+		ipfixColl.SetHealth(health)
 	}
 	if exportersFile != "" {
 		n, err := loadExporters(coll, ipfixColl, exportersFile)
@@ -465,6 +516,7 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 		if tlColl != nil {
 			ih.SetTimeline(tlColl)
 		}
+		ih.SetExporterHealth(health)
 		mux.Handle("/ipd/", ih)
 		mux.HandleFunc("/ranges", func(w http.ResponseWriter, _ *http.Request) {
 			mapped := srv.Mapped()
@@ -499,6 +551,7 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 					"dropped_stale":  bin.DroppedStale,
 					"dropped_future": bin.DroppedFuture,
 				},
+				"exporters": health.Summary(),
 			}
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(out)

@@ -51,6 +51,14 @@
 // alert events and the series are served at /ipd/timeline (JSON or
 // format=csv) next to /ipd/alerts on the debug server. -mutexprofile
 // enables runtime mutex/block profiling for /debug/pprof/{mutex,block}.
+//
+// Input data quality: an exporter-health tracker accounts the records each
+// router contributes and folds them into a per-router coverage score every
+// cycle; classifications made while a router's feed is stale carry a
+// degraded-coverage annotation in the journal, -explain, and /ipd/explain.
+// -exporter-stale-after sets the silence threshold; -skew-max bounds
+// export-clock skew (it only matters for the UDP collectors — trace files
+// carry no export clock). The per-feed state is served at /ipd/exporters.
 package main
 
 import (
@@ -105,10 +113,12 @@ func main() {
 		memBudget  = flag.Int64("mem-budget", 0, "live-heap budget in bytes for the governor (0 = unlimited, implies -governor)")
 		tlWindow   = flag.Int("timeline-window", 512, "per-series timeline ring window in cycles; older points are downsampled into coarser tiers (0 disables the timeline)")
 		tlEvery    = flag.Int("timeline-every", 1, "sample the timeline every N stage-2 cycles")
+		staleAfter = flag.Duration("exporter-stale-after", 3*time.Minute, "flag a router's feed stale once it has been silent this long (statistical time)")
+		skewMax    = flag.Duration("skew-max", 5*time.Minute, "export-clock skew limit for the exporter-health coverage score")
 		mutexProf  = flag.Int("mutexprofile", 0, "runtime mutex/block profiling fraction for /debug/pprof/{mutex,block} (0 disables)")
 	)
 	flag.Parse()
-	if err := validateFlags(*ckptEvery, *traceSmpl, *maxRanges, *memBudget, *tlWindow, *tlEvery, *mutexProf); err != nil {
+	if err := validateFlags(*ckptEvery, *traceSmpl, *maxRanges, *memBudget, *tlWindow, *tlEvery, *mutexProf, *staleAfter, *skewMax); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd:", err)
 		os.Exit(2)
 	}
@@ -138,7 +148,8 @@ func main() {
 	cf := ckptFlags{dir: *ckptDir, every: *ckptEvery, resync: *resync}
 	gf := govFlags{enabled: *govern, maxRanges: *maxRanges, memBudget: *memBudget}
 	tl := timelineFlags{window: *tlWindow, every: *tlEvery}
-	if err := run(*in, *format, cfg, *bin, *summary, *debugHTTP, *journalOut, *journalCap, *explainIPs, tf, cf, gf, tl); err != nil {
+	ef := exporterFlags{staleAfter: *staleAfter, skewMax: *skewMax}
+	if err := run(*in, *format, cfg, *bin, *summary, *debugHTTP, *journalOut, *journalCap, *explainIPs, tf, cf, gf, tl, ef); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd:", err)
 		os.Exit(1)
 	}
@@ -148,7 +159,7 @@ func main() {
 // (a checkpoint cadence of 0 became 1, a non-positive trace sample rate
 // traced nothing): a typo like -checkpoint-every 0 now fails loudly instead
 // of checkpointing on every cycle.
-func validateFlags(ckptEvery uint64, traceSample, maxRanges int, memBudget int64, tlWindow, tlEvery, mutexProf int) error {
+func validateFlags(ckptEvery uint64, traceSample, maxRanges int, memBudget int64, tlWindow, tlEvery, mutexProf int, staleAfter, skewMax time.Duration) error {
 	if ckptEvery < 1 {
 		return fmt.Errorf("-checkpoint-every must be >= 1 (got %d)", ckptEvery)
 	}
@@ -172,6 +183,12 @@ func validateFlags(ckptEvery uint64, traceSample, maxRanges int, memBudget int64
 	}
 	if mutexProf < 0 {
 		return fmt.Errorf("-mutexprofile must be >= 0 (got %d)", mutexProf)
+	}
+	if staleAfter <= 0 {
+		return fmt.Errorf("-exporter-stale-after must be positive (got %v)", staleAfter)
+	}
+	if skewMax <= 0 {
+		return fmt.Errorf("-skew-max must be positive (got %v)", skewMax)
 	}
 	return nil
 }
@@ -273,6 +290,12 @@ type timelineFlags struct {
 	every  int // sample every N stage-2 cycles
 }
 
+// exporterFlags carries the exporter-health flag values into run.
+type exporterFlags struct {
+	staleAfter time.Duration
+	skewMax    time.Duration
+}
+
 // restoreState implements the startup half of crash recovery: load the
 // newest valid checkpoint from mgr into eng, then replay the tail of the
 // previous run's journal (events newer than the checkpoint) on top. A cold
@@ -336,7 +359,7 @@ func serveDebug(addr string, reg *ipd.TelemetryRegistry, introspect http.Handler
 	fmt.Fprintf(os.Stderr, "ipd: debug endpoints on http://%s\n", addr)
 }
 
-func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, debugHTTP, journalOut string, journalCap int, explainIPs string, tf traceFlags, cf ckptFlags, gf govFlags, tl timelineFlags) error {
+func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, debugHTTP, journalOut string, journalCap int, explainIPs string, tf traceFlags, cf ckptFlags, gf govFlags, tl timelineFlags, ef exporterFlags) error {
 	var r io.Reader = os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -373,18 +396,37 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 	j := ipd.NewJournal(jopts)
 	cfg.OnEvent = j.Record
 
+	// The exporter-health tracker counts the records each router contributes
+	// (the trace path carries no sequence numbers or export clocks, so only
+	// activity/staleness and the derived coverage apply) and the engine
+	// annotates classifications made over a stale feed.
+	health := ipd.NewExporterHealth(ipd.ExporterHealthOptions{
+		StaleAfter: ef.staleAfter,
+		SkewMax:    ef.skewMax,
+	})
+	cfg.Coverage = health.IngressCoverage
+
 	// The timeline collector turns the end-of-cycle samples and the journal
 	// event stream into longitudinal series plus flap/drift/convergence
 	// analytics (served at /ipd/timeline and /ipd/alerts with -debug-http).
+	// It also drives the exporter-health cycle ticks and exporter alerts.
 	var tlColl *ipd.TimelineCollector
 	if tl.window > 0 {
 		tlColl = ipd.NewTimelineCollector(ipd.TimelineOptions{Window: tl.window})
+		tlColl.SetExporterHealth(health)
 		cfg.OnEvent = func(ev ipd.Event) {
 			j.Record(ev)
 			tlColl.ObserveEvent(ev)
 		}
 		cfg.OnCycle = tlColl.OnCycle
 		cfg.OnCycleEvery = tl.every
+	} else {
+		// No timeline: still tick the tracker on statistical time so
+		// staleness and coverage stay live (no alerts without the analyzer).
+		cfg.OnCycle = func(s ipd.CycleSample) []ipd.Alert {
+			health.Tick(s.At)
+			return nil
+		}
 	}
 
 	// The governor is built before the engine (it is part of the engine
@@ -414,6 +456,7 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 	if tlColl != nil {
 		tlColl.RegisterMetrics(eng.Telemetry())
 	}
+	health.RegisterMetrics(eng.Telemetry())
 	flowMetrics := ipd.NewFlowMetrics(eng.Telemetry())
 	locked := &lockedEngine{eng: eng}
 
@@ -488,6 +531,7 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 		if tlColl != nil {
 			ih.SetTimeline(tlColl)
 		}
+		ih.SetExporterHealth(health)
 		serveDebug(debugHTTP, eng.Telemetry(), ih, wd)
 	}
 	out := bufio.NewWriter(os.Stdout)
@@ -527,6 +571,7 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 			}
 			nextBin = nextBin.Add(bin)
 		}
+		health.ObserveRecord(rec.In.Router)
 		eng.Feed(rec)
 		return nil
 	}
@@ -655,6 +700,9 @@ func explain(w io.Writer, src ipd.IntrospectSource, j *ipd.Journal, ips string) 
 		}
 		fmt.Fprintf(w, "  path:    %s\n", strings.Join(parts, " > "))
 		fmt.Fprintf(w, "  verdict: %s\n", ex.VerdictString())
+		if ex.Coverage != nil {
+			fmt.Fprintf(w, "  caveat:  %s\n", ex.Coverage)
+		}
 		for _, sh := range ex.Shares {
 			fmt.Fprintf(w, "  vote:    %s share %.3f (%.0f samples)\n", sh.Ingress, sh.Share, sh.Count)
 		}

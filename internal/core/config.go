@@ -172,6 +172,19 @@ type Config struct {
 	// journaled as EventGovernor events.
 	Governor *governor.Governor
 
+	// Coverage, when non-nil, reports the input-feed coverage of an
+	// ingress's router at decision time: the score in [0, 1] (1 = clean
+	// feed), the configured floor, and whether the feed counts as
+	// degraded (score < floor). Attach exphealth.Tracker.IngressCoverage.
+	// The engine consults it when a range classifies or joins; degraded
+	// decisions stand but carry a ReasonDegradedCoverage annotation on
+	// their events and in Explain, so "the network moved" stays
+	// distinguishable from "the exporter broke".
+	//
+	// The hook is called from inside the stage-2 cycle; like OnEvent, it
+	// must not call back into the engine and must return quickly.
+	Coverage func(flow.Ingress) (score, floor float64, degraded bool)
+
 	// CycleFault, when non-nil, is invoked with each range's prefix
 	// immediately before its stage-2 processing — the chaos/fault-injection
 	// hook. A panic raised here (or anywhere in a range's processing) is

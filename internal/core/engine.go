@@ -644,7 +644,8 @@ func (e *Engine) cycleUnclassified(rs *rangeState, now time.Time) (pendingSplit,
 		e.noteChurn(in)
 		e.emit(Event{Kind: EventClassified, Prefix: rs.prefix.String(), Ingress: in, At: now,
 			Reason: Reason{Code: ReasonPrevalentIngress, Observed: share, Threshold: e.cfg.Q,
-				Samples: rs.total, MinSamples: ncidr}})
+				Samples: rs.total, MinSamples: ncidr},
+			Coverage: e.coverageAnnotation(in)})
 		return pendingSplit{}, false
 	}
 	if rs.prefix.Bits() < e.cfg.cidrMax(rs.v6) {
@@ -653,6 +654,21 @@ func (e *Engine) cycleUnclassified(rs *rangeState, now time.Time) (pendingSplit,
 	// At cidr_max with mixed ingress: keep monitoring (the join pass is
 	// what "try to join", line 15, can still do for such ranges' parents).
 	return pendingSplit{}, false
+}
+
+// coverageAnnotation asks Config.Coverage about the ingress deciding a
+// classify/join and, when the feed is degraded, returns the provenance
+// annotation attached to the event. Nil when no hook is set or the feed is
+// healthy.
+func (e *Engine) coverageAnnotation(in flow.Ingress) *Reason {
+	if e.cfg.Coverage == nil {
+		return nil
+	}
+	score, floor, degraded := e.cfg.Coverage(in)
+	if !degraded {
+		return nil
+	}
+	return &Reason{Code: ReasonDegradedCoverage, Observed: score, Threshold: floor}
 }
 
 // split replaces rs with its two children (line 13), redistributing the
@@ -755,7 +771,8 @@ func (e *Engine) mergePass(now time.Time, collapse bool) int {
 						Observed:  merged.counters[merged.ingress] / merged.total,
 						Threshold: e.cfg.Q, Samples: merged.total,
 						MinSamples: e.cfg.NCidr(parentPfx.Bits(), merged.v6)},
-					Children: children})
+					Children: children,
+					Coverage: e.coverageAnnotation(merged.ingress)})
 			}
 			changed = true
 			merges++

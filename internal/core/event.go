@@ -160,6 +160,25 @@ const (
 	// its EWMA beyond the drift threshold (drift alert), or stayed within the
 	// clear band long enough (drift clear).
 	ReasonShareDrift
+	// ReasonDegradedCoverage : the decision was made while the deciding
+	// ingress's exporter feed was lossy, stale, or clock-skewed — its
+	// coverage score sat below the configured floor. Carried as the
+	// Coverage annotation on classify/join events, not as the primary
+	// reason: the threshold comparison still decided the event, but its
+	// input was degraded.
+	ReasonDegradedCoverage
+	// ReasonExporterLoss : an exporter feed's smoothed sequence-gap loss
+	// fraction crossed the raise threshold (exporter-loss alert), or
+	// stayed at or below the clear threshold long enough (clear).
+	ReasonExporterLoss
+	// ReasonExporterStale : an exporter feed produced no datagrams or
+	// records for longer than -exporter-stale-after (exporter-stale
+	// alert), or resumed long enough (clear).
+	ReasonExporterStale
+	// ReasonClockSkew : an exporter's export timestamps drifted from the
+	// collector clock beyond -skew-max (clock-skew alert), or returned
+	// within half the limit long enough (clear).
+	ReasonClockSkew
 )
 
 func (c ReasonCode) String() string {
@@ -192,6 +211,14 @@ func (c ReasonCode) String() string {
 		return "flap-rate"
 	case ReasonShareDrift:
 		return "share-drift"
+	case ReasonDegradedCoverage:
+		return "degraded-coverage"
+	case ReasonExporterLoss:
+		return "exporter-loss"
+	case ReasonExporterStale:
+		return "exporter-stale"
+	case ReasonClockSkew:
+		return "clock-skew"
 	}
 	return fmt.Sprintf("ReasonCode(%d)", uint8(c))
 }
@@ -205,7 +232,8 @@ func (c *ReasonCode) UnmarshalText(b []byte) error {
 		ReasonShareBelowQ, ReasonDecayedOut, ReasonMixedIngress,
 		ReasonSiblingsAgree, ReasonEmptyIdle, ReasonOverBudget,
 		ReasonBudgetRecovered, ReasonForcedCompaction, ReasonPanicRecovered,
-		ReasonFlapRate, ReasonShareDrift} {
+		ReasonFlapRate, ReasonShareDrift, ReasonDegradedCoverage,
+		ReasonExporterLoss, ReasonExporterStale, ReasonClockSkew} {
 		if string(b) == r.String() {
 			*c = r
 			return nil
@@ -273,6 +301,18 @@ func (r Reason) String() string {
 	case ReasonShareDrift:
 		return fmt.Sprintf("share-drift: share fell %.3f below its EWMA baseline (threshold %.3f, share %.3f)",
 			r.Observed, r.Threshold, r.Samples)
+	case ReasonDegradedCoverage:
+		return fmt.Sprintf("degraded-coverage: ingress feed coverage %.3f < floor %.3f at decision time",
+			r.Observed, r.Threshold)
+	case ReasonExporterLoss:
+		return fmt.Sprintf("exporter-loss: smoothed loss fraction %.3f (threshold %.3f)",
+			r.Observed, r.Threshold)
+	case ReasonExporterStale:
+		return fmt.Sprintf("exporter-stale: silent for %.0fs (threshold %.0fs)",
+			r.Observed, r.Threshold)
+	case ReasonClockSkew:
+		return fmt.Sprintf("clock-skew: export clock %.0fs from collector clock (limit %.0fs)",
+			r.Observed, r.Threshold)
 	}
 	return r.Code.String()
 }
@@ -307,4 +347,10 @@ type Event struct {
 	// Detail carries event-specific free text: the new state name for
 	// governor transitions, the recovered panic message for quarantines.
 	Detail string `json:"detail,omitempty"`
+	// Coverage, when set, annotates a classify/join decision made while
+	// the deciding ingress's exporter feed was degraded (Config.Coverage
+	// reported a score below its floor): Code is
+	// ReasonDegradedCoverage, Observed the score, Threshold the floor.
+	// Purely provenance — replay ignores it, the decision stands.
+	Coverage *Reason `json:"coverage,omitempty"`
 }

@@ -37,6 +37,11 @@ type Explanation struct {
 	// Verdict restates the deciding comparison as a Reason: which threshold
 	// the range currently clears or misses.
 	Verdict Reason `json:"verdict"`
+	// Coverage, when set, flags that the matched range's current ingress
+	// (classified, or the top vote) rides on a degraded exporter feed
+	// right now (Config.Coverage score below its floor): the verdict may
+	// say more about the exporter than about the network.
+	Coverage *Reason `json:"coverage,omitempty"`
 }
 
 // VerdictString renders the verdict like the event log does.
@@ -85,6 +90,11 @@ func (e *Engine) Explain(addr netip.Addr) (Explanation, bool) {
 		return ex.Shares[i].Ingress.String() < ex.Shares[j].Ingress.String()
 	})
 	ex.Verdict = e.verdict(rs)
+	if rs.classified {
+		ex.Coverage = e.coverageAnnotation(rs.ingress)
+	} else if top, _ := rs.top(); rs.total > 0 {
+		ex.Coverage = e.coverageAnnotation(top)
+	}
 	return ex, true
 }
 

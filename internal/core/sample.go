@@ -21,6 +21,16 @@ const (
 	// AlertDrift : an ingress's per-cycle traffic share shifted away from
 	// its EWMA beyond the drift threshold. Subject is an ingress.
 	AlertDrift
+	// AlertExporterLoss : an exporter feed's smoothed sequence-gap loss
+	// fraction crossed the raise threshold. Subject is an exporter feed
+	// key ("netflow:R12", "ipfix:R3/256"), carried in Prefix.
+	AlertExporterLoss
+	// AlertExporterStale : an exporter feed went silent past the
+	// -exporter-stale-after threshold. Subject is an exporter feed key.
+	AlertExporterStale
+	// AlertClockSkew : an exporter's export timestamps drifted from the
+	// collector clock beyond -skew-max. Subject is an exporter feed key.
+	AlertClockSkew
 )
 
 func (k AlertKind) String() string {
@@ -29,6 +39,12 @@ func (k AlertKind) String() string {
 		return "flap"
 	case AlertDrift:
 		return "drift"
+	case AlertExporterLoss:
+		return "exporter-loss"
+	case AlertExporterStale:
+		return "exporter-stale"
+	case AlertClockSkew:
+		return "clock-skew"
 	}
 	return "unknown"
 }
@@ -41,7 +57,8 @@ type Alert struct {
 	Kind AlertKind
 	// Raise distinguishes a newly raised alert (true) from a clear (false).
 	Raise bool
-	// Prefix is the subject range for flap alerts; empty for drift alerts.
+	// Prefix is the subject range for flap alerts and the exporter feed
+	// key for exporter alerts; empty for drift alerts.
 	Prefix string
 	// Ingress is the subject ingress for drift alerts, and the last observed
 	// ingress for flap alerts.

@@ -8,7 +8,8 @@
 //	GET /ipd/traces?limit=&phase=                         tail the flight recorder
 //	GET /ipd/governor                                     resource-governor state + budgets
 //	GET /ipd/timeline?series=&from=&to=&format=           windowed time series (JSON or CSV)
-//	GET /ipd/alerts                                       active + recent flap/drift alerts
+//	GET /ipd/alerts                                       active + recent flap/drift/exporter alerts
+//	GET /ipd/exporters                                    per-exporter feed health + coverage
 //
 // The handlers read through a Source (core.Server implements it; cmd/ipd
 // wraps its single-threaded engine in a mutex adapter) and never mutate, so
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"ipd/internal/core"
+	"ipd/internal/exphealth"
 	"ipd/internal/flow"
 	"ipd/internal/governor"
 	"ipd/internal/journal"
@@ -54,6 +56,7 @@ type Handler struct {
 	rec *trace.Recorder     // may be nil: /ipd/traces is 404
 	gov *governor.Governor  // may be nil: /ipd/governor is 404
 	tl  *timeline.Collector // may be nil: /ipd/timeline and /ipd/alerts are 404
+	exp *exphealth.Tracker  // may be nil: /ipd/exporters is 404
 }
 
 // New builds the handler. j may be nil when no journal is attached; the
@@ -69,6 +72,7 @@ func New(src Source, j *journal.Journal) *Handler {
 	h.mux.HandleFunc("/ipd/governor", h.governor)
 	h.mux.HandleFunc("/ipd/timeline", h.timeline)
 	h.mux.HandleFunc("/ipd/alerts", h.alerts)
+	h.mux.HandleFunc("/ipd/exporters", h.exporters)
 	return h
 }
 
@@ -83,6 +87,10 @@ func (h *Handler) SetGovernor(g *governor.Governor) { h.gov = g }
 // SetTimeline attaches the timeline collector, enabling /ipd/timeline and
 // /ipd/alerts. Call during setup, before serving.
 func (h *Handler) SetTimeline(c *timeline.Collector) { h.tl = c }
+
+// SetExporterHealth attaches the exporter-health tracker, enabling
+// /ipd/exporters. Call during setup, before serving.
+func (h *Handler) SetExporterHealth(t *exphealth.Tracker) { h.exp = t }
 
 // ServeHTTP dispatches to the /ipd/* routes.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
@@ -310,6 +318,10 @@ func (h *Handler) explain(w http.ResponseWriter, r *http.Request) {
 		"verdict":      ex.Verdict,
 		"verdict_text": ex.VerdictString(),
 	}
+	if ex.Coverage != nil {
+		resp["coverage"] = ex.Coverage
+		resp["coverage_text"] = ex.Coverage.String()
+	}
 	if h.j != nil {
 		// The reason chain: every journal event that touched the matched
 		// range or one of the ancestors it was carved out of.
@@ -450,6 +462,18 @@ func (h *Handler) alerts(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, h.tl.Alerts())
+}
+
+// exporters serves GET /ipd/exporters: every exporter feed's loss, skew,
+// staleness, and coverage state plus the aggregate summary — the operator's
+// first stop when the classified map looks wrong and the question is "did
+// the network move, or did an exporter break".
+func (h *Handler) exporters(w http.ResponseWriter, _ *http.Request) {
+	if h.exp == nil {
+		writeErr(w, http.StatusNotFound, "no exporter-health tracker attached")
+		return
+	}
+	writeJSON(w, http.StatusOK, h.exp.Snapshot())
 }
 
 // traces serves GET /ipd/traces?limit=&phase=: the flight recorder's span

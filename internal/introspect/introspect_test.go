@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"ipd/internal/core"
+	"ipd/internal/exphealth"
 	"ipd/internal/flow"
 	"ipd/internal/governor"
 	"ipd/internal/journal"
@@ -479,5 +480,83 @@ func TestGovernorEndpoint(t *testing.T) {
 	b0 := budgets[0].(map[string]any)
 	if b0["name"] != "ranges" || b0["max"] != 10.0 {
 		t.Errorf("budget[0] = %v, want the ranges budget with max 10", b0)
+	}
+}
+
+// TestExportersEndpoint covers /ipd/exporters: 404 without a tracker, then
+// the per-feed health snapshot once one is attached and fed.
+func TestExportersEndpoint(t *testing.T) {
+	e, j := quadrantEngine(t)
+	h := New(e, j)
+	if code, _ := get(t, h, "/ipd/exporters"); code != http.StatusNotFound {
+		t.Errorf("exporters without attachment = %d, want 404", code)
+	}
+
+	now := time.Date(2024, 8, 4, 12, 0, 0, 0, time.UTC)
+	tr := exphealth.New(exphealth.Options{Now: func() time.Time { return now }})
+	tr.ObserveNetFlow(2, 0, 10, now, 100)
+	tr.ObserveNetFlow(2, 40, 10, now, 100) // 30-record gap: loss
+	tr.Tick(now)
+	h.SetExporterHealth(tr)
+
+	code, body := get(t, h, "/ipd/exporters")
+	if code != http.StatusOK {
+		t.Fatalf("exporters = %d, want 200 (body %v)", code, body)
+	}
+	if got := body["tracked_feeds"]; got != 1.0 {
+		t.Errorf("tracked_feeds = %v, want 1", got)
+	}
+	feeds, ok := body["exporters"].([]any)
+	if !ok || len(feeds) != 1 {
+		t.Fatalf("exporters list = %v, want one feed", body["exporters"])
+	}
+	f0 := feeds[0].(map[string]any)
+	if f0["key"] != "netflow:R2" || f0["lost_records"] != 30.0 || f0["records"] != 20.0 {
+		t.Errorf("feed = %v, want netflow:R2 with 30 lost of 20 received", f0)
+	}
+	if f0["loss_frac"].(float64) <= 0 || f0["coverage"].(float64) >= 1 {
+		t.Errorf("feed loss/coverage = %v / %v, want lossy and degraded", f0["loss_frac"], f0["coverage"])
+	}
+}
+
+// TestExplainCoverageAnnotation checks that a degraded input feed surfaces
+// in /ipd/explain as the coverage key.
+func TestExplainCoverageAnnotation(t *testing.T) {
+	j := journal.New(journal.Options{})
+	cfg := testConfig()
+	cfg.OnEvent = j.Record
+	cfg.Coverage = func(flow.Ingress) (float64, float64, bool) { return 0.4, 0.9, true }
+	e, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Date(2024, 8, 4, 12, 0, 0, 0, time.UTC)
+	for cycle := 0; cycle < 5; cycle++ {
+		for _, q := range quadrants {
+			a := netip.MustParseAddr(q.base).As4()
+			for i := 0; i < 20; i++ {
+				a[3] = byte(i)
+				e.Observe(flow.Record{Ts: ts, Src: netip.AddrFrom4(a), In: q.in, Bytes: 1200, Packets: 1})
+			}
+		}
+		ts = ts.Add(time.Minute)
+		e.AdvanceTo(ts)
+	}
+	h := New(e, j)
+
+	code, body := get(t, h, "/ipd/explain?ip=70.0.0.1")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %v", code, body)
+	}
+	cov, ok := body["coverage"].(map[string]any)
+	if !ok {
+		t.Fatalf("no coverage key in %v", body)
+	}
+	if cov["code"] != "degraded-coverage" {
+		t.Errorf("coverage code = %v", cov["code"])
+	}
+	ct, _ := body["coverage_text"].(string)
+	if !strings.Contains(ct, "coverage") {
+		t.Errorf("coverage_text = %q", ct)
 	}
 }

@@ -8,9 +8,22 @@ import (
 	"net/netip"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ipd/internal/flow"
 )
+
+// HealthObserver receives per-message transport-header accounting that the
+// record sink cannot see: the RFC 7011 sequence counter (counts data
+// records sent before this message), the export timestamp, and template
+// activity. dataRecords is the count of data records decoded from sets with
+// known templates (including per-record skips); unknownSets counts data
+// sets whose record totals are unknowable because no template matched.
+// Called once per accepted message, after exporter attribution, from the
+// receive goroutine — implementations must be fast and must not block.
+type HealthObserver interface {
+	ObserveIPFIX(router flow.RouterID, domain, seq uint32, dataRecords, templateRecords, unknownSets int, exportTime time.Time)
+}
 
 // CollectorStats counts collector activity.
 type CollectorStats struct {
@@ -35,9 +48,10 @@ type Collector struct {
 	exporters map[netip.Addr]flow.RouterID
 	caches    map[netip.Addr]*Cache
 
-	sink  func(flow.Record)
-	stats CollectorStats
-	conn  *net.UDPConn
+	sink   func(flow.Record)
+	health HealthObserver
+	stats  CollectorStats
+	conn   *net.UDPConn
 }
 
 // NewCollector returns a collector delivering records to sink.
@@ -58,6 +72,10 @@ func (c *Collector) RegisterExporter(addr netip.Addr, router flow.RouterID) {
 	defer c.mu.Unlock()
 	c.exporters[addr.Unmap()] = router
 }
+
+// SetHealth attaches a health observer fed once per accepted message.
+// Call before Serve.
+func (c *Collector) SetHealth(h HealthObserver) { c.health = h }
 
 // Stats returns the live counters.
 func (c *Collector) Stats() *CollectorStats { return &c.stats }
@@ -136,12 +154,14 @@ func (c *Collector) HandleMessage(b []byte, from netip.Addr) {
 	c.mu.Unlock()
 
 	c.stats.Messages.Add(1)
+	dataRecords, unknownSets := 0, 0
 	for _, ds := range msg.DataSets {
 		c.mu.RLock()
 		tmpl, ok := cache.Lookup(msg.DomainID, ds.TemplateID)
 		c.mu.RUnlock()
 		if !ok {
 			c.stats.UnknownTemplate.Add(1)
+			unknownSets++
 			continue
 		}
 		recs, skipped, err := DecodeRecords(msg, tmpl, ds, router)
@@ -150,9 +170,14 @@ func (c *Collector) HandleMessage(b []byte, from netip.Addr) {
 			continue
 		}
 		c.stats.SkippedRecords.Add(uint64(skipped))
+		// Skipped records still occupied sequence numbers on the exporter.
+		dataRecords += len(recs) + skipped
 		for _, rec := range recs {
 			c.sink(rec)
 			c.stats.Records.Add(1)
 		}
+	}
+	if c.health != nil {
+		c.health.ObserveIPFIX(router, msg.DomainID, msg.Sequence, dataRecords, len(msg.Templates), unknownSets, msg.ExportTime)
 	}
 }

@@ -57,7 +57,9 @@ func (mb *MessageBuilder) TemplateMessage(exportTime uint32, ts ...Template) ([]
 		}
 		body = append(body, rec...)
 	}
-	return mb.finish(exportTime, TemplateSetID, body)
+	// Template records do not advance the sequence counter (RFC 7011
+	// §3.1: Sequence Number counts exported data records only).
+	return mb.finish(exportTime, TemplateSetID, body, 0)
 }
 
 // DataMessage encodes a message carrying records under the given template.
@@ -75,10 +77,13 @@ func (mb *MessageBuilder) DataMessage(exportTime uint32, t Template, recs []flow
 		}
 		body = append(body, enc...)
 	}
-	return mb.finish(exportTime, t.ID, body)
+	return mb.finish(exportTime, t.ID, body, len(recs))
 }
 
-func (mb *MessageBuilder) finish(exportTime uint32, setID uint16, body []byte) ([]byte, error) {
+// finish frames the message. The header Sequence field carries the count
+// of data records exported before this message (RFC 7011 §3.1), so it
+// advances by dataRecords — zero for template messages — not per message.
+func (mb *MessageBuilder) finish(exportTime uint32, setID uint16, body []byte, dataRecords int) ([]byte, error) {
 	msgLen := MessageHeaderLen + SetHeaderLen + len(body)
 	if msgLen > 0xFFFF {
 		return nil, fmt.Errorf("ipfix: message too large (%d bytes)", msgLen)
@@ -92,7 +97,7 @@ func (mb *MessageBuilder) finish(exportTime uint32, setID uint16, body []byte) (
 	out = binary.BigEndian.AppendUint16(out, setID)
 	out = binary.BigEndian.AppendUint16(out, uint16(SetHeaderLen+len(body)))
 	out = append(out, body...)
-	mb.sequence++
+	mb.sequence += uint32(dataRecords)
 	return out, nil
 }
 

@@ -62,7 +62,9 @@ func TestTemplateThenDataRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m2.DomainID != 42 || m2.Sequence != 1 {
+	// The template message exported no data records, so the first data
+	// message still carries sequence 0 (RFC 7011 §3.1).
+	if m2.DomainID != 42 || m2.Sequence != 0 {
 		t.Errorf("header: domain=%d seq=%d", m2.DomainID, m2.Sequence)
 	}
 	if len(m2.DataSets) != 1 {
@@ -92,6 +94,41 @@ func TestTemplateThenDataRoundTrip(t *testing.T) {
 	}
 	if !got.Ts.Equal(want.Ts) {
 		t.Errorf("ts = %v, want %v (flowStartMilliseconds)", got.Ts, want.Ts)
+	}
+}
+
+// TestSequenceCountsDataRecords is the RFC 7011 §3.1 regression test:
+// the message header Sequence is the cumulative count of data records in
+// previous messages of the domain — template messages never advance it,
+// and data messages advance it by their record count, not by one.
+func TestSequenceCountsDataRecords(t *testing.T) {
+	mb := NewMessageBuilder(9)
+	seqOf := func(msg []byte) uint32 {
+		m, err := DecodeMessage(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Sequence
+	}
+	t1, _ := mb.TemplateMessage(exportTime, DefaultTemplateV4, DefaultTemplateV6)
+	if got := seqOf(t1); got != 0 {
+		t.Fatalf("first template message seq = %d, want 0", got)
+	}
+	d1, _ := mb.DataMessage(exportTime, DefaultTemplateV4, []flow.Record{v4Record(1), v4Record(2), v4Record(3)})
+	if got := seqOf(d1); got != 0 {
+		t.Fatalf("first data message seq = %d, want 0 (templates must not advance it)", got)
+	}
+	t2, _ := mb.TemplateMessage(exportTime, DefaultTemplateV4) // periodic re-announce
+	if got := seqOf(t2); got != 3 {
+		t.Fatalf("template message seq = %d, want 3", got)
+	}
+	d2, _ := mb.DataMessage(exportTime, DefaultTemplateV4, []flow.Record{v4Record(4), v4Record(5)})
+	if got := seqOf(d2); got != 3 {
+		t.Fatalf("second data message seq = %d, want 3 (prior data records)", got)
+	}
+	d3, _ := mb.DataMessage(exportTime, DefaultTemplateV4, []flow.Record{v4Record(6)})
+	if got := seqOf(d3); got != 5 {
+		t.Fatalf("third data message seq = %d, want 5", got)
 	}
 }
 

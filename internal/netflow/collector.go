@@ -8,9 +8,20 @@ import (
 	"net/netip"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ipd/internal/flow"
 )
+
+// HealthObserver receives per-datagram transport-header accounting that
+// the record sink cannot see: the v5 FlowSequence counter (counts the
+// flows the exporter sent before this datagram), the export timestamp,
+// and the sampling-interval field. Called once per accepted datagram,
+// after exporter attribution, from the receive goroutine —
+// implementations must be fast and must not block.
+type HealthObserver interface {
+	ObserveNetFlow(router flow.RouterID, seq uint32, records int, exportTime time.Time, sampling uint16)
+}
 
 // CollectorStats counts collector activity (all fields are cumulative and
 // safe to read concurrently).
@@ -36,8 +47,9 @@ type Collector struct {
 	portExporters map[netip.AddrPort]flow.RouterID
 	onUnknown     func(netip.Addr) (flow.RouterID, bool)
 
-	sink  func(flow.Record)
-	stats CollectorStats
+	sink   func(flow.Record)
+	health HealthObserver
+	stats  CollectorStats
 
 	conn *net.UDPConn
 }
@@ -89,6 +101,10 @@ func (c *Collector) Exporters() int {
 	defer c.mu.RUnlock()
 	return len(c.exporters) + len(c.portExporters)
 }
+
+// SetHealth attaches a health observer fed once per accepted datagram.
+// Call before Serve.
+func (c *Collector) SetHealth(h HealthObserver) { c.health = h }
 
 // Stats returns the live counters.
 func (c *Collector) Stats() *CollectorStats { return &c.stats }
@@ -182,6 +198,9 @@ func (c *Collector) HandleDatagram(b []byte, from netip.AddrPort) {
 		return
 	}
 	c.stats.Datagrams.Add(1)
+	if c.health != nil {
+		c.health.ObserveNetFlow(router, d.Header.FlowSequence, len(d.Records), d.Header.ExportTime(), d.Header.SamplingInterval)
+	}
 	for _, r := range d.Records {
 		c.sink(ToFlow(d.Header, r, router))
 		c.stats.Records.Add(1)

@@ -1,6 +1,12 @@
 package netflow
 
-import "testing"
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"ipd/internal/flow"
+)
 
 // FuzzDecode ensures the v5 decoder never panics and that decoded datagrams
 // re-encode.
@@ -16,6 +22,61 @@ func FuzzDecode(f *testing.F) {
 		}
 		if _, err := d.Encode(); err != nil {
 			t.Fatalf("decoded datagram failed to re-encode: %v", err)
+		}
+	})
+}
+
+type fuzzHealth struct {
+	calls   int
+	records int
+}
+
+func (h *fuzzHealth) ObserveNetFlow(_ flow.RouterID, _ uint32, records int, _ time.Time, _ uint16) {
+	h.calls++
+	h.records += records
+}
+
+// FuzzHandleDatagramHealth drives the full collector path — decode,
+// attribution, health-header accounting, record sinking — with arbitrary
+// bytes, seeded with sequence values at the 2^32 wrap, a restart-style
+// reset, and a reordered header. The health observer must see exactly the
+// accepted datagrams with their true record counts, and nothing may panic.
+func FuzzHandleDatagramHealth(f *testing.F) {
+	mk := func(seq uint32, n int) []byte {
+		h := sampleHeader()
+		h.FlowSequence = seq
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = sampleRecord()
+		}
+		b, _ := (&Datagram{Header: h, Records: recs}).Encode()
+		return b
+	}
+	f.Add(mk(0, 2))
+	f.Add(mk(0xFFFFFFF0, 3)) // expected-next wraps past 2^32
+	f.Add(mk(0xFFFFFFFF, 1))
+	f.Add(mk(0, 1))  // reset to zero after the above: restart shape
+	f.Add(mk(30, 2)) // backwards vs a large expected: reorder shape
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sank := 0
+		c, err := NewCollector(func(flow.Record) { sank++ })
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := netip.MustParseAddrPort("192.0.2.1:2055")
+		c.RegisterExporter(src.Addr(), 7)
+		h := &fuzzHealth{}
+		c.SetHealth(h)
+		c.HandleDatagram(data, src)
+		if got := c.Stats().Panics.Load(); got != 0 {
+			t.Fatalf("datagram path panicked %d times", got)
+		}
+		if accepted := c.Stats().Datagrams.Load(); uint64(h.calls) != accepted {
+			t.Fatalf("health saw %d datagrams, collector accepted %d", h.calls, accepted)
+		}
+		if h.records != sank {
+			t.Fatalf("health saw %d records, sink saw %d", h.records, sank)
 		}
 	})
 }

@@ -1,9 +1,11 @@
 package timeline
 
 import (
+	"math"
 	"sort"
 
 	"ipd/internal/core"
+	"ipd/internal/exphealth"
 	"ipd/internal/flow"
 )
 
@@ -39,6 +41,19 @@ type AnalyzerConfig struct {
 	DriftClearFrac float64
 	DriftHold      int
 	DriftMinShare  float64
+
+	// ExporterLossRaise is the smoothed sequence-gap loss fraction at
+	// which an exporter feed raises AlertExporterLoss (default 0.05); it
+	// clears after ExporterHold consecutive cycle ticks at or below
+	// ExporterLossClear (defaults 0.01 and 3). The same hold governs the
+	// stale and clock-skew alerts: staleness clears after ExporterHold
+	// ticks of renewed activity, skew after ExporterHold ticks within
+	// half the -skew-max limit. Raise conditions (staleness, skew
+	// excess) come pre-computed from the exphealth tracker, which owns
+	// the -exporter-stale-after/-skew-max thresholds.
+	ExporterLossRaise float64
+	ExporterLossClear float64
+	ExporterHold      int
 
 	// ConvergenceBuckets are the upper bounds of the creation-to-first-
 	// classification histogram, in cycles (default 1,2,3,5,8,13,21,34,55;
@@ -81,6 +96,15 @@ func (c *AnalyzerConfig) withDefaults() AnalyzerConfig {
 	if out.DriftMinShare <= 0 {
 		out.DriftMinShare = 0.02
 	}
+	if out.ExporterLossRaise <= 0 {
+		out.ExporterLossRaise = 0.05
+	}
+	if out.ExporterLossClear <= 0 || out.ExporterLossClear >= out.ExporterLossRaise {
+		out.ExporterLossClear = out.ExporterLossRaise / 5
+	}
+	if out.ExporterHold <= 0 {
+		out.ExporterHold = 3
+	}
 	if len(out.ConvergenceBuckets) == 0 {
 		out.ConvergenceBuckets = []float64{1, 2, 3, 5, 8, 13, 21, 34, 55}
 	}
@@ -112,6 +136,15 @@ type driftState struct {
 	lastDev   float64
 }
 
+// exporterState is one feed's alert hysteresis: three independent
+// raise/clear machines (loss, stale, skew) sharing the ExporterHold calm
+// requirement.
+type exporterState struct {
+	router                                 flow.RouterID
+	lossAlerted, staleAlerted, skewAlerted bool
+	lossCalm, staleCalm, skewCalm          int
+}
+
 // analyzer runs the three analytics. It is not safe for concurrent use; the
 // Collector serializes access under its own lock. Everything the analyzer
 // consumes is virtual-time and everything it returns is deterministically
@@ -119,9 +152,10 @@ type driftState struct {
 type analyzer struct {
 	cfg AnalyzerConfig
 
-	flaps  map[string]*flapState
-	drifts map[flow.Ingress]*driftState
-	births map[string]uint64 // prefix -> creation cycle (convergence)
+	flaps     map[string]*flapState
+	drifts    map[flow.Ingress]*driftState
+	births    map[string]uint64 // prefix -> creation cycle (convergence)
+	exporters map[string]*exporterState
 
 	// convergence histogram: counts[i] observes delta <= buckets[i];
 	// the last slot is the +Inf overflow. onConv, when set, mirrors each
@@ -143,6 +177,7 @@ func newAnalyzer(cfg AnalyzerConfig) *analyzer {
 		flaps:      make(map[string]*flapState),
 		drifts:     make(map[flow.Ingress]*driftState),
 		births:     make(map[string]uint64),
+		exporters:  make(map[string]*exporterState),
 		convCounts: make([]uint64, len(c.ConvergenceBuckets)+1),
 	}
 }
@@ -448,6 +483,87 @@ func (a *analyzer) evaluateDrift(s core.CycleSample, alerts []core.Alert) []core
 			}
 		}
 		ds.ewma += a.cfg.DriftAlpha * (ds.lastShare - ds.ewma)
+	}
+	return alerts
+}
+
+// evaluateExporters runs the exporter-health alert decisions over one
+// cycle tick's feed stats. stats arrive sorted by feed key from
+// exphealth.Tracker.Tick and are iterated in that order (each feed's
+// machines decide in the fixed order loss, stale, skew), so the emitted
+// alerts — and therefore the journal — are deterministic. Subjects are
+// feed keys carried in Alert.Prefix, with the router in Alert.Ingress.
+func (a *analyzer) evaluateExporters(stats []exphealth.CycleStat, alerts []core.Alert) []core.Alert {
+	// decide applies one raise/clear machine with the shared hold and
+	// reports the transition, advancing the calm counter afterwards so
+	// this tick's calm does not count toward its own clear.
+	decide := func(alerted *bool, calm *int, raiseNow, calmNow bool) (raise, clear bool) {
+		if !*alerted {
+			if raiseNow {
+				*alerted = true
+				*calm = 0
+				return true, false
+			}
+			return false, false
+		}
+		if calmNow && *calm+1 >= a.cfg.ExporterHold {
+			*alerted = false
+			*calm = 0
+			return false, true
+		}
+		if calmNow {
+			*calm++
+		} else {
+			*calm = 0
+		}
+		return false, false
+	}
+	for _, st := range stats {
+		es := a.exporters[st.Key]
+		if es == nil {
+			if len(a.exporters) >= a.cfg.MaxTracked {
+				continue // bounded mirror; untracked feeds never alert
+			}
+			es = &exporterState{router: st.Router}
+			a.exporters[st.Key] = es
+		}
+		subject := func(kind core.AlertKind, raise bool, r core.Reason) core.Alert {
+			return core.Alert{Kind: kind, Raise: raise, Prefix: st.Key,
+				Ingress: flow.Ingress{Router: st.Router}, Reason: r}
+		}
+
+		lossCalm := st.LossFrac <= a.cfg.ExporterLossClear
+		if raise, clear := decide(&es.lossAlerted, &es.lossCalm,
+			st.LossFrac >= a.cfg.ExporterLossRaise, lossCalm); raise {
+			alerts = append(alerts, subject(core.AlertExporterLoss, true, core.Reason{
+				Code: core.ReasonExporterLoss, Observed: st.LossFrac,
+				Threshold: a.cfg.ExporterLossRaise}))
+		} else if clear {
+			alerts = append(alerts, subject(core.AlertExporterLoss, false, core.Reason{
+				Code: core.ReasonExporterLoss, Observed: st.LossFrac,
+				Threshold: a.cfg.ExporterLossClear}))
+		}
+
+		if raise, clear := decide(&es.staleAlerted, &es.staleCalm, st.Stale, !st.Stale); raise {
+			alerts = append(alerts, subject(core.AlertExporterStale, true, core.Reason{
+				Code: core.ReasonExporterStale, Observed: st.SilentForSeconds,
+				Threshold: st.StaleAfterSeconds}))
+		} else if clear {
+			alerts = append(alerts, subject(core.AlertExporterStale, false, core.Reason{
+				Code: core.ReasonExporterStale, Observed: st.SilentForSeconds,
+				Threshold: st.StaleAfterSeconds}))
+		}
+
+		skewCalm := math.Abs(st.SkewSeconds) <= st.SkewMaxSeconds/2
+		if raise, clear := decide(&es.skewAlerted, &es.skewCalm, st.SkewExceeded, skewCalm); raise {
+			alerts = append(alerts, subject(core.AlertClockSkew, true, core.Reason{
+				Code: core.ReasonClockSkew, Observed: st.SkewSeconds,
+				Threshold: st.SkewMaxSeconds}))
+		} else if clear {
+			alerts = append(alerts, subject(core.AlertClockSkew, false, core.Reason{
+				Code: core.ReasonClockSkew, Observed: st.SkewSeconds,
+				Threshold: st.SkewMaxSeconds / 2}))
+		}
 	}
 	return alerts
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ipd/internal/core"
+	"ipd/internal/exphealth"
 	"ipd/internal/telemetry"
 )
 
@@ -89,6 +90,12 @@ type Collector struct {
 	lastCycle uint64
 	lastAt    time.Time
 
+	// health, when set, is ticked once per cycle sample on statistical
+	// time; its per-feed stats feed the ipd.exporter.* series and the
+	// exporter alert machines. Ticking here (not on wall clock) keeps the
+	// alert stream journal-replayable.
+	health *exphealth.Tracker
+
 	// contention, when set, reads the cumulative ingest-lock wait and
 	// acquisition count (core.Server.LockContention); the per-cycle delta
 	// becomes the ingest_lock_wait_seconds series. Wall-clock by nature, so
@@ -129,6 +136,16 @@ func (c *Collector) SetContention(fn func() (time.Duration, uint64)) {
 	c.contention = fn
 }
 
+// SetExporterHealth attaches the exporter-health tracker. The collector
+// becomes the tracker's cycle driver: each OnCycle calls Tick(s.At),
+// records the aggregate and per-feed series, and runs the exporter alert
+// hysteresis. Call during setup, before the engine starts cycling.
+func (c *Collector) SetExporterHealth(t *exphealth.Tracker) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.health = t
+}
+
 // RegisterMetrics exposes the collector's accounting on reg:
 // ipd_timeline_samples_total, ipd_timeline_points_total,
 // ipd_timeline_series, ipd_timeline_series_dropped_total,
@@ -153,7 +170,9 @@ func (c *Collector) RegisterMetrics(reg *telemetry.Registry) {
 		})
 	c.alertCount = map[string]*telemetry.Counter{}
 	c.alertsActive = map[string]*telemetry.Gauge{}
-	for _, kind := range []string{core.AlertFlap.String(), core.AlertDrift.String()} {
+	for _, kind := range []string{core.AlertFlap.String(), core.AlertDrift.String(),
+		core.AlertExporterLoss.String(), core.AlertExporterStale.String(),
+		core.AlertClockSkew.String()} {
 		labels := []telemetry.Label{{Name: "kind", Value: kind}}
 		c.alertCount[kind] = reg.LabeledCounter("ipd_alerts_total", labels,
 			"Alerts raised by the timeline analytics.")
@@ -236,12 +255,47 @@ func (c *Collector) OnCycle(s core.CycleSample) []core.Alert {
 		c.lastLockWait, c.lastLockAcq = wait, acq
 	}
 
+	var expStats []exphealth.CycleStat
+	if c.health != nil {
+		expStats = c.health.Tick(s.At)
+		stale, lossSum, skewMax, covMin := 0, 0.0, 0.0, 1.0
+		for _, st := range expStats {
+			if st.Stale {
+				stale++
+			}
+			lossSum += st.LossFrac
+			if abs := st.SkewSeconds; abs < 0 {
+				abs = -abs
+				if abs > skewMax {
+					skewMax = abs
+				}
+			} else if abs > skewMax {
+				skewMax = abs
+			}
+			if st.Coverage < covMin {
+				covMin = st.Coverage
+			}
+			put("exporter_loss_"+st.Key, st.LossFrac)
+			put("exporter_coverage_"+st.Key, st.Coverage)
+		}
+		put("exporters", float64(len(expStats)))
+		put("exporters_stale", float64(stale))
+		if n := len(expStats); n > 0 {
+			put("exporter_loss_frac", lossSum/float64(n))
+		} else {
+			put("exporter_loss_frac", 0)
+		}
+		put("exporter_skew_max_seconds", skewMax)
+		put("exporter_coverage_min", covMin)
+	}
+
 	if c.samples != nil {
 		c.samples.Inc()
 	}
 	c.lastCycle, c.lastAt = s.Cycle, s.At
 
 	alerts := c.an.evaluate(s)
+	alerts = c.an.evaluateExporters(expStats, alerts)
 	c.noteAlerts(alerts, s)
 	return alerts
 }

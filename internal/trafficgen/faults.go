@@ -1,0 +1,240 @@
+package trafficgen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ipd/internal/flow"
+	"ipd/internal/netflow"
+)
+
+// Window is a half-open [From, To) interval of offsets from the stream start.
+type Window struct {
+	From time.Duration
+	To   time.Duration
+}
+
+func (w Window) contains(d time.Duration) bool { return d >= w.From && d < w.To }
+
+// FaultSpec describes deterministic per-router exporter faults layered on top
+// of a generated stream. The same seed and input stream always produce the
+// same faults, so degraded scenarios replay bit-for-bit.
+//
+// Three fault classes mirror what the exphealth tracker detects:
+//
+//   - Loss drops a fraction of the router's output AFTER sequence numbers are
+//     assigned (datagram packing) or per record (trace filtering), so the
+//     receiver books a sequence gap.
+//   - Skew shifts the router's export clock; record timestamps (trace mode)
+//     or datagram headers (packer mode) carry the shifted time.
+//   - Silence suppresses all output from the router inside the window
+//     without advancing sequence numbers — the exporter looks down, and on
+//     resume no retroactive loss is booked.
+type FaultSpec struct {
+	// Seed drives the loss coin flips. Zero is a valid seed.
+	Seed uint64
+	// Loss maps routers to a drop fraction in [0, 1).
+	Loss map[flow.RouterID]float64
+	// LossWindow optionally bounds a router's loss fault; routers in Loss
+	// but absent here lose records for the whole run.
+	LossWindow map[flow.RouterID]Window
+	// Skew maps routers to an export-clock offset.
+	Skew map[flow.RouterID]time.Duration
+	// SkewWindow optionally bounds a router's skew fault; routers in Skew
+	// but absent here run fast (or slow) for the whole run.
+	SkewWindow map[flow.RouterID]Window
+	// Silence maps routers to the window during which they emit nothing.
+	Silence map[flow.RouterID]Window
+}
+
+// lossAt reports the router's drop fraction at the given stream offset.
+func (s FaultSpec) lossAt(r flow.RouterID, off time.Duration) float64 {
+	p, ok := s.Loss[r]
+	if !ok || p <= 0 {
+		return 0
+	}
+	if w, ok := s.LossWindow[r]; ok && !w.contains(off) {
+		return 0
+	}
+	return p
+}
+
+// skewAt reports the router's clock offset at the given stream offset.
+func (s FaultSpec) skewAt(r flow.RouterID, off time.Duration) time.Duration {
+	d, ok := s.Skew[r]
+	if !ok || d == 0 {
+		return 0
+	}
+	if w, ok := s.SkewWindow[r]; ok && !w.contains(off) {
+		return 0
+	}
+	return d
+}
+
+// Empty reports whether the spec injects no faults at all.
+func (s FaultSpec) Empty() bool {
+	return len(s.Loss) == 0 && len(s.Skew) == 0 && len(s.Silence) == 0
+}
+
+func (s FaultSpec) validate() error {
+	for r, p := range s.Loss {
+		if p < 0 || p >= 1 {
+			return fmt.Errorf("trafficgen: loss fraction %g for router %d outside [0, 1)", p, r)
+		}
+	}
+	for name, m := range map[string]map[flow.RouterID]Window{
+		"silence": s.Silence, "loss": s.LossWindow, "skew": s.SkewWindow,
+	} {
+		for r, w := range m {
+			if w.To <= w.From || w.From < 0 {
+				return fmt.Errorf("trafficgen: %s window %v-%v for router %d is empty or negative", name, w.From, w.To, r)
+			}
+		}
+	}
+	return nil
+}
+
+// RecordFaults returns a record-level fault filter for trace generation
+// (flowgen). The filter returns the possibly rewritten record and whether it
+// survives. It must be called in stream order: loss draws consume a seeded
+// RNG, so the same input sequence yields the same drops.
+func RecordFaults(spec FaultSpec, start time.Time) (func(flow.Record) (flow.Record, bool), error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	rng := newSplitMix(spec.Seed ^ 0x0fa117ed)
+	return func(rec flow.Record) (flow.Record, bool) {
+		off := rec.Ts.Sub(start)
+		if w, ok := spec.Silence[rec.In.Router]; ok && w.contains(off) {
+			return rec, false
+		}
+		if p := spec.lossAt(rec.In.Router, off); p > 0 && rng.float() < p {
+			return rec, false
+		}
+		if d := spec.skewAt(rec.In.Router, off); d != 0 {
+			rec.Ts = rec.Ts.Add(d)
+		}
+		return rec, true
+	}, nil
+}
+
+// V5Packer packs flow records into per-router NetFlow v5 datagrams with real
+// FlowSequence accounting and injects the spec's faults at the datagram
+// layer, the way a broken export path would:
+//
+//   - lost datagrams advance the sequence but are never emitted, so the
+//     collector books the gap;
+//   - silent windows emit nothing and do not advance the sequence;
+//   - skewed clocks shift the header export time only — record content and
+//     sequencing are untouched.
+//
+// Emission order is deterministic: datagrams flush in record-arrival order,
+// and Flush drains leftovers sorted by router.
+type V5Packer struct {
+	spec  FaultSpec
+	start time.Time
+	rng   *splitMix
+	emit  func(router flow.RouterID, payload []byte, at time.Time)
+	feeds map[flow.RouterID]*packFeed
+
+	// Emitted and Dropped count datagrams after fault injection.
+	Emitted int
+	Dropped int
+}
+
+type packFeed struct {
+	seq     uint32
+	pending []netflow.Record
+	at      time.Time
+}
+
+// NewV5Packer builds a packer that hands finished datagrams to emit.
+func NewV5Packer(spec FaultSpec, start time.Time, emit func(router flow.RouterID, payload []byte, at time.Time)) (*V5Packer, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if emit == nil {
+		return nil, fmt.Errorf("trafficgen: V5Packer needs an emit callback")
+	}
+	return &V5Packer{
+		spec:  spec,
+		start: start,
+		rng:   newSplitMix(spec.Seed ^ 0x0fa117ed),
+		emit:  emit,
+		feeds: make(map[flow.RouterID]*packFeed),
+	}, nil
+}
+
+// Add buffers one record onto its router's feed, flushing a full datagram
+// when MaxRecords accumulate. Records inside a silence window vanish.
+func (p *V5Packer) Add(rec flow.Record) error {
+	router := rec.In.Router
+	if w, ok := p.spec.Silence[router]; ok && w.contains(rec.Ts.Sub(p.start)) {
+		return nil
+	}
+	r, err := netflow.FromFlow(rec)
+	if err != nil {
+		return err
+	}
+	f := p.feeds[router]
+	if f == nil {
+		f = &packFeed{}
+		p.feeds[router] = f
+	}
+	if len(f.pending) == 0 {
+		f.at = rec.Ts
+	}
+	f.pending = append(f.pending, r)
+	if len(f.pending) >= netflow.MaxRecords {
+		return p.flush(router, f)
+	}
+	return nil
+}
+
+// Flush drains every feed's partial datagram, in router order.
+func (p *V5Packer) Flush() error {
+	routers := make([]flow.RouterID, 0, len(p.feeds))
+	for r := range p.feeds {
+		routers = append(routers, r)
+	}
+	sort.Slice(routers, func(i, j int) bool { return routers[i] < routers[j] })
+	for _, r := range routers {
+		if err := p.flush(r, p.feeds[r]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *V5Packer) flush(router flow.RouterID, f *packFeed) error {
+	n := len(f.pending)
+	if n == 0 {
+		return nil
+	}
+	off := f.at.Sub(p.start)
+	at := f.at.Add(p.spec.skewAt(router, off))
+	d := netflow.Datagram{
+		Header: netflow.Header{
+			UnixSecs:     uint32(at.Unix()),
+			UnixNsecs:    uint32(at.Nanosecond()),
+			FlowSequence: f.seq,
+		},
+		Records: f.pending,
+	}
+	b, err := d.Encode()
+	if err != nil {
+		return err
+	}
+	// The sequence advances whether or not the datagram survives: that is
+	// exactly how in-flight loss looks to the collector.
+	f.seq += uint32(n)
+	f.pending = f.pending[:0]
+	if pr := p.spec.lossAt(router, off); pr > 0 && p.rng.float() < pr {
+		p.Dropped++
+		return nil
+	}
+	p.Emitted++
+	p.emit(router, b, f.at)
+	return nil
+}

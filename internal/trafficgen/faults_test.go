@@ -1,0 +1,199 @@
+package trafficgen
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"ipd/internal/flow"
+	"ipd/internal/netflow"
+)
+
+func faultRecord(router flow.RouterID, ts time.Time, i int) flow.Record {
+	return flow.Record{
+		Ts:      ts,
+		Src:     netip.AddrFrom4([4]byte{10, byte(router), byte(i >> 8), byte(i)}),
+		In:      flow.Ingress{Router: router, Iface: 1},
+		Bytes:   500,
+		Packets: 1,
+	}
+}
+
+func TestRecordFaultsDeterministic(t *testing.T) {
+	start := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	spec := FaultSpec{
+		Seed:    7,
+		Loss:    map[flow.RouterID]float64{2: 0.3},
+		Skew:    map[flow.RouterID]time.Duration{4: 10 * time.Minute},
+		Silence: map[flow.RouterID]Window{9: {From: time.Minute, To: 3 * time.Minute}},
+	}
+	run := func() (kept, dropped int, skewed, silenced bool) {
+		filter, err := RecordFaults(spec, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := 0; m < 5; m++ {
+			ts := start.Add(time.Duration(m) * time.Minute)
+			for i := 0; i < 200; i++ {
+				for _, r := range []flow.RouterID{1, 2, 4, 9} {
+					out, ok := filter(faultRecord(r, ts, i))
+					if !ok {
+						dropped++
+						if r == 9 && m >= 1 && m < 3 {
+							silenced = true
+						}
+						if r != 2 && r != 9 {
+							t.Fatalf("router %d lost a record without a loss fault", r)
+						}
+						continue
+					}
+					kept++
+					if r == 4 {
+						if out.Ts.Sub(ts) != 10*time.Minute {
+							t.Fatalf("router 4 record not skewed: %v", out.Ts)
+						}
+						skewed = true
+					} else if !out.Ts.Equal(ts) {
+						t.Fatalf("router %d timestamp rewritten without a skew fault", r)
+					}
+				}
+			}
+		}
+		return
+	}
+	k1, d1, skewed, silenced := run()
+	k2, d2, _, _ := run()
+	if k1 != k2 || d1 != d2 {
+		t.Fatalf("fault filter not deterministic: %d/%d vs %d/%d", k1, d1, k2, d2)
+	}
+	if !skewed || !silenced {
+		t.Fatalf("faults not exercised: skewed=%v silenced=%v", skewed, silenced)
+	}
+	// Router 2 loses roughly 30% of 1000 records; routers 9 silences 2 of 5
+	// minutes (400 records). Everything else survives.
+	lossDrops := d1 - 400
+	if lossDrops < 200 || lossDrops > 400 {
+		t.Fatalf("router 2 dropped %d of 1000 records, want ~300", lossDrops)
+	}
+}
+
+func TestRecordFaultsValidation(t *testing.T) {
+	if _, err := RecordFaults(FaultSpec{Loss: map[flow.RouterID]float64{1: 1.5}}, time.Time{}); err == nil {
+		t.Fatal("loss fraction 1.5 accepted")
+	}
+	if _, err := RecordFaults(FaultSpec{Silence: map[flow.RouterID]Window{1: {From: time.Minute, To: time.Minute}}}, time.Time{}); err == nil {
+		t.Fatal("empty silence window accepted")
+	}
+}
+
+func TestV5PackerFaults(t *testing.T) {
+	start := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	spec := FaultSpec{
+		Seed:    11,
+		Loss:    map[flow.RouterID]float64{2: 0.5},
+		Skew:    map[flow.RouterID]time.Duration{4: 10 * time.Minute},
+		Silence: map[flow.RouterID]Window{9: {From: 0, To: time.Hour}},
+	}
+	type dg struct {
+		router flow.RouterID
+		d      *netflow.Datagram
+	}
+	var got []dg
+	p, err := NewV5Packer(spec, start, func(r flow.RouterID, b []byte, _ time.Time) {
+		d, err := netflow.Decode(b)
+		if err != nil {
+			t.Fatalf("packer emitted an undecodable datagram: %v", err)
+		}
+		got = append(got, dg{r, d})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 10; m++ {
+		ts := start.Add(time.Duration(m) * time.Minute)
+		for i := 0; i < 60; i++ {
+			for _, r := range []flow.RouterID{1, 2, 4, 9} {
+				if err := p.Add(faultRecord(r, ts, i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	perRouter := map[flow.RouterID][]*netflow.Datagram{}
+	for _, g := range got {
+		perRouter[g.router] = append(perRouter[g.router], g.d)
+	}
+	if len(perRouter[9]) != 0 {
+		t.Fatalf("silent router 9 emitted %d datagrams", len(perRouter[9]))
+	}
+	// Router 1 is clean: 600 records = 20 full datagrams, contiguous sequence.
+	r1 := perRouter[1]
+	if len(r1) != 20 {
+		t.Fatalf("router 1 emitted %d datagrams, want 20", len(r1))
+	}
+	next := uint32(0)
+	for _, d := range r1 {
+		if d.Header.FlowSequence != next {
+			t.Fatalf("router 1 sequence %d, want contiguous %d", d.Header.FlowSequence, next)
+		}
+		next += uint32(len(d.Records))
+	}
+	// Router 2 loses ~half its datagrams but the survivors' sequences still
+	// account for every packed record: gaps are visible, records are not
+	// resequenced.
+	r2 := perRouter[2]
+	if len(r2) < 4 || len(r2) > 16 {
+		t.Fatalf("router 2 emitted %d of 20 datagrams, want roughly half", len(r2))
+	}
+	gapSeen := false
+	next = 0
+	for _, d := range r2 {
+		if d.Header.FlowSequence > next {
+			gapSeen = true
+		} else if d.Header.FlowSequence < next {
+			t.Fatalf("router 2 sequence went backwards: %d after %d", d.Header.FlowSequence, next)
+		}
+		next = d.Header.FlowSequence + uint32(len(d.Records))
+	}
+	if !gapSeen {
+		t.Fatal("router 2 emitted no sequence gap despite datagram loss")
+	}
+	// Router 4's header clock runs 10 minutes fast.
+	for _, d := range perRouter[4] {
+		et := d.Header.ExportTime()
+		if et.Before(start.Add(10 * time.Minute)) {
+			t.Fatalf("router 4 export time %v not skewed forward", et)
+		}
+	}
+	if p.Dropped == 0 || p.Emitted != len(got) {
+		t.Fatalf("counters emitted=%d dropped=%d, got %d datagrams", p.Emitted, p.Dropped, len(got))
+	}
+
+	// Determinism: a second identical run drops the same datagrams.
+	var got2 int
+	p2, err := NewV5Packer(spec, start, func(flow.RouterID, []byte, time.Time) { got2++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 10; m++ {
+		ts := start.Add(time.Duration(m) * time.Minute)
+		for i := 0; i < 60; i++ {
+			for _, r := range []flow.RouterID{1, 2, 4, 9} {
+				if err := p2.Add(faultRecord(r, ts, i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := p2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got2 != len(got) || p2.Dropped != p.Dropped {
+		t.Fatalf("packer not deterministic: %d/%d vs %d/%d emitted/dropped",
+			got2, p2.Dropped, len(got), p.Dropped)
+	}
+}

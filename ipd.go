@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"ipd/internal/core"
+	"ipd/internal/exphealth"
 	"ipd/internal/export"
 	"ipd/internal/flow"
 	"ipd/internal/governor"
@@ -92,7 +93,8 @@ type (
 	// Alert is one analytics decision returned by Config.OnCycle; the
 	// engine journals each as an alert lifecycle event.
 	Alert = core.Alert
-	// AlertKind enumerates the analytics alerts (flap, drift).
+	// AlertKind enumerates the analytics alerts (flap, drift, exporter
+	// loss/stale/skew).
 	AlertKind = core.AlertKind
 )
 
@@ -114,8 +116,11 @@ const (
 
 // Alert kinds (the timeline analytics).
 const (
-	AlertFlap  = core.AlertFlap
-	AlertDrift = core.AlertDrift
+	AlertFlap          = core.AlertFlap
+	AlertDrift         = core.AlertDrift
+	AlertExporterLoss  = core.AlertExporterLoss
+	AlertExporterStale = core.AlertExporterStale
+	AlertClockSkew     = core.AlertClockSkew
 )
 
 // Reason codes (which threshold comparison decided an event).
@@ -134,6 +139,10 @@ const (
 	ReasonPanicRecovered   = core.ReasonPanicRecovered
 	ReasonFlapRate         = core.ReasonFlapRate
 	ReasonShareDrift       = core.ReasonShareDrift
+	ReasonDegradedCoverage = core.ReasonDegradedCoverage
+	ReasonExporterLoss     = core.ReasonExporterLoss
+	ReasonExporterStale    = core.ReasonExporterStale
+	ReasonClockSkew        = core.ReasonClockSkew
 )
 
 // Resource-governor types. A Governor tracks live resource budgets (active
@@ -226,6 +235,43 @@ type (
 // store.
 func NewTimelineCollector(opts TimelineOptions) *TimelineCollector {
 	return timeline.NewCollector(opts)
+}
+
+// Exporter-health types. An ExporterHealth tracker accounts every decoded
+// NetFlow datagram and IPFIX message per exporter feed — sequence-gap loss
+// (with 32-bit wraparound, reordering, and restart detection), export-clock
+// skew, record-rate drift, template churn — and folds them into a per-feed
+// coverage score at each stage-2 cycle tick. Wire the collectors via their
+// SetHealth methods, the engine via Config.Coverage =
+// t.IngressCoverage (classifications made over a degraded feed carry a
+// ReasonDegradedCoverage annotation), the timeline via
+// TimelineCollector.SetExporterHealth (which drives the cycle ticks and the
+// exporter-loss/stale/clock-skew alerts), and the introspection surface via
+// IntrospectHandler.SetExporterHealth (/ipd/exporters).
+type (
+	// ExporterHealth is the per-exporter feed health tracker.
+	ExporterHealth = exphealth.Tracker
+	// ExporterHealthOptions parameterizes the tracker (stale-after, skew
+	// limit, coverage floor, EWMA alphas, sequence tolerances).
+	ExporterHealthOptions = exphealth.Options
+	// ExporterKey identifies one feed (protocol, router, IPFIX domain).
+	ExporterKey = exphealth.Key
+	// ExporterCycleStat is one feed's per-cycle fold (loss fraction, rate
+	// drift, skew, staleness, coverage).
+	ExporterCycleStat = exphealth.CycleStat
+	// ExporterSnapshot is the /ipd/exporters response body.
+	ExporterSnapshot = exphealth.Snapshot
+	// ExporterFeedSnapshot is one feed inside an ExporterSnapshot.
+	ExporterFeedSnapshot = exphealth.FeedSnapshot
+	// ExporterSummary holds the headline feed totals for /stats blocks.
+	ExporterSummary = exphealth.Summary
+)
+
+// NewExporterHealth returns an exporter-health tracker with opts' zero
+// values replaced by the documented defaults (3m stale-after, 5m skew limit,
+// 0.9 coverage floor).
+func NewExporterHealth(opts ExporterHealthOptions) *ExporterHealth {
+	return exphealth.New(opts)
 }
 
 // Pipeline-tracing types. A Tracer threads low-overhead spans through the
@@ -425,6 +471,15 @@ type (
 	SimGenConfig = trafficgen.GenConfig
 	// SimAS is one synthetic neighbor AS.
 	SimAS = trafficgen.AS
+	// SimFaultSpec describes deterministic per-router exporter faults
+	// (datagram loss, clock skew, silent windows) layered on a generated
+	// stream; pair with NewExporterHealth to exercise the detectors.
+	SimFaultSpec = trafficgen.FaultSpec
+	// SimFaultWindow is a half-open [From, To) offset interval.
+	SimFaultWindow = trafficgen.Window
+	// SimV5Packer packs generated records into NetFlow v5 datagrams with
+	// sequence-accurate fault injection.
+	SimV5Packer = trafficgen.V5Packer
 )
 
 // DefaultConfig returns the paper's deployment parameterization (Table 1):
@@ -467,6 +522,19 @@ func NewSimScenario(spec SimSpec) (*SimScenario, error) {
 
 // DefaultSimGenConfig returns generation defaults suitable for examples.
 func DefaultSimGenConfig() SimGenConfig { return trafficgen.DefaultGenConfig() }
+
+// NewSimRecordFaults returns a record-level fault filter for trace
+// generation; see trafficgen.RecordFaults.
+func NewSimRecordFaults(spec SimFaultSpec, start time.Time) (func(Record) (Record, bool), error) {
+	return trafficgen.RecordFaults(spec, start)
+}
+
+// NewSimV5Packer builds a datagram-level fault injector; see
+// trafficgen.NewV5Packer.
+func NewSimV5Packer(spec SimFaultSpec, start time.Time,
+	emit func(router RouterID, payload []byte, at time.Time)) (*SimV5Packer, error) {
+	return trafficgen.NewV5Packer(spec, start, emit)
+}
 
 // WriteOutputSnapshot writes mapped ranges in the Appendix-B raw trace
 // format; label may be nil (plain "Rr.i" labels) or Topology.Label for
