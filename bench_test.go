@@ -441,6 +441,30 @@ func BenchmarkObserveExporterHealth(b *testing.B) {
 	b.ReportMetric(float64(eng.RangeCount()), "ranges")
 }
 
+// BenchmarkObserveWorkload is BenchmarkObserve with the always-on workload
+// profiler attached: every record pays one atomic counter add, and one in
+// SampleN (default 16) additionally takes the profiler lock for the
+// heavy-hitter and shard-table update. The acceptance gate is staying
+// within 3% of BenchmarkObserve measured in the same session.
+func BenchmarkObserveWorkload(b *testing.B) {
+	records := benchRecords(b, 500_000)
+	cfg := ipd.DefaultConfig()
+	cfg.NCidrFactor4 = 0.01
+	cfg.NCidrFloor = 4
+	wl := ipd.NewWorkloadProfiler(ipd.WorkloadOptions{})
+	eng, err := ipd.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := records[i%len(records)]
+		wl.ObserveRecord(rec)
+		eng.Observe(rec)
+	}
+	b.ReportMetric(float64(eng.RangeCount()), "ranges")
+}
+
 // BenchmarkEngineEndToEnd measures stage 1 + stage 2 over a continuous
 // stream (cycles included).
 func BenchmarkEngineEndToEnd(b *testing.B) {

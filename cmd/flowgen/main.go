@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/netip"
 	"os"
 	"strconv"
 	"strings"
@@ -41,6 +42,9 @@ func main() {
 		startAt = flag.Duration("offset", 0, "virtual offset into the scenario (e.g. 200h)")
 		diurnal = flag.Bool("diurnal", true, "apply the diurnal volume pattern")
 
+		hotFraction = flag.Float64("hot-fraction", 0, "fraction of flows sourced from the hot prefix (0 disables)")
+		hotPrefix   = flag.String("hot-prefix", "", "elephant source aggregate (default: first /24 of the first AS)")
+
 		faultSeed    = flag.Uint64("fault-seed", 1, "seed for fault coin flips")
 		faultLoss    = flag.String("fault-loss", "", "per-router record loss, e.g. 2:0.3,7:0.1")
 		faultSkew    = flag.String("fault-skew", "", "per-router export-clock skew, e.g. 4:10m")
@@ -53,7 +57,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "flowgen:", err)
 		os.Exit(1)
 	}
-	if err := run(*minutes, *rate, *seed, *noise, *format, *out, *startAt, *diurnal, faults); err != nil {
+	if err := run(*minutes, *rate, *seed, *noise, *format, *out, *startAt, *diurnal, *hotPrefix, *hotFraction, faults); err != nil {
 		fmt.Fprintln(os.Stderr, "flowgen:", err)
 		os.Exit(1)
 	}
@@ -131,7 +135,7 @@ func parseFaults(seed uint64, loss, skew, silence string) (ipd.SimFaultSpec, err
 	return spec, nil
 }
 
-func run(minutes, rate int, seed int64, noise float64, format, out string, offset time.Duration, diurnal bool, faults ipd.SimFaultSpec) error {
+func run(minutes, rate int, seed int64, noise float64, format, out string, offset time.Duration, diurnal bool, hotPrefix string, hotFraction float64, faults ipd.SimFaultSpec) error {
 	spec := ipd.DefaultSimSpec()
 	spec.Seed = seed
 	scn, err := ipd.NewSimScenario(spec)
@@ -153,6 +157,14 @@ func run(minutes, rate int, seed int64, noise float64, format, out string, offse
 		NoiseFraction:  noise,
 		Seed:           seed,
 		Diurnal:        diurnal,
+		HotFraction:    hotFraction,
+	}
+	if hotPrefix != "" {
+		p, err := netip.ParsePrefix(hotPrefix)
+		if err != nil {
+			return fmt.Errorf("bad -hot-prefix: %w", err)
+		}
+		cfg.HotPrefix = p
 	}
 	start := scn.Start.Add(offset)
 	end := start.Add(time.Duration(minutes) * time.Minute)

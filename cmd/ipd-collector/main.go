@@ -107,6 +107,8 @@ func main() {
 		tlWindow   = flag.Int("timeline-window", 512, "per-series timeline ring window in cycles; older points are downsampled into coarser tiers (0 disables the timeline)")
 		tlEvery    = flag.Int("timeline-every", 1, "sample the timeline every N stage-2 cycles")
 		staleAfter = flag.Duration("exporter-stale-after", 3*time.Minute, "raise AlertExporterStale once an exporter feed has been silent this long (statistical time)")
+		wlTopK     = flag.Int("workload-topk", 32, "workload profiler heavy-hitter capacity (top-K /24 or /48 aggregates)")
+		wlDepth    = flag.Int("workload-maxdepth", 10, "deepest candidate shard depth simulated by the workload profiler (2..10)")
 		skewMax    = flag.Duration("skew-max", 5*time.Minute, "raise AlertClockSkew once an exporter's export clock drifts this far from the collector clock")
 		mutexProf  = flag.Int("mutexprofile", 0, "runtime mutex/block profiling fraction for /debug/pprof/{mutex,block} (0 disables)")
 	)
@@ -117,6 +119,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := validateFlags(*ckptEvery, *traceSmpl, *queueCap, *maxRanges, *memBudget, *sampleN, *boostN, *tlWindow, *tlEvery, *mutexProf); err != nil {
+		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
+		os.Exit(2)
+	}
+	if err := validateWorkloadFlags(*wlTopK, *wlDepth); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(2)
 	}
@@ -132,7 +138,8 @@ func main() {
 	gf := govFlags{enabled: *govern, maxRanges: *maxRanges, memBudget: *memBudget, sampleN: *sampleN, boostN: *boostN}
 	tl := timelineFlags{window: *tlWindow, every: *tlEvery}
 	ef := exporterFlags{staleAfter: *staleAfter, skewMax: *skewMax}
-	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q, logger, *journalOut, *journalCap, *traceCap, *traceSmpl, *queueCap, cf, gf, tl, ef); err != nil {
+	wf := workloadFlags{topK: *wlTopK, maxDepth: *wlDepth}
+	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q, logger, *journalOut, *journalCap, *traceCap, *traceSmpl, *queueCap, cf, gf, tl, ef, wf); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(1)
 	}
@@ -188,6 +195,24 @@ func validateExporterFlags(staleAfter, skewMax time.Duration) error {
 		return fmt.Errorf("-skew-max must be positive (got %v)", skewMax)
 	}
 	return nil
+}
+
+// validateWorkloadFlags rejects workload-profiler parameters outside the
+// fixed-memory envelope the profiler is designed for.
+func validateWorkloadFlags(topK, maxDepth int) error {
+	if topK < 2 {
+		return fmt.Errorf("-workload-topk must be >= 2 (got %d)", topK)
+	}
+	if maxDepth < 2 || maxDepth > 10 {
+		return fmt.Errorf("-workload-maxdepth must be in 2..10 (got %d)", maxDepth)
+	}
+	return nil
+}
+
+// workloadFlags carries the workload-profiler flag values into run.
+type workloadFlags struct {
+	topK     int
+	maxDepth int
 }
 
 // exporterFlags carries the exporter-health flag values into run.
@@ -266,7 +291,7 @@ func newLogger(level string) (*slog.Logger, error) {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }
 
-func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64, logger *slog.Logger, journalOut string, journalCap, traceCap, traceSample, queueCap int, cf ckptFlags, gf govFlags, tl timelineFlags, ef exporterFlags) error {
+func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64, logger *slog.Logger, journalOut string, journalCap, traceCap, traceSample, queueCap int, cf ckptFlags, gf govFlags, tl timelineFlags, ef exporterFlags, wf workloadFlags) error {
 	cfg := ipd.DefaultConfig()
 	cfg.NCidrFactor4 = factor4
 	cfg.NCidrFloor = floor
@@ -349,6 +374,18 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 	})
 	cfg.Coverage = health.IngressCoverage
 
+	// The workload profiler measures what the scale designs need to know —
+	// heavy-hitter aggregates, shard balance per candidate depth, drain-
+	// batch locality, end-to-end latency — always on, in fixed memory. It
+	// is fed the drained record batches (Server.SetWorkload below) and
+	// ticked per cycle by the timeline collector; export-to-ingest latency
+	// is corrected by the health tracker's per-router skew estimate.
+	wl := ipd.NewWorkloadProfiler(ipd.WorkloadOptions{
+		TopK:     wf.topK,
+		MaxDepth: wf.maxDepth,
+		Skew:     health.RouterSkew,
+	})
+
 	// The timeline collector turns the end-of-cycle samples and the journal
 	// event stream into longitudinal series plus flap/drift/convergence
 	// analytics, served at /ipd/timeline and /ipd/alerts. It also drives
@@ -357,6 +394,7 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 	if tl.window > 0 {
 		tlColl = ipd.NewTimelineCollector(ipd.TimelineOptions{Window: tl.window})
 		tlColl.SetExporterHealth(health)
+		tlColl.SetWorkload(wl)
 		cfg.OnEvent = func(ev ipd.Event) {
 			j.Record(ev)
 			tlColl.ObserveEvent(ev)
@@ -369,6 +407,7 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 		// engine's coverage annotations (no alerts without the analyzer).
 		cfg.OnCycle = func(s ipd.CycleSample) []ipd.Alert {
 			health.Tick(s.At)
+			wl.TickCycle(s.Cycle, s.At)
 			return nil
 		}
 	}
@@ -377,9 +416,11 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 	if err != nil {
 		return err
 	}
+	srv.SetWorkload(wl.ObserveBatch)
 	j.RegisterMetrics(srv.Telemetry())
 	queue.RegisterMetrics(srv.Telemetry())
 	health.RegisterMetrics(srv.Telemetry())
+	wl.RegisterMetrics(srv.Telemetry())
 	if tlColl != nil {
 		tlColl.RegisterMetrics(srv.Telemetry())
 		// The ingest-lock contention series (lock wait, batch count) is the
@@ -517,6 +558,7 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 			ih.SetTimeline(tlColl)
 		}
 		ih.SetExporterHealth(health)
+		ih.SetWorkload(wl)
 		mux.Handle("/ipd/", ih)
 		mux.HandleFunc("/ranges", func(w http.ResponseWriter, _ *http.Request) {
 			mapped := srv.Mapped()

@@ -116,9 +116,11 @@ func main() {
 		staleAfter = flag.Duration("exporter-stale-after", 3*time.Minute, "flag a router's feed stale once it has been silent this long (statistical time)")
 		skewMax    = flag.Duration("skew-max", 5*time.Minute, "export-clock skew limit for the exporter-health coverage score")
 		mutexProf  = flag.Int("mutexprofile", 0, "runtime mutex/block profiling fraction for /debug/pprof/{mutex,block} (0 disables)")
+		wlTopK     = flag.Int("workload-topk", 32, "workload profiler heavy-hitter capacity (top-K /24 or /48 aggregates)")
+		wlDepth    = flag.Int("workload-maxdepth", 10, "deepest candidate shard depth simulated by the workload profiler (2..10)")
 	)
 	flag.Parse()
-	if err := validateFlags(*ckptEvery, *traceSmpl, *maxRanges, *memBudget, *tlWindow, *tlEvery, *mutexProf, *staleAfter, *skewMax); err != nil {
+	if err := validateFlags(*ckptEvery, *traceSmpl, *maxRanges, *memBudget, *tlWindow, *tlEvery, *mutexProf, *staleAfter, *skewMax, *wlTopK, *wlDepth); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd:", err)
 		os.Exit(2)
 	}
@@ -149,7 +151,8 @@ func main() {
 	gf := govFlags{enabled: *govern, maxRanges: *maxRanges, memBudget: *memBudget}
 	tl := timelineFlags{window: *tlWindow, every: *tlEvery}
 	ef := exporterFlags{staleAfter: *staleAfter, skewMax: *skewMax}
-	if err := run(*in, *format, cfg, *bin, *summary, *debugHTTP, *journalOut, *journalCap, *explainIPs, tf, cf, gf, tl, ef); err != nil {
+	wf := workloadFlags{topK: *wlTopK, maxDepth: *wlDepth}
+	if err := run(*in, *format, cfg, *bin, *summary, *debugHTTP, *journalOut, *journalCap, *explainIPs, tf, cf, gf, tl, ef, wf); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd:", err)
 		os.Exit(1)
 	}
@@ -159,7 +162,7 @@ func main() {
 // (a checkpoint cadence of 0 became 1, a non-positive trace sample rate
 // traced nothing): a typo like -checkpoint-every 0 now fails loudly instead
 // of checkpointing on every cycle.
-func validateFlags(ckptEvery uint64, traceSample, maxRanges int, memBudget int64, tlWindow, tlEvery, mutexProf int, staleAfter, skewMax time.Duration) error {
+func validateFlags(ckptEvery uint64, traceSample, maxRanges int, memBudget int64, tlWindow, tlEvery, mutexProf int, staleAfter, skewMax time.Duration, wlTopK, wlMaxDepth int) error {
 	if ckptEvery < 1 {
 		return fmt.Errorf("-checkpoint-every must be >= 1 (got %d)", ckptEvery)
 	}
@@ -190,7 +193,19 @@ func validateFlags(ckptEvery uint64, traceSample, maxRanges int, memBudget int64
 	if skewMax <= 0 {
 		return fmt.Errorf("-skew-max must be positive (got %v)", skewMax)
 	}
+	if wlTopK < 2 {
+		return fmt.Errorf("-workload-topk must be >= 2 (got %d)", wlTopK)
+	}
+	if wlMaxDepth < 2 || wlMaxDepth > 10 {
+		return fmt.Errorf("-workload-maxdepth must be in 2..10 (got %d)", wlMaxDepth)
+	}
 	return nil
+}
+
+// workloadFlags carries the workload-profiler flag values into run.
+type workloadFlags struct {
+	topK     int // heavy-hitter table capacity
+	maxDepth int // deepest candidate shard depth simulated
 }
 
 func config(f4, f6, floor, q float64, cm4, cm6 int, t, e time.Duration, bytesCnt bool) ipd.Config {
@@ -359,7 +374,7 @@ func serveDebug(addr string, reg *ipd.TelemetryRegistry, introspect http.Handler
 	fmt.Fprintf(os.Stderr, "ipd: debug endpoints on http://%s\n", addr)
 }
 
-func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, debugHTTP, journalOut string, journalCap int, explainIPs string, tf traceFlags, cf ckptFlags, gf govFlags, tl timelineFlags, ef exporterFlags) error {
+func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, debugHTTP, journalOut string, journalCap int, explainIPs string, tf traceFlags, cf ckptFlags, gf govFlags, tl timelineFlags, ef exporterFlags, wf workloadFlags) error {
 	var r io.Reader = os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -406,6 +421,17 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 	})
 	cfg.Coverage = health.IngressCoverage
 
+	// The workload profiler samples the record stream for heavy-hitter /24
+	// (v6 /48) aggregates, simulated shard balance, and batch locality
+	// (served at /ipd/workload with -debug-http). On an offline trace the
+	// ingest-latency histogram measures file age rather than pipeline lag;
+	// the aggregate and shard views are what matter here.
+	wl := ipd.NewWorkloadProfiler(ipd.WorkloadOptions{
+		TopK:     wf.topK,
+		MaxDepth: wf.maxDepth,
+		Skew:     health.RouterSkew,
+	})
+
 	// The timeline collector turns the end-of-cycle samples and the journal
 	// event stream into longitudinal series plus flap/drift/convergence
 	// analytics (served at /ipd/timeline and /ipd/alerts with -debug-http).
@@ -414,6 +440,7 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 	if tl.window > 0 {
 		tlColl = ipd.NewTimelineCollector(ipd.TimelineOptions{Window: tl.window})
 		tlColl.SetExporterHealth(health)
+		tlColl.SetWorkload(wl)
 		cfg.OnEvent = func(ev ipd.Event) {
 			j.Record(ev)
 			tlColl.ObserveEvent(ev)
@@ -421,10 +448,12 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 		cfg.OnCycle = tlColl.OnCycle
 		cfg.OnCycleEvery = tl.every
 	} else {
-		// No timeline: still tick the tracker on statistical time so
-		// staleness and coverage stay live (no alerts without the analyzer).
+		// No timeline: still tick the tracker and profiler on statistical
+		// time so staleness, coverage, and the workload window stay live
+		// (no alerts without the analyzer).
 		cfg.OnCycle = func(s ipd.CycleSample) []ipd.Alert {
 			health.Tick(s.At)
+			wl.TickCycle(s.Cycle, s.At)
 			return nil
 		}
 	}
@@ -457,6 +486,7 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 		tlColl.RegisterMetrics(eng.Telemetry())
 	}
 	health.RegisterMetrics(eng.Telemetry())
+	wl.RegisterMetrics(eng.Telemetry())
 	flowMetrics := ipd.NewFlowMetrics(eng.Telemetry())
 	locked := &lockedEngine{eng: eng}
 
@@ -532,6 +562,7 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 			ih.SetTimeline(tlColl)
 		}
 		ih.SetExporterHealth(health)
+		ih.SetWorkload(wl)
 		serveDebug(debugHTTP, eng.Telemetry(), ih, wd)
 	}
 	out := bufio.NewWriter(os.Stdout)
@@ -572,6 +603,7 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 			nextBin = nextBin.Add(bin)
 		}
 		health.ObserveRecord(rec.In.Router)
+		wl.ObserveRecord(rec)
 		eng.Feed(rec)
 		return nil
 	}

@@ -179,6 +179,11 @@ const (
 	// collector clock beyond -skew-max (clock-skew alert), or returned
 	// within half the limit long enough (clear).
 	ReasonClockSkew
+	// ReasonHotPrefix : one /24 (IPv6 /48) aggregate's share of the
+	// profiled per-cycle traffic crossed the hot-prefix raise threshold
+	// (hot-prefix alert), or stayed below the clear threshold long enough
+	// (clear).
+	ReasonHotPrefix
 )
 
 func (c ReasonCode) String() string {
@@ -219,6 +224,8 @@ func (c ReasonCode) String() string {
 		return "exporter-stale"
 	case ReasonClockSkew:
 		return "clock-skew"
+	case ReasonHotPrefix:
+		return "hot-prefix"
 	}
 	return fmt.Sprintf("ReasonCode(%d)", uint8(c))
 }
@@ -233,7 +240,8 @@ func (c *ReasonCode) UnmarshalText(b []byte) error {
 		ReasonSiblingsAgree, ReasonEmptyIdle, ReasonOverBudget,
 		ReasonBudgetRecovered, ReasonForcedCompaction, ReasonPanicRecovered,
 		ReasonFlapRate, ReasonShareDrift, ReasonDegradedCoverage,
-		ReasonExporterLoss, ReasonExporterStale, ReasonClockSkew} {
+		ReasonExporterLoss, ReasonExporterStale, ReasonClockSkew,
+		ReasonHotPrefix} {
 		if string(b) == r.String() {
 			*c = r
 			return nil
@@ -313,6 +321,9 @@ func (r Reason) String() string {
 	case ReasonClockSkew:
 		return fmt.Sprintf("clock-skew: export clock %.0fs from collector clock (limit %.0fs)",
 			r.Observed, r.Threshold)
+	case ReasonHotPrefix:
+		return fmt.Sprintf("hot-prefix: aggregate share %.3f of profiled traffic (threshold %.3f, %.0f records >= min %.0f)",
+			r.Observed, r.Threshold, r.Samples, r.MinSamples)
 	}
 	return r.Code.String()
 }

@@ -31,6 +31,12 @@ const (
 	// AlertClockSkew : an exporter's export timestamps drifted from the
 	// collector clock beyond -skew-max. Subject is an exporter feed key.
 	AlertClockSkew
+	// AlertHotPrefix : one /24 (IPv6 /48) aggregate carries a share of the
+	// profiled traffic above the hot-prefix threshold — an elephant prefix
+	// that would dominate whatever shard it lands on. Subject is the
+	// aggregate prefix, carried in Prefix; Ingress is the aggregate's
+	// dominant ingress.
+	AlertHotPrefix
 )
 
 func (k AlertKind) String() string {
@@ -45,6 +51,8 @@ func (k AlertKind) String() string {
 		return "exporter-stale"
 	case AlertClockSkew:
 		return "clock-skew"
+	case AlertHotPrefix:
+		return "hot-prefix"
 	}
 	return "unknown"
 }

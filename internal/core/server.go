@@ -42,6 +42,12 @@ type Server struct {
 	ckptEvery  uint64
 	ckptCycles uint64 // cycle count at the last checkpoint
 
+	// workload, when non-nil, receives every drained record batch before it
+	// enters the ingest lock — the collector-drain feed of the workload
+	// profiler. The observer is internally synchronized and must not call
+	// back into the server.
+	workload func(batch []flow.Record)
+
 	// lockWaitNanos accumulates how long ingestBatch waited to acquire mu;
 	// lockAcquisitions counts the acquisitions. Together they are the
 	// ingest-lock contention signal the timeline records (the measurement
@@ -97,6 +103,13 @@ func (s *Server) SetCheckpoint(mgr *persist.Manager, everyCycles uint64) {
 	s.ckptCycles = s.eng.Cycles()
 }
 
+// SetWorkload attaches a workload observer fed each drained record batch
+// (workload.Profiler.ObserveBatch). The batches are exactly the runBatch-
+// bounded drains of the Run loop, so batch-locality stats measure the real
+// drain granularity. Runs outside the ingest lock. Call during setup,
+// before Run.
+func (s *Server) SetWorkload(fn func(batch []flow.Record)) { s.workload = fn }
+
 // maybeCheckpoint writes a checkpoint when the configured cycle interval
 // has elapsed (or unconditionally when force is set, for shutdown). Called
 // from the Run loops only, between batches and off the ingest lock.
@@ -128,6 +141,9 @@ func (s *Server) ingestBucket(b stattime.Bucket) {
 // acquisition blocked. The two clock reads per batch (not per record) are
 // noise next to the 512-record batch body.
 func (s *Server) ingestBatch(batch []flow.Record) {
+	if s.workload != nil {
+		s.workload(batch)
+	}
 	t0 := time.Now()
 	s.mu.Lock()
 	s.lockWaitNanos.Add(int64(time.Since(t0)))

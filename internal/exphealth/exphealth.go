@@ -252,6 +252,11 @@ type Tracker struct {
 	// for the engine's classify-time reads.
 	cov atomic.Pointer[map[flow.RouterID]float64]
 
+	// skews is last Tick's per-router skew roll-up (the worst |skew| feed's
+	// smoothed exporter-minus-collector seconds), swapped atomically for the
+	// workload profiler's latency correction reads.
+	skews atomic.Pointer[map[flow.RouterID]float64]
+
 	ticked    bool
 	lastTick  time.Time
 	aggStale  int64
@@ -440,6 +445,7 @@ func (t *Tracker) Tick(at time.Time) []CycleStat {
 	t.lastTick = at
 	stats := make([]CycleStat, 0, len(t.order))
 	cov := make(map[flow.RouterID]float64, len(t.order))
+	skews := make(map[flow.RouterID]float64, len(t.order))
 	var stale int64
 	maxSkew, covMin := 0.0, 1.0
 	for _, fs := range t.order {
@@ -447,6 +453,9 @@ func (t *Tracker) Tick(at time.Time) []CycleStat {
 		stats = append(stats, st)
 		if c, ok := cov[fs.key.Router]; !ok || st.Coverage < c {
 			cov[fs.key.Router] = st.Coverage
+		}
+		if s, ok := skews[fs.key.Router]; !ok || math.Abs(st.SkewSeconds) > math.Abs(s) {
+			skews[fs.key.Router] = st.SkewSeconds
 		}
 		if st.Stale {
 			stale++
@@ -459,6 +468,7 @@ func (t *Tracker) Tick(at time.Time) []CycleStat {
 		}
 	}
 	t.cov.Store(&cov)
+	t.skews.Store(&skews)
 	t.aggStale = stale
 	t.aggSkew = math.Float64bits(maxSkew)
 	t.aggCovMin = math.Float64bits(covMin)
@@ -570,6 +580,19 @@ func (t *Tracker) IngressCoverage(in flow.Ingress) (score, floor float64, degrad
 		return 1, floor, false
 	}
 	return c, floor, c < floor
+}
+
+// RouterSkew reports the router's smoothed exporter-minus-collector clock
+// skew in seconds as of the last Tick (the worst-offset feed when a router
+// has several). Routers with no tracked feed, or before the first Tick,
+// report 0. Lock-free; matches workload.Options.Skew, so record latency
+// measurement can subtract the export clock's error.
+func (t *Tracker) RouterSkew(router flow.RouterID) float64 {
+	m := t.skews.Load()
+	if m == nil {
+		return 0
+	}
+	return (*m)[router]
 }
 
 // FeedSnapshot is one feed's cumulative and smoothed state for the

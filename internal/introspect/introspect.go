@@ -1,6 +1,7 @@
 // Package introspect serves the decision-provenance HTTP API over a live
 // engine and its journal:
 //
+//	GET /ipd/                                             endpoint index
 //	GET /ipd/ranges?classified=&ingress=&family=&limit=   filterable snapshot
 //	GET /ipd/range?prefix=10.0.0.0/8                      one range + history
 //	GET /ipd/explain?ip=10.1.2.3                          LPM walk + votes + reasons
@@ -10,11 +11,17 @@
 //	GET /ipd/timeline?series=&from=&to=&format=           windowed time series (JSON or CSV)
 //	GET /ipd/alerts                                       active + recent flap/drift/exporter alerts
 //	GET /ipd/exporters                                    per-exporter feed health + coverage
+//	GET /ipd/workload                                     workload profile + shard plan
 //
 // The handlers read through a Source (core.Server implements it; cmd/ipd
 // wraps its single-threaded engine in a mutex adapter) and never mutate, so
-// mounting them on the debug mux of a running collector is safe. All
-// responses are JSON.
+// mounting them on the debug mux of a running collector is safe.
+//
+// Error handling is uniform across all endpoints: every response is JSON; a
+// malformed query parameter is 400 with an {"error": ...} body naming the
+// parameter, a request for a subsystem that is not attached is 404, an
+// unknown /ipd/* path is 404 from the index route, and any method other
+// than GET is 405 with an Allow header.
 package introspect
 
 import (
@@ -33,6 +40,7 @@ import (
 	"ipd/internal/journal"
 	"ipd/internal/timeline"
 	"ipd/internal/trace"
+	"ipd/internal/workload"
 )
 
 // Source is the live engine view the handlers read. All methods must be
@@ -50,13 +58,21 @@ type Source interface {
 
 // Handler serves the /ipd/* introspection endpoints.
 type Handler struct {
-	mux *http.ServeMux
-	src Source
-	j   *journal.Journal    // may be nil: history fields are omitted, /ipd/events is 404
-	rec *trace.Recorder     // may be nil: /ipd/traces is 404
-	gov *governor.Governor  // may be nil: /ipd/governor is 404
-	tl  *timeline.Collector // may be nil: /ipd/timeline and /ipd/alerts are 404
-	exp *exphealth.Tracker  // may be nil: /ipd/exporters is 404
+	mux    *http.ServeMux
+	routes []RouteInfo
+	src    Source
+	j      *journal.Journal    // may be nil: history fields are omitted, /ipd/events is 404
+	rec    *trace.Recorder     // may be nil: /ipd/traces is 404
+	gov    *governor.Governor  // may be nil: /ipd/governor is 404
+	tl     *timeline.Collector // may be nil: /ipd/timeline and /ipd/alerts are 404
+	exp    *exphealth.Tracker  // may be nil: /ipd/exporters is 404
+	wl     *workload.Profiler  // may be nil: /ipd/workload is 404
+}
+
+// RouteInfo describes one mounted endpoint in the GET /ipd/ index.
+type RouteInfo struct {
+	Path        string `json:"path"`
+	Description string `json:"description"`
 }
 
 // New builds the handler. j may be nil when no journal is attached; the
@@ -64,16 +80,61 @@ type Handler struct {
 // unavailable.
 func New(src Source, j *journal.Journal) *Handler {
 	h := &Handler{mux: http.NewServeMux(), src: src, j: j}
-	h.mux.HandleFunc("/ipd/ranges", h.ranges)
-	h.mux.HandleFunc("/ipd/range", h.rangeOne)
-	h.mux.HandleFunc("/ipd/explain", h.explain)
-	h.mux.HandleFunc("/ipd/events", h.events)
-	h.mux.HandleFunc("/ipd/traces", h.traces)
-	h.mux.HandleFunc("/ipd/governor", h.governor)
-	h.mux.HandleFunc("/ipd/timeline", h.timeline)
-	h.mux.HandleFunc("/ipd/alerts", h.alerts)
-	h.mux.HandleFunc("/ipd/exporters", h.exporters)
+	h.handle("/ipd/ranges", "filterable snapshot of active ranges (classified=, ingress=, family=, limit=)", h.ranges)
+	h.handle("/ipd/range", "one range with its journal history (prefix=)", h.rangeOne)
+	h.handle("/ipd/explain", "LPM walk, vote shares, and threshold verdict for an address (ip=)", h.explain)
+	h.handle("/ipd/events", "tail of the decision journal (since=, limit=)", h.events)
+	h.handle("/ipd/traces", "tail of the pipeline flight recorder (limit=, phase=)", h.traces)
+	h.handle("/ipd/governor", "resource-governor state and budget utilization", h.governor)
+	h.handle("/ipd/timeline", "windowed per-cycle time series (series=, from=, to=, format=json|csv)", h.timeline)
+	h.handle("/ipd/alerts", "active and recent analytics alerts", h.alerts)
+	h.handle("/ipd/exporters", "per-exporter feed health and coverage", h.exporters)
+	h.handle("/ipd/workload", "workload profile: heavy hitters, shard plan, batch locality, latency", h.workloadSnapshot)
+	// The subtree pattern catches "/ipd/" itself (the index) and every
+	// otherwise-unmatched /ipd/* path (404). Registered last for clarity;
+	// ServeMux picks the longest pattern regardless of order.
+	h.mux.HandleFunc("/ipd/", h.index)
 	return h
+}
+
+// handle registers one GET endpoint: it records the route for the index and
+// wraps the handler with the uniform method check, so every endpoint shares
+// the same 405 behavior by construction.
+func (h *Handler) handle(path, desc string, fn http.HandlerFunc) {
+	h.routes = append(h.routes, RouteInfo{Path: path, Description: desc})
+	h.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		if !checkGet(w, r) {
+			return
+		}
+		fn(w, r)
+	})
+}
+
+// checkGet enforces the read-only contract: anything but GET (and HEAD,
+// which net/http serves from the GET response) is 405 with an Allow header.
+func checkGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET")
+		writeErr(w, http.StatusMethodNotAllowed, "method "+r.Method+" not allowed; endpoints are read-only GET")
+		return false
+	}
+	return true
+}
+
+// Routes returns the mounted endpoints as served by the GET /ipd/ index.
+func (h *Handler) Routes() []RouteInfo { return append([]RouteInfo(nil), h.routes...) }
+
+// index serves GET /ipd/ — the endpoint catalog — and, because it owns the
+// /ipd/ subtree, turns every unregistered /ipd/* path into a JSON 404.
+func (h *Handler) index(w http.ResponseWriter, r *http.Request) {
+	if !checkGet(w, r) {
+		return
+	}
+	if r.URL.Path != "/ipd/" && r.URL.Path != "/ipd" {
+		writeErr(w, http.StatusNotFound, "unknown endpoint "+r.URL.Path+"; GET /ipd/ lists the available ones")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"endpoints": h.routes})
 }
 
 // SetTraces attaches the pipeline tracer's flight recorder, enabling
@@ -91,6 +152,10 @@ func (h *Handler) SetTimeline(c *timeline.Collector) { h.tl = c }
 // SetExporterHealth attaches the exporter-health tracker, enabling
 // /ipd/exporters. Call during setup, before serving.
 func (h *Handler) SetExporterHealth(t *exphealth.Tracker) { h.exp = t }
+
+// SetWorkload attaches the workload profiler, enabling /ipd/workload. Call
+// during setup, before serving.
+func (h *Handler) SetWorkload(p *workload.Profiler) { h.wl = p }
 
 // ServeHTTP dispatches to the /ipd/* routes.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
@@ -474,6 +539,19 @@ func (h *Handler) exporters(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, h.exp.Snapshot())
+}
+
+// workloadSnapshot serves GET /ipd/workload: the profiler's heavy-hitter
+// table with per-ingress attribution, the simulated shard-balance factors
+// with the shard-plan recommendation, the drain-batch locality stats, and
+// the end-to-end latency distributions — the numbers the scale-arc designs
+// (sharding, LPM caching) are sized from.
+func (h *Handler) workloadSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if h.wl == nil {
+		writeErr(w, http.StatusNotFound, "no workload profiler attached")
+		return
+	}
+	writeJSON(w, http.StatusOK, h.wl.Snapshot())
 }
 
 // traces serves GET /ipd/traces?limit=&phase=: the flight recorder's span

@@ -7,6 +7,7 @@ import (
 	"ipd/internal/core"
 	"ipd/internal/exphealth"
 	"ipd/internal/flow"
+	"ipd/internal/workload"
 )
 
 // AnalyzerConfig parameterizes the three analytics. The zero value selects
@@ -54,6 +55,19 @@ type AnalyzerConfig struct {
 	ExporterLossRaise float64
 	ExporterLossClear float64
 	ExporterHold      int
+
+	// HotRaiseShare is the share of the workload profiler's decayed record
+	// mass at which one /24 (IPv6 /48) aggregate raises AlertHotPrefix
+	// (default 0.25); it clears after HotHold consecutive cycles at or
+	// below HotClearShare (defaults 3 and HotRaiseShare*0.4). Cycles whose
+	// profiled mass is below HotMinRecords decide nothing (default 256):
+	// shares over a near-empty window are noise. The machine consumes only
+	// the profiler's deterministic cycle stats, never its wall-clock
+	// latency fields, so hot-prefix alerts replay byte-identically.
+	HotRaiseShare float64
+	HotClearShare float64
+	HotHold       int
+	HotMinRecords uint64
 
 	// ConvergenceBuckets are the upper bounds of the creation-to-first-
 	// classification histogram, in cycles (default 1,2,3,5,8,13,21,34,55;
@@ -105,6 +119,18 @@ func (c *AnalyzerConfig) withDefaults() AnalyzerConfig {
 	if out.ExporterHold <= 0 {
 		out.ExporterHold = 3
 	}
+	if out.HotRaiseShare <= 0 || out.HotRaiseShare > 1 {
+		out.HotRaiseShare = 0.25
+	}
+	if out.HotClearShare <= 0 || out.HotClearShare >= out.HotRaiseShare {
+		out.HotClearShare = out.HotRaiseShare * 0.4
+	}
+	if out.HotHold <= 0 {
+		out.HotHold = 3
+	}
+	if out.HotMinRecords == 0 {
+		out.HotMinRecords = 256
+	}
 	if len(out.ConvergenceBuckets) == 0 {
 		out.ConvergenceBuckets = []float64{1, 2, 3, 5, 8, 13, 21, 34, 55}
 	}
@@ -136,6 +162,13 @@ type driftState struct {
 	lastDev   float64
 }
 
+// hotState is one aggregate prefix's hot-prefix alert hysteresis.
+type hotState struct {
+	ingress flow.Ingress
+	alerted bool
+	calm    int
+}
+
 // exporterState is one feed's alert hysteresis: three independent
 // raise/clear machines (loss, stale, skew) sharing the ExporterHold calm
 // requirement.
@@ -156,6 +189,7 @@ type analyzer struct {
 	drifts    map[flow.Ingress]*driftState
 	births    map[string]uint64 // prefix -> creation cycle (convergence)
 	exporters map[string]*exporterState
+	hot       map[string]*hotState
 
 	// convergence histogram: counts[i] observes delta <= buckets[i];
 	// the last slot is the +Inf overflow. onConv, when set, mirrors each
@@ -178,6 +212,7 @@ func newAnalyzer(cfg AnalyzerConfig) *analyzer {
 		drifts:     make(map[flow.Ingress]*driftState),
 		births:     make(map[string]uint64),
 		exporters:  make(map[string]*exporterState),
+		hot:        make(map[string]*hotState),
 		convCounts: make([]uint64, len(c.ConvergenceBuckets)+1),
 	}
 }
@@ -563,6 +598,87 @@ func (a *analyzer) evaluateExporters(stats []exphealth.CycleStat, alerts []core.
 			alerts = append(alerts, subject(core.AlertClockSkew, false, core.Reason{
 				Code: core.ReasonClockSkew, Observed: st.SkewSeconds,
 				Threshold: st.SkewMaxSeconds / 2}))
+		}
+	}
+	return alerts
+}
+
+// evaluateWorkload runs the hot-prefix alert decisions over one cycle's
+// workload profiler stats. Only the deterministic fields of the cycle stats
+// are consulted (top-aggregate shares, decayed mass) — never the wall-clock
+// latency quantiles — so the emitted alerts journal and replay
+// byte-identically. Subjects are aggregate prefixes carried in Alert.Prefix
+// with the aggregate's dominant ingress in Alert.Ingress; the subject of an
+// active alert is pinned at raise time, so the clear names the same prefix
+// even if a different aggregate has taken the top slot since.
+func (a *analyzer) evaluateWorkload(ws workload.CycleStats, alerts []core.Alert) []core.Alert {
+	if ws.Mass < a.cfg.HotMinRecords {
+		// Too little profiled traffic to judge shares; hold all machines.
+		return alerts
+	}
+	shares := make(map[string]workload.HotAggregate, len(ws.Top))
+	for _, h := range ws.Top {
+		shares[h.Prefix.String()] = h
+	}
+
+	// Subjects decided this cycle: aggregates hot enough to raise plus every
+	// currently alerted prefix, iterated in sorted order for a deterministic
+	// journal.
+	var subjects []string
+	for p, h := range shares {
+		if _, tracked := a.hot[p]; !tracked && h.Share >= a.cfg.HotRaiseShare {
+			subjects = append(subjects, p)
+		}
+	}
+	for p := range a.hot {
+		subjects = append(subjects, p)
+	}
+	sort.Strings(subjects)
+
+	for _, p := range subjects {
+		h, present := shares[p]
+		share := 0.0
+		if present {
+			share = h.Share
+		}
+		hs := a.hot[p]
+		if hs == nil {
+			if len(a.hot) >= a.cfg.MaxTracked {
+				continue
+			}
+			hs = &hotState{}
+			a.hot[p] = hs
+		}
+		if present {
+			hs.ingress = h.Ingress
+		}
+		reason := func(threshold float64) core.Reason {
+			return core.Reason{Code: core.ReasonHotPrefix, Observed: share,
+				Threshold: threshold, Samples: float64(ws.Mass),
+				MinSamples: float64(a.cfg.HotMinRecords)}
+		}
+		if !hs.alerted {
+			if share >= a.cfg.HotRaiseShare {
+				hs.alerted = true
+				hs.calm = 0
+				alerts = append(alerts, core.Alert{Kind: core.AlertHotPrefix, Raise: true,
+					Prefix: p, Ingress: hs.ingress, Reason: reason(a.cfg.HotRaiseShare)})
+			} else {
+				// Tracked but neither hot nor alerted: forget it.
+				delete(a.hot, p)
+			}
+			continue
+		}
+		if share <= a.cfg.HotClearShare {
+			if hs.calm+1 >= a.cfg.HotHold {
+				alerts = append(alerts, core.Alert{Kind: core.AlertHotPrefix, Raise: false,
+					Prefix: p, Ingress: hs.ingress, Reason: reason(a.cfg.HotClearShare)})
+				delete(a.hot, p)
+			} else {
+				hs.calm++
+			}
+		} else {
+			hs.calm = 0
 		}
 	}
 	return alerts

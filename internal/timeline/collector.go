@@ -1,6 +1,7 @@
 package timeline
 
 import (
+	"fmt"
 	"io"
 	"sort"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"ipd/internal/core"
 	"ipd/internal/exphealth"
 	"ipd/internal/telemetry"
+	"ipd/internal/workload"
 )
 
 // Options configures a Collector. The zero value is usable.
@@ -104,6 +106,12 @@ type Collector struct {
 	lastLockWait time.Duration
 	lastLockAcq  uint64
 
+	// workload, when set, is ticked once per cycle sample on statistical
+	// time: its deterministic cycle stats feed the ipd workload.* series and
+	// the hot-prefix alert machine; its wall-clock latency quantiles feed
+	// the timeline only.
+	workload *workload.Profiler
+
 	// metrics (nil until RegisterMetrics).
 	samples      *telemetry.Counter
 	alertCount   map[string]*telemetry.Counter // per kind
@@ -146,6 +154,16 @@ func (c *Collector) SetExporterHealth(t *exphealth.Tracker) {
 	c.health = t
 }
 
+// SetWorkload attaches the workload profiler. The collector becomes the
+// profiler's cycle driver: each OnCycle calls TickCycle(s.Cycle, s.At),
+// records the workload series, and runs the hot-prefix alert hysteresis.
+// Call during setup, before the engine starts cycling.
+func (c *Collector) SetWorkload(p *workload.Profiler) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workload = p
+}
+
 // RegisterMetrics exposes the collector's accounting on reg:
 // ipd_timeline_samples_total, ipd_timeline_points_total,
 // ipd_timeline_series, ipd_timeline_series_dropped_total,
@@ -172,7 +190,7 @@ func (c *Collector) RegisterMetrics(reg *telemetry.Registry) {
 	c.alertsActive = map[string]*telemetry.Gauge{}
 	for _, kind := range []string{core.AlertFlap.String(), core.AlertDrift.String(),
 		core.AlertExporterLoss.String(), core.AlertExporterStale.String(),
-		core.AlertClockSkew.String()} {
+		core.AlertClockSkew.String(), core.AlertHotPrefix.String()} {
 		labels := []telemetry.Label{{Name: "kind", Value: kind}}
 		c.alertCount[kind] = reg.LabeledCounter("ipd_alerts_total", labels,
 			"Alerts raised by the timeline analytics.")
@@ -242,6 +260,37 @@ func (c *Collector) OnCycle(s core.CycleSample) []core.Alert {
 		}
 	}
 
+	// Workload series are fixed-cardinality; emit them before the per-ingress
+	// and per-exporter families so they keep store slots when a large topology
+	// pushes the series population past the cap.
+	var wstats workload.CycleStats
+	if c.workload != nil {
+		wstats = c.workload.TickCycle(s.Cycle, s.At)
+		put("workload.records", float64(wstats.WindowRecords))
+		put("workload.mass", float64(wstats.Mass))
+		if len(wstats.Top) > 0 {
+			put("workload.top_share", wstats.Top[0].Share)
+		} else {
+			put("workload.top_share", 0)
+		}
+		put("workload.plan_shards", float64(wstats.Plan.Shards))
+		put("workload.plan_imbalance", wstats.Plan.Imbalance)
+		for d := 2; d < len(wstats.ImbalanceByDepth); d++ {
+			if wstats.ImbalanceByDepth[d] > 0 {
+				put(fmt.Sprintf("workload.imbalance_d%d", d), wstats.ImbalanceByDepth[d])
+			}
+		}
+		if wstats.BatchRecords > 0 {
+			put("workload.lpm_hit_rate", wstats.PredictedHitRate)
+			put("workload.mean_run_len", wstats.MeanRunLen)
+		}
+		// Wall-clock latency quantiles: timeline-only, never analytics input.
+		put("workload.ingest_p50_seconds", wstats.IngestP50)
+		put("workload.ingest_p99_seconds", wstats.IngestP99)
+		put("workload.commit_p50_seconds", wstats.CommitP50)
+		put("workload.commit_p99_seconds", wstats.CommitP99)
+	}
+
 	for _, st := range s.Ingress {
 		name := st.Ingress.String()
 		put("ingress_share_"+name, st.Share)
@@ -296,6 +345,9 @@ func (c *Collector) OnCycle(s core.CycleSample) []core.Alert {
 
 	alerts := c.an.evaluate(s)
 	alerts = c.an.evaluateExporters(expStats, alerts)
+	if c.workload != nil {
+		alerts = c.an.evaluateWorkload(wstats, alerts)
+	}
 	c.noteAlerts(alerts, s)
 	return alerts
 }

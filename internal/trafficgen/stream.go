@@ -29,6 +29,16 @@ type GenConfig struct {
 	// IPv6Fraction is the share of a dual-stacked AS's flows sourced from
 	// its IPv6 space (v4-only ASes ignore it).
 	IPv6Fraction float64
+	// HotFraction, when positive, redirects that share of flows to source
+	// from HotPrefix — a synthetic elephant aggregate for exercising the
+	// workload profiler's heavy-hitter and hot-prefix-alert paths. Ground
+	// truth is unaffected: hot flows still enter through the ingress the
+	// scenario routes their source to.
+	HotFraction float64
+	// HotPrefix is the elephant's source aggregate. The zero value picks
+	// the first /24 of the first AS's first IPv4 prefix, which is always
+	// inside the scenario's routed space.
+	HotPrefix netip.Prefix
 }
 
 // DefaultGenConfig is suitable for tests and examples.
@@ -46,7 +56,42 @@ func (c GenConfig) validate() error {
 	if c.IPv6Fraction < 0 || c.IPv6Fraction > 1 {
 		return fmt.Errorf("trafficgen: IPv6Fraction %v out of [0,1]", c.IPv6Fraction)
 	}
+	if c.HotFraction < 0 || c.HotFraction >= 1 {
+		return fmt.Errorf("trafficgen: HotFraction %v out of [0,1)", c.HotFraction)
+	}
 	return nil
+}
+
+// defaultHotPrefix returns the built-in elephant aggregate: the first /24 of
+// the first AS's first IPv4 prefix (or that prefix itself when it is already
+// /24 or longer).
+func (s *Scenario) defaultHotPrefix() netip.Prefix {
+	for _, a := range s.ASes {
+		for _, p := range a.Prefixes {
+			if p.Bits() >= 24 {
+				return p.Masked()
+			}
+			return netip.PrefixFrom(p.Masked().Addr(), 24)
+		}
+	}
+	return netip.Prefix{}
+}
+
+// hotAddr draws a uniform address inside the hot aggregate.
+func hotAddr(p netip.Prefix, rng *splitMix) netip.Addr {
+	bits := 32
+	if p.Addr().Is6() {
+		bits = 64 // bound the offset; a /48's low 16 host bits still vary
+	}
+	span := uint64(1)
+	if p.Bits() < bits {
+		shift := uint(bits - p.Bits())
+		if shift > 32 {
+			shift = 32 // keep offsets well inside the prefix
+		}
+		span = uint64(1) << shift
+	}
+	return netaddr.NthAddr(p, rng.next()%span)
 }
 
 // Stream generates the sampled flow records of [start, end) in timestamp
@@ -64,6 +109,14 @@ func (s *Scenario) Stream(start, end time.Time, cfg GenConfig, fn func(flow.Reco
 	rng := newSplitMix(uint64(cfg.Seed) ^ 0xfeedface)
 	allIfaces := s.Topo.Interfaces()
 
+	hot := cfg.HotPrefix
+	if cfg.HotFraction > 0 && !hot.IsValid() {
+		hot = s.defaultHotPrefix()
+		if !hot.IsValid() {
+			return fmt.Errorf("trafficgen: HotFraction set but the scenario has no IPv4 prefix to default HotPrefix from")
+		}
+	}
+
 	for minute := start.Truncate(time.Minute); minute.Before(end); minute = minute.Add(time.Minute) {
 		n := cfg.FlowsPerMinute
 		if cfg.Diurnal {
@@ -76,9 +129,12 @@ func (s *Scenario) Stream(start, end time.Time, cfg GenConfig, fn func(flow.Reco
 			}
 			a := picker.pick(rng.float())
 			var src netip.Addr
-			if len(a.Prefixes6) > 0 && cfg.IPv6Fraction > 0 && rng.float() < cfg.IPv6Fraction {
+			switch {
+			case cfg.HotFraction > 0 && rng.float() < cfg.HotFraction:
+				src = hotAddr(hot, rng)
+			case len(a.Prefixes6) > 0 && cfg.IPv6Fraction > 0 && rng.float() < cfg.IPv6Fraction:
 				src = s.randomSource6(a, ts, rng)
-			} else {
+			default:
 				src = s.randomSource(a, ts, rng)
 			}
 			salt := rng.next()

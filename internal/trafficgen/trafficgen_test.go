@@ -674,3 +674,53 @@ func TestSplitMixDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestStreamHotspot(t *testing.T) {
+	s := testScenario(t)
+	cfg := DefaultGenConfig()
+	cfg.Diurnal = false
+	cfg.FlowsPerMinute = 2000
+	cfg.HotFraction = 0.5
+	recs, err := s.Records(s.Start, s.Start.Add(2*time.Minute), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := s.defaultHotPrefix()
+	if !hot.IsValid() {
+		t.Fatal("no default hot prefix")
+	}
+	inHot := 0
+	for _, r := range recs {
+		if hot.Contains(r.Src.Unmap()) {
+			inHot++
+		}
+	}
+	frac := float64(inHot) / float64(len(recs))
+	if frac < 0.45 || frac > 0.6 {
+		t.Errorf("hot fraction = %v (%d/%d), want ~0.5", frac, inHot, len(recs))
+	}
+
+	// An explicit prefix is honored, and hot flows still carry the ground
+	// truth ingress the scenario routes them to.
+	want := netip.MustParsePrefix(hot.String())
+	cfg.HotPrefix = want
+	recs2, err := s.Records(s.Start, s.Start.Add(time.Minute), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs2 {
+		if !want.Contains(r.Src.Unmap()) {
+			continue
+		}
+		if (r.In == flow.Ingress{}) {
+			t.Fatal("hot record carries no ingress")
+		}
+	}
+
+	// Validation rejects an out-of-range fraction.
+	bad := DefaultGenConfig()
+	bad.HotFraction = 1
+	if err := s.Stream(s.Start, s.Start.Add(time.Minute), bad, nil); err == nil {
+		t.Error("HotFraction 1.0 should fail")
+	}
+}

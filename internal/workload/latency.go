@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"math"
+	"math/bits"
+	"time"
+
+	"ipd/internal/telemetry"
+)
+
+// latHist is a fixed-size log2 latency histogram: bucket i covers
+// [2^(i-1), 2^i) microseconds, with bucket 0 catching sub-microsecond (and
+// clock-skew-negative) values and the last bucket everything past ~9 hours.
+// Quantiles interpolate at the bucket's geometric midpoint, which is the
+// honest resolution of a power-of-two histogram — good to within ~1.4x,
+// plenty for "is commit latency seconds or minutes".
+type latHist struct {
+	buckets [latBuckets]uint64
+	count   uint64
+	sum     float64 // seconds
+	max     float64 // seconds
+}
+
+const latBuckets = 46
+
+func latBucket(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(us))
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	return b
+}
+
+// bucketValue is the representative latency of bucket i in seconds.
+func bucketValue(i int) float64 {
+	if i == 0 {
+		return 0.5e-6
+	}
+	// Geometric midpoint of [2^(i-1), 2^i) microseconds.
+	return math.Sqrt2 * float64(uint64(1)<<(i-1)) * 1e-6
+}
+
+func (h *latHist) observe(d time.Duration) {
+	h.buckets[latBucket(d)]++
+	h.count++
+	s := d.Seconds()
+	h.sum += s
+	if s > h.max {
+		h.max = s
+	}
+}
+
+// quantile returns the q-th latency quantile in seconds (0 when empty).
+func (h *latHist) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum > target {
+			return bucketValue(i)
+		}
+	}
+	return bucketValue(latBuckets - 1)
+}
+
+// stats summarizes the histogram for the snapshot.
+func (h *latHist) stats() LatencyDist {
+	d := LatencyDist{
+		Count: h.count,
+		Max:   h.max,
+		P50:   h.quantile(0.50),
+		P90:   h.quantile(0.90),
+		P99:   h.quantile(0.99),
+	}
+	if h.count > 0 {
+		d.Mean = h.sum / float64(h.count)
+	}
+	return d
+}
+
+// latMirror holds the optional telemetry histograms the profiler mirrors
+// latency observations into once RegisterMetrics attaches a registry.
+type latMirror struct {
+	ingest *telemetry.Histogram
+	commit *telemetry.Histogram
+}

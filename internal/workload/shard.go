@@ -1,0 +1,124 @@
+package workload
+
+import "net/netip"
+
+// The shard simulation answers the sizing question of the sharded-engine
+// direction (ROADMAP item 1) before any sharding code exists: if the engine
+// were split into 2^d independent shards routed by the top d bits of the
+// source address, how even would the load be? One fixed table of
+// 1<<MaxDepth buckets counts this cycle's records at the deepest candidate
+// depth; at the cycle boundary every shallower depth is a fold (each
+// depth-d bucket is the sum of its two depth-(d+1) children), so all
+// candidate depths come from the same pass.
+//
+// Both families share the shard space: the shard index is the top bits of
+// the source address regardless of family, matching a router that shards by
+// address bits without first branching on family. A family split would
+// double the table for no extra signal on the v4-dominated traces this
+// repo's generators produce.
+
+// imbalanceAlpha is the EWMA smoothing factor for per-depth imbalance: heavy
+// enough that one odd cycle does not swing the plan, light enough that a
+// sustained elephant shows within a few cycles.
+const imbalanceAlpha = 0.3
+
+// shardBucket returns the record's bucket at the deepest simulated depth:
+// the top maxDepth bits of the source address.
+func shardBucket(addr netip.Addr, maxDepth int) int {
+	addr = addr.Unmap()
+	var b0, b1 byte
+	if addr.Is4() {
+		a := addr.As4()
+		b0, b1 = a[0], a[1]
+	} else {
+		a := addr.As16()
+		b0, b1 = a[0], a[1]
+	}
+	return int((uint32(b0)<<8 | uint32(b1)) >> (16 - maxDepth))
+}
+
+// foldImbalance computes the imbalance factor (max shard load over mean
+// shard load) and the hottest shard's load share at depth d, folding the
+// depth-maxDepth bucket table. Returns (0, 0) for an empty window.
+func foldImbalance(buckets []uint64, maxDepth, d int) (imbalance, hotShare float64) {
+	group := 1 << (maxDepth - d) // depth-maxDepth buckets per depth-d shard
+	var total, max uint64
+	for i := 0; i < len(buckets); i += group {
+		var sum uint64
+		for j := i; j < i+group; j++ {
+			sum += buckets[j]
+		}
+		total += sum
+		if sum > max {
+			max = sum
+		}
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	mean := float64(total) / float64(int(1)<<d)
+	return float64(max) / mean, float64(max) / float64(total)
+}
+
+// planTarget is the imbalance factor a shard plan must stay under to count
+// as balanced: the hottest shard may carry at most this multiple of the mean
+// shard load.
+const planTarget = 1.5
+
+// ShardPlan is the profiler's recommendation for the sharded-engine
+// direction: the deepest candidate depth whose smoothed imbalance stays
+// within the target — deeper means more parallelism, so the deepest balanced
+// depth is the most capacity the traffic supports. When no depth is balanced
+// (an elephant prefix concentrates load at every granularity), Satisfied is
+// false and the plan names the least-bad depth — the signal that sharding
+// needs a hot-prefix escape hatch before it needs more shards.
+type ShardPlan struct {
+	// Depth is the recommended shard depth (top address bits); Shards is
+	// 1<<Depth.
+	Depth  int `json:"depth"`
+	Shards int `json:"shards"`
+	// Imbalance is the EWMA max/mean load factor at Depth; Target the
+	// threshold it was judged against.
+	Imbalance float64 `json:"imbalance"`
+	Target    float64 `json:"target"`
+	// Satisfied reports whether Imbalance <= Target; when false every
+	// candidate depth is out of balance.
+	Satisfied bool `json:"satisfied"`
+	// HotShardShare is the hottest shard's share of the last cycle's
+	// records at Depth.
+	HotShardShare float64 `json:"hot_shard_share"`
+}
+
+// planLocked derives the current recommendation from the smoothed per-depth
+// imbalance factors. Callers hold p.mu.
+func (p *Profiler) planLocked() ShardPlan {
+	best := ShardPlan{Target: planTarget}
+	// Deepest balanced depth wins; remember the least-imbalanced depth as
+	// the fallback when nothing is balanced.
+	fallback := 0
+	for d := 2; d <= p.opts.MaxDepth; d++ {
+		imb := p.imbalance[d]
+		if imb == 0 {
+			continue // no data at this depth yet
+		}
+		if fallback == 0 || imb < p.imbalance[fallback] {
+			fallback = d
+		}
+		if imb <= planTarget {
+			best.Depth = d
+		}
+	}
+	if best.Depth == 0 {
+		if fallback == 0 {
+			return ShardPlan{Target: planTarget} // no data at all
+		}
+		best.Depth = fallback
+		best.Satisfied = false
+	} else {
+		best.Satisfied = true
+	}
+	best.Shards = 1 << best.Depth
+	best.Imbalance = p.imbalance[best.Depth]
+	best.HotShardShare = p.hotShardShare[best.Depth]
+	return best
+}

@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"net/netip"
+	"sort"
+
+	"ipd/internal/flow"
+)
+
+// Aggregate keys pack the profiling granule — the /24 for IPv4, the /48 for
+// IPv6 — into one uint64 so the heavy-hitter map keys and the batch-distinct
+// scratch set cost a word each instead of a struct. Bit 63 tags the family;
+// the low bits hold the network bits left-aligned at the bottom:
+//
+//	v4: 0 .. 0 | a[0]<<16 | a[1]<<8 | a[2]          (24 bits)
+//	v6: 1<<63  | top 48 bits of the address          (48 bits)
+//
+// The packing is exact: keyPrefix reverses it to the netip.Prefix for
+// snapshots and alerts.
+const v6KeyFlag = uint64(1) << 63
+
+// aggKey returns the aggregate key for addr, or ok=false for an invalid
+// address. 4-in-6 mapped addresses count as IPv4, matching flow.Record.IsIPv6.
+func aggKey(addr netip.Addr) (uint64, bool) {
+	if !addr.IsValid() {
+		return 0, false
+	}
+	addr = addr.Unmap()
+	if addr.Is4() {
+		a := addr.As4()
+		return uint64(a[0])<<16 | uint64(a[1])<<8 | uint64(a[2]), true
+	}
+	a := addr.As16()
+	return v6KeyFlag |
+		uint64(a[0])<<40 | uint64(a[1])<<32 | uint64(a[2])<<24 |
+		uint64(a[3])<<16 | uint64(a[4])<<8 | uint64(a[5]), true
+}
+
+// keyPrefix decodes an aggregate key back to its prefix.
+func keyPrefix(key uint64) netip.Prefix {
+	if key&v6KeyFlag == 0 {
+		var a [4]byte
+		a[0] = byte(key >> 16)
+		a[1] = byte(key >> 8)
+		a[2] = byte(key)
+		return netip.PrefixFrom(netip.AddrFrom4(a), 24)
+	}
+	var a [16]byte
+	a[0] = byte(key >> 40)
+	a[1] = byte(key >> 32)
+	a[2] = byte(key >> 24)
+	a[3] = byte(key >> 16)
+	a[4] = byte(key >> 8)
+	a[5] = byte(key)
+	return netip.PrefixFrom(netip.AddrFrom16(a), 48)
+}
+
+// ingressSlots bounds the per-entry ingress attribution: each heavy hitter
+// tracks up to this many candidate ingresses, space-saving style, so the
+// dominant ingress of an elephant survives even when a few stray records
+// arrive through other doors.
+const ingressSlots = 4
+
+type ingressCount struct {
+	in    flow.Ingress
+	count uint64
+}
+
+// entry is one slot of the space-saving summary. count overestimates the
+// aggregate's true profiled count by at most errBound (the count of the
+// evicted entry this slot replaced).
+type entry struct {
+	key      uint64
+	count    uint64
+	errBound uint64
+	ingress  [ingressSlots]ingressCount
+	nIngress int
+}
+
+func (e *entry) noteIngress(in flow.Ingress) {
+	minIdx, minCount := 0, ^uint64(0)
+	for i := 0; i < e.nIngress; i++ {
+		if e.ingress[i].in == in {
+			e.ingress[i].count++
+			return
+		}
+		if e.ingress[i].count < minCount {
+			minIdx, minCount = i, e.ingress[i].count
+		}
+	}
+	if e.nIngress < ingressSlots {
+		e.ingress[e.nIngress] = ingressCount{in: in, count: 1}
+		e.nIngress++
+		return
+	}
+	// Replace the weakest candidate, inheriting its count — the same
+	// overestimate-on-eviction rule as the outer summary.
+	e.ingress[minIdx] = ingressCount{in: in, count: minCount + 1}
+}
+
+// topIngress returns the entry's dominant ingress (zero value when the entry
+// never saw one, which cannot happen for entries fed by observe).
+func (e *entry) topIngress() flow.Ingress {
+	var best flow.Ingress
+	var bestCount uint64
+	for i := 0; i < e.nIngress; i++ {
+		if e.ingress[i].count > bestCount {
+			best, bestCount = e.ingress[i].in, e.ingress[i].count
+		}
+	}
+	return best
+}
+
+// ingressShares returns the entry's tracked ingresses sorted by count
+// descending then ingress, with shares of the entry's own count.
+func (e *entry) ingressShares() []IngressShare {
+	out := make([]IngressShare, 0, e.nIngress)
+	for i := 0; i < e.nIngress; i++ {
+		s := IngressShare{Ingress: e.ingress[i].in.String(), Count: e.ingress[i].count}
+		if e.count > 0 {
+			s.Share = float64(e.ingress[i].count) / float64(e.count)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Ingress < out[j].Ingress
+	})
+	return out
+}
+
+// summary is a space-saving heavy-hitter summary over aggregate keys: at
+// most k entries, and for any aggregate with true profiled count above
+// total/k an entry exists whose count brackets the truth from above within
+// errBound. The min scan on eviction is O(k); at k=32 that is one cache line
+// sweep, far off the per-record fast path's budget concerns since only
+// thinned records reach it.
+type summary struct {
+	k       int
+	entries []entry
+	index   map[uint64]int // key -> index into entries
+}
+
+func newSummary(k int) summary {
+	return summary{k: k, entries: make([]entry, 0, k), index: make(map[uint64]int, k)}
+}
+
+func (s *summary) observe(key uint64, in flow.Ingress) {
+	if i, ok := s.index[key]; ok {
+		s.entries[i].count++
+		s.entries[i].noteIngress(in)
+		return
+	}
+	if len(s.entries) < s.k {
+		e := entry{key: key, count: 1}
+		e.noteIngress(in)
+		s.entries = append(s.entries, e)
+		s.index[key] = len(s.entries) - 1
+		return
+	}
+	// Evict the minimum-count entry; the newcomer inherits min+1 with error
+	// bound min (classic space-saving: the newcomer's true count is in
+	// [1, min+1]).
+	minIdx := 0
+	for i := 1; i < len(s.entries); i++ {
+		if s.entries[i].count < s.entries[minIdx].count {
+			minIdx = i
+		}
+	}
+	old := &s.entries[minIdx]
+	delete(s.index, old.key)
+	min := old.count
+	*old = entry{key: key, count: min + 1, errBound: min}
+	old.noteIngress(in)
+	s.index[key] = minIdx
+}
+
+// halve applies one epoch decay step: all counts (and error bounds, which
+// scale with them) are halved; entries decayed to zero are dropped and the
+// slice compacted. Relative order of surviving entries is preserved.
+func (s *summary) halve() {
+	kept := s.entries[:0]
+	for i := range s.entries {
+		e := s.entries[i]
+		e.count /= 2
+		e.errBound /= 2
+		if e.count == 0 {
+			delete(s.index, e.key)
+			continue
+		}
+		n := 0
+		for j := 0; j < e.nIngress; j++ {
+			ic := e.ingress[j]
+			ic.count /= 2
+			if ic.count > 0 {
+				e.ingress[n] = ic
+				n++
+			}
+		}
+		e.nIngress = n
+		kept = append(kept, e)
+	}
+	s.entries = kept
+	for i := range s.entries {
+		s.index[s.entries[i].key] = i
+	}
+}
+
+// sorted returns the entries ordered by count descending, then by prefix
+// string for a deterministic tie-break.
+func (s *summary) sorted() []entry {
+	out := append([]entry(nil), s.entries...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].count != out[j].count {
+			return out[i].count > out[j].count
+		}
+		return out[i].key < out[j].key
+	})
+	return out
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"math"
+	"net/netip"
+	"sort"
+	"testing"
+
+	"ipd/internal/flow"
+)
+
+// splitmix is the deterministic RNG for test streams.
+type splitmix uint64
+
+func (s *splitmix) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// zipfPick draws an index in [0, n) with P(i) proportional to 1/(i+1)^s
+// using the precomputed cumulative weights.
+func zipfCum(n int, s float64) []float64 {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return cum
+}
+
+func zipfPick(rng *splitmix, cum []float64) int {
+	u := float64(rng.next()>>11) / (1 << 53)
+	return sort.SearchFloat64s(cum, u)
+}
+
+// v4From24 builds an address inside the i-th /24 of 10.0.0.0/8.
+func v4From24(i int, host byte) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), host})
+}
+
+func TestAggKeyRoundTrip(t *testing.T) {
+	cases := []struct {
+		addr string
+		want string
+	}{
+		{"192.0.2.77", "192.0.2.0/24"},
+		{"10.255.1.0", "10.255.1.0/24"},
+		{"::ffff:198.51.100.9", "198.51.100.0/24"}, // 4-in-6 counts as v4
+		{"2001:db8:abcd:1234::1", "2001:db8:abcd::/48"},
+		{"fe80::1", "fe80::/48"},
+	}
+	for _, c := range cases {
+		key, ok := aggKey(netip.MustParseAddr(c.addr))
+		if !ok {
+			t.Fatalf("aggKey(%s) not ok", c.addr)
+		}
+		if got := keyPrefix(key).String(); got != c.want {
+			t.Errorf("aggKey(%s) -> %s, want %s", c.addr, got, c.want)
+		}
+	}
+	if _, ok := aggKey(netip.Addr{}); ok {
+		t.Error("aggKey accepted the zero Addr")
+	}
+}
+
+// TestTopKErrorBound checks the space-saving guarantees against an exact
+// oracle on a Zipf stream: every tracked count brackets the truth from above
+// within its error bound, the global bound N/K holds, and the true heaviest
+// aggregates are all present in the summary.
+func TestTopKErrorBound(t *testing.T) {
+	const (
+		k       = 32
+		nKeys   = 4096
+		records = 200_000
+	)
+	s := newSummary(k)
+	exact := make(map[uint64]uint64)
+	rng := splitmix(1)
+	cum := zipfCum(nKeys, 1.1)
+	in := flow.Ingress{Router: 1, Iface: 1}
+	for i := 0; i < records; i++ {
+		key, ok := aggKey(v4From24(zipfPick(&rng, cum), byte(i)))
+		if !ok {
+			t.Fatal("bad key")
+		}
+		s.observe(key, in)
+		exact[key]++
+	}
+
+	bound := uint64(records / k)
+	for _, e := range s.entries {
+		truth := exact[e.key]
+		if e.count < truth {
+			t.Errorf("key %x: count %d underestimates truth %d", e.key, e.count, truth)
+		}
+		if e.count-e.errBound > truth {
+			t.Errorf("key %x: count %d - err %d exceeds truth %d", e.key, e.count, e.errBound, truth)
+		}
+		if e.errBound > bound {
+			t.Errorf("key %x: err bound %d exceeds N/K = %d", e.key, e.errBound, bound)
+		}
+	}
+
+	// Any aggregate with true count above N/K must be in the summary.
+	for key, truth := range exact {
+		if truth <= bound {
+			continue
+		}
+		if _, ok := s.index[key]; !ok {
+			t.Errorf("heavy key %x (count %d > %d) missing from summary", key, truth, bound)
+		}
+	}
+}
+
+// TestDecayMonotonic checks the epoch decay: halving never increases a
+// count, preserves the relative order of survivors, and keeps shares (count
+// over mass) fixed — only fresh traffic moves shares.
+func TestDecayMonotonic(t *testing.T) {
+	s := newSummary(8)
+	in := flow.Ingress{Router: 2, Iface: 0}
+	counts := []uint64{100, 40, 7, 1}
+	for i, n := range counts {
+		key, _ := aggKey(v4From24(i, 1))
+		for j := uint64(0); j < n; j++ {
+			s.observe(key, in)
+		}
+	}
+	before := s.sorted()
+	s.halve()
+	after := s.sorted()
+
+	if len(after) != 3 {
+		t.Fatalf("halve kept %d entries, want 3 (the count-1 entry decays out)", len(after))
+	}
+	byKey := make(map[uint64]uint64)
+	for _, e := range before {
+		byKey[e.key] = e.count
+	}
+	for i, e := range after {
+		if e.count > byKey[e.key] {
+			t.Errorf("entry %x grew across halve: %d -> %d", e.key, byKey[e.key], e.count)
+		}
+		if e.count != byKey[e.key]/2 {
+			t.Errorf("entry %x: halved count %d, want %d", e.key, e.count, byKey[e.key]/2)
+		}
+		if i > 0 && after[i-1].count < e.count {
+			t.Error("halve broke the count ordering")
+		}
+	}
+
+	// A second and third halving is still monotone and eventually empties.
+	for i := 0; i < 10; i++ {
+		prev := len(s.entries)
+		s.halve()
+		if len(s.entries) > prev {
+			t.Fatal("halve grew the summary")
+		}
+	}
+	if len(s.entries) != 0 {
+		t.Errorf("10 halvings left %d entries, want 0", len(s.entries))
+	}
+}
+
+func TestIngressAttribution(t *testing.T) {
+	s := newSummary(4)
+	key, _ := aggKey(v4From24(1, 1))
+	main := flow.Ingress{Router: 7, Iface: 2}
+	stray := flow.Ingress{Router: 9, Iface: 0}
+	for i := 0; i < 90; i++ {
+		s.observe(key, main)
+	}
+	for i := 0; i < 10; i++ {
+		s.observe(key, stray)
+	}
+	e := s.entries[s.index[key]]
+	if got := e.topIngress(); got != main {
+		t.Errorf("topIngress = %v, want %v", got, main)
+	}
+	shares := e.ingressShares()
+	if len(shares) != 2 || shares[0].Ingress != main.String() {
+		t.Fatalf("ingressShares = %+v", shares)
+	}
+	if shares[0].Share < 0.85 || shares[0].Share > 0.95 {
+		t.Errorf("dominant share = %v, want ~0.9", shares[0].Share)
+	}
+}

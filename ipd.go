@@ -47,6 +47,7 @@ import (
 	"ipd/internal/trace"
 	"ipd/internal/trafficgen"
 	"ipd/internal/trie"
+	"ipd/internal/workload"
 )
 
 // Core algorithm types (see internal/core for full documentation).
@@ -121,6 +122,7 @@ const (
 	AlertExporterLoss  = core.AlertExporterLoss
 	AlertExporterStale = core.AlertExporterStale
 	AlertClockSkew     = core.AlertClockSkew
+	AlertHotPrefix     = core.AlertHotPrefix
 )
 
 // Reason codes (which threshold comparison decided an event).
@@ -143,6 +145,7 @@ const (
 	ReasonExporterLoss     = core.ReasonExporterLoss
 	ReasonExporterStale    = core.ReasonExporterStale
 	ReasonClockSkew        = core.ReasonClockSkew
+	ReasonHotPrefix        = core.ReasonHotPrefix
 )
 
 // Resource-governor types. A Governor tracks live resource budgets (active
@@ -272,6 +275,39 @@ type (
 // 0.9 coverage floor).
 func NewExporterHealth(opts ExporterHealthOptions) *ExporterHealth {
 	return exphealth.New(opts)
+}
+
+// Workload-profiling types. A WorkloadProfiler is the always-on, fixed-
+// memory workload observatory: top-K heavy-hitter /24 (IPv6 /48) aggregates
+// with per-ingress attribution and epoch decay, a simulated shard-balance
+// histogram per candidate shard depth with a shard-plan recommendation,
+// drain-batch locality stats (the LPM-cache premise), and skew-corrected
+// export-to-ingest/-commit latency. Feed it from Server.SetWorkload (batch
+// drain path) or per record via ObserveRecord; drive cycles via
+// TimelineCollector.SetWorkload (which also runs the AlertHotPrefix
+// hysteresis); serve it at /ipd/workload via IntrospectHandler.SetWorkload;
+// expose ipd_workload_* metrics via RegisterMetrics.
+type (
+	// WorkloadProfiler is the workload profiler.
+	WorkloadProfiler = workload.Profiler
+	// WorkloadOptions parameterizes the profiler (top-K, max shard depth,
+	// sample thinning, decay cadence, clock and skew sources).
+	WorkloadOptions = workload.Options
+	// WorkloadSnapshot is the /ipd/workload response body.
+	WorkloadSnapshot = workload.Snapshot
+	// WorkloadCycleStats is the deterministic per-cycle view TickCycle
+	// returns (input of the hot-prefix alert machine).
+	WorkloadCycleStats = workload.CycleStats
+	// WorkloadShardPlan is the shard-depth recommendation inside snapshots
+	// and cycle stats.
+	WorkloadShardPlan = workload.ShardPlan
+)
+
+// NewWorkloadProfiler returns a workload profiler with opts' zero values
+// replaced by the documented defaults (top-K 32, max depth 10, 1-in-8
+// thinning, decay every 16 cycles).
+func NewWorkloadProfiler(opts WorkloadOptions) *WorkloadProfiler {
+	return workload.New(opts)
 }
 
 // Pipeline-tracing types. A Tracer threads low-overhead spans through the
