@@ -27,6 +27,7 @@
 //	/ipd/timeline longitudinal per-cycle series (JSON, or format=csv)
 //	/ipd/alerts   active flap/drift/exporter alerts and recent alert history (JSON)
 //	/ipd/exporters per-exporter feed health: loss, skew, staleness, coverage (JSON)
+//	/ipd/cluster  delta-shipping transport state when -ship-to is set (JSON)
 //	/healthz      liveness (503 once no stage-2 cycle completed within the stall window)
 //	/readyz       readiness (additionally 503 while the last cycle overran its budget
 //	              or the resource governor is in emergency)
@@ -53,6 +54,16 @@
 // the queue admits only 1 in N offered records. A panicking range or an
 // adversarial datagram is contained (quarantined range / abandoned
 // datagram), never a crashed daemon.
+//
+// Cluster mode: -ship-to makes this collector an *edge* that ships every
+// decoded record to a central `ipd -listen-delta` core over a resilient
+// framed TCP transport (exponential backoff with jitter, heartbeats, a
+// bounded shed-oldest spool, exactly-once resume across reconnects). The
+// local engine keeps running — an edge answers its own /ipd/* queries while
+// the core builds the merged, byte-deterministic central partition.
+// -edge-id names this edge (must be stable and unique), -spool-cap bounds
+// the records buffered while the core is unreachable, and -heartbeat tunes
+// dead-connection detection.
 package main
 
 import (
@@ -76,6 +87,7 @@ import (
 	"time"
 
 	"ipd"
+	"ipd/internal/cliflags"
 	"ipd/internal/ipfix"
 	"ipd/internal/netflow"
 	"ipd/internal/telemetry"
@@ -111,6 +123,10 @@ func main() {
 		wlDepth    = flag.Int("workload-maxdepth", 10, "deepest candidate shard depth simulated by the workload profiler (2..10)")
 		skewMax    = flag.Duration("skew-max", 5*time.Minute, "raise AlertClockSkew once an exporter's export clock drifts this far from the collector clock")
 		mutexProf  = flag.Int("mutexprofile", 0, "runtime mutex/block profiling fraction for /debug/pprof/{mutex,block} (0 disables)")
+		shipTo     = flag.String("ship-to", "", "ship every ingested record to this core address (host:port) over the resilient delta transport ('' disables cluster mode)")
+		edgeID     = flag.String("edge-id", "", "stable unique name for this edge in the cluster handshake (required with -ship-to)")
+		spoolCap   = flag.Int("spool-cap", 1<<16, "delta spool capacity in records (waiting + unacked); oldest are shed under overflow")
+		heartbeat  = flag.Duration("heartbeat", 2*time.Second, "delta transport keepalive interval; peers declare a connection dead after 4x this")
 	)
 	flag.Parse()
 	logger, err := newLogger(*logLevel)
@@ -122,11 +138,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(2)
 	}
-	if err := validateWorkloadFlags(*wlTopK, *wlDepth); err != nil {
+	if err := cliflags.Workload(*wlTopK, *wlDepth); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(2)
 	}
-	if err := validateExporterFlags(*staleAfter, *skewMax); err != nil {
+	if err := cliflags.ExporterHealth(*staleAfter, *skewMax); err != nil {
+		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
+		os.Exit(2)
+	}
+	if err := cliflags.DeltaShip(*shipTo, *edgeID, *spoolCap, *heartbeat); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(2)
 	}
@@ -139,74 +159,28 @@ func main() {
 	tl := timelineFlags{window: *tlWindow, every: *tlEvery}
 	ef := exporterFlags{staleAfter: *staleAfter, skewMax: *skewMax}
 	wf := workloadFlags{topK: *wlTopK, maxDepth: *wlDepth}
-	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q, logger, *journalOut, *journalCap, *traceCap, *traceSmpl, *queueCap, cf, gf, tl, ef, wf); err != nil {
+	sf := shipFlags{target: *shipTo, edgeID: *edgeID, spoolCap: *spoolCap, heartbeat: *heartbeat}
+	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q, logger, *journalOut, *journalCap, *traceCap, *traceSmpl, *queueCap, cf, gf, tl, ef, wf, sf); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(1)
 	}
 }
 
-// validateFlags rejects flag values that would otherwise be silently
-// "fixed" (a checkpoint cadence of 0 became 1) or produce a dead pipeline
-// (an empty ingest queue, a zero trace sample rate).
+// validateFlags chains the shared rule sets from internal/cliflags plus the
+// collector-only ingest pipeline checks; the first violated rule wins.
 func validateFlags(ckptEvery uint64, traceSample, queueCap, maxRanges int, memBudget int64, sampleN, boostN, tlWindow, tlEvery, mutexProf int) error {
-	if ckptEvery < 1 {
-		return fmt.Errorf("-checkpoint-every must be >= 1 (got %d)", ckptEvery)
+	if err := cliflags.Engine(ckptEvery, traceSample, maxRanges, memBudget, tlWindow, tlEvery, mutexProf); err != nil {
+		return err
 	}
-	if traceSample < 1 {
-		return fmt.Errorf("-trace-sample must be >= 1 (got %d)", traceSample)
-	}
-	if queueCap < 1 {
-		return fmt.Errorf("-queue must be >= 1 (got %d)", queueCap)
-	}
-	if maxRanges < 0 {
-		return fmt.Errorf("-max-ranges must be >= 0 (got %d)", maxRanges)
-	}
-	if maxRanges == 1 {
-		return fmt.Errorf("-max-ranges 1 cannot hold the two /0 roots (use 0 for unlimited or >= 2)")
-	}
-	if memBudget < 0 {
-		return fmt.Errorf("-mem-budget must be >= 0 (got %d)", memBudget)
-	}
-	if sampleN < 1 {
-		return fmt.Errorf("-sample must be >= 1 (got %d)", sampleN)
-	}
-	if boostN < 1 {
-		return fmt.Errorf("-sample-boost must be >= 1 (got %d)", boostN)
-	}
-	if tlWindow < 0 {
-		return fmt.Errorf("-timeline-window must be >= 0 (got %d)", tlWindow)
-	}
-	if tlEvery < 1 {
-		return fmt.Errorf("-timeline-every must be >= 1 (got %d)", tlEvery)
-	}
-	if mutexProf < 0 {
-		return fmt.Errorf("-mutexprofile must be >= 0 (got %d)", mutexProf)
-	}
-	return nil
+	return cliflags.Ingest(queueCap, sampleN, boostN)
 }
 
-// validateExporterFlags rejects exporter-health thresholds that would
-// disable the alerts silently.
-func validateExporterFlags(staleAfter, skewMax time.Duration) error {
-	if staleAfter <= 0 {
-		return fmt.Errorf("-exporter-stale-after must be positive (got %v)", staleAfter)
-	}
-	if skewMax <= 0 {
-		return fmt.Errorf("-skew-max must be positive (got %v)", skewMax)
-	}
-	return nil
-}
-
-// validateWorkloadFlags rejects workload-profiler parameters outside the
-// fixed-memory envelope the profiler is designed for.
-func validateWorkloadFlags(topK, maxDepth int) error {
-	if topK < 2 {
-		return fmt.Errorf("-workload-topk must be >= 2 (got %d)", topK)
-	}
-	if maxDepth < 2 || maxDepth > 10 {
-		return fmt.Errorf("-workload-maxdepth must be in 2..10 (got %d)", maxDepth)
-	}
-	return nil
+// shipFlags carries the delta-shipping (cluster edge) flag values into run.
+type shipFlags struct {
+	target    string // core address; "" disables shipping
+	edgeID    string
+	spoolCap  int
+	heartbeat time.Duration
 }
 
 // workloadFlags carries the workload-profiler flag values into run.
@@ -291,7 +265,7 @@ func newLogger(level string) (*slog.Logger, error) {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }
 
-func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64, logger *slog.Logger, journalOut string, journalCap, traceCap, traceSample, queueCap int, cf ckptFlags, gf govFlags, tl timelineFlags, ef exporterFlags, wf workloadFlags) error {
+func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64, logger *slog.Logger, journalOut string, journalCap, traceCap, traceSample, queueCap int, cf ckptFlags, gf govFlags, tl timelineFlags, ef exporterFlags, wf workloadFlags, sf shipFlags) error {
 	cfg := ipd.DefaultConfig()
 	cfg.NCidrFactor4 = factor4
 	cfg.NCidrFloor = floor
@@ -477,6 +451,49 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 		wd.SetGovernor(gov)
 	}
 
+	// Cluster mode (-ship-to): every decoded record is also offered to the
+	// delta sender, which ships it to the core over the resilient transport.
+	// The tap sits in front of the degradation sampler and the ingest queue,
+	// so the core sees the full edge stream even while local overload
+	// sampling thins what this edge's own engine ingests. The governor still
+	// gates the spool the way it gates the queue: in emergency, Offer sheds
+	// instead of buffering.
+	var shipper *ipd.DeltaSender
+	if sf.target != "" {
+		scfg := ipd.DeltaSenderConfig{
+			Target:    sf.target,
+			EdgeID:    sf.edgeID,
+			SpoolCap:  sf.spoolCap,
+			Heartbeat: sf.heartbeat,
+			Logf: func(format string, args ...any) {
+				logger.Info("delta: "+fmt.Sprintf(format, args...), "edge", sf.edgeID)
+			},
+		}
+		if gov != nil {
+			scfg.Gate = func() bool { return gov.State() != ipd.GovernorEmergency }
+		}
+		var err error
+		shipper, err = ipd.NewDeltaSender(scfg)
+		if err != nil {
+			return err
+		}
+		shipper.RegisterMetrics(srv.Telemetry())
+		if tlColl != nil {
+			tlColl.SetCluster(func() ipd.TimelineClusterCounters {
+				st := shipper.Stats()
+				return ipd.TimelineClusterCounters{
+					Sent:          st.Sent,
+					Acked:         st.Acked,
+					Retransmitted: st.Retransmitted,
+					Shed:          st.Shed,
+					Reconnects:    st.Reconnects,
+					SpoolDepth:    st.SpoolDepth,
+				}
+			})
+		}
+		fmt.Fprintf(os.Stderr, "ipd-collector: shipping deltas to %s as edge %q\n", sf.target, sf.edgeID)
+	}
+
 	// The collectors feed the queue through the degradation sampler. When no
 	// sampling is configured and no governor runs, the sampler is a
 	// passthrough; keep the direct Offer in that case to spare the hot path
@@ -487,6 +504,13 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 			if sampler.Keep() {
 				queue.Offer(rec)
 			}
+		}
+	}
+	if shipper != nil {
+		inner := sink
+		sink = func(rec ipd.Record) {
+			shipper.Offer(rec)
+			inner(rec)
 		}
 	}
 	coll, err := netflow.NewCollector(sink)
@@ -559,6 +583,12 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 		}
 		ih.SetExporterHealth(health)
 		ih.SetWorkload(wl)
+		if shipper != nil {
+			ih.SetCluster(func() ipd.ClusterStatus {
+				st := shipper.Stats()
+				return ipd.ClusterStatus{Role: "edge", Sender: &st}
+			})
+		}
 		mux.Handle("/ipd/", ih)
 		mux.HandleFunc("/ranges", func(w http.ResponseWriter, _ *http.Request) {
 			mapped := srv.Mapped()
@@ -616,6 +646,20 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 	err = <-errc
 	stop()
 	queue.Close()
+	if shipper != nil {
+		// Graceful shutdown flushes the spool: stop accepting new records,
+		// give the supervisor a bounded window to ship and collect acks for
+		// what is buffered, then tear the connection down. Unshipped records
+		// after the window are lost to the core (never to the local engine).
+		shipper.CloseInput()
+		drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if derr := shipper.Drain(drainCtx); derr != nil {
+			st := shipper.Stats()
+			fmt.Fprintf(os.Stderr, "ipd-collector: delta drain: %v (%d records unacked)\n", derr, st.SpoolDepth)
+		}
+		cancel()
+		_ = shipper.Close()
+	}
 	if err == context.Canceled {
 		return nil
 	}

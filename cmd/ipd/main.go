@@ -59,25 +59,44 @@
 // -exporter-stale-after sets the silence threshold; -skew-max bounds
 // export-clock skew (it only matters for the UDP collectors — trace files
 // carry no export clock). The per-feed state is served at /ipd/exporters.
+//
+// Cluster core: -listen-delta turns this binary into the central node of an
+// edge→core deployment. Instead of reading a trace it accepts delta
+// sessions from `ipd-collector -ship-to` edges, dedupes on per-edge record
+// offsets, merges the streams in deterministic statistical-time order
+// (-edges lists the edge IDs the merge gate waits for; -merge-stall trades
+// that determinism for liveness when an edge dies), and feeds the merged
+// stream through the same engine, binning, and observability pipeline —
+// the resulting partition is byte-identical to a single node ingesting the
+// concatenated edge traffic. With -checkpoint-dir the core checkpoints the
+// engine state together with the per-edge applied offsets and acks edges
+// only up to what is durably on disk, so a kill -9 restart loses nothing:
+// everything past the restored offsets is still spooled on some edge and
+// is redelivered on reconnect. Transport state is served at /ipd/cluster.
 package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"net/netip"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"ipd"
+	"ipd/internal/cliflags"
 	"ipd/internal/flow"
 )
 
@@ -118,9 +137,17 @@ func main() {
 		mutexProf  = flag.Int("mutexprofile", 0, "runtime mutex/block profiling fraction for /debug/pprof/{mutex,block} (0 disables)")
 		wlTopK     = flag.Int("workload-topk", 32, "workload profiler heavy-hitter capacity (top-K /24 or /48 aggregates)")
 		wlDepth    = flag.Int("workload-maxdepth", 10, "deepest candidate shard depth simulated by the workload profiler (2..10)")
+		listenDlt  = flag.String("listen-delta", "", "run as the cluster core: accept edge delta sessions on this TCP address instead of reading a trace ('' disables)")
+		edgesList  = flag.String("edges", "", "comma-separated edge IDs the deterministic merge waits for (with -listen-delta; '' merges edges as they appear, order then depends on join timing)")
+		mergeStall = flag.Duration("merge-stall", 0, "exclude a silent edge from the merge gate after this long (0 = never: the merge stays deterministic but stalls while an edge is down)")
+		heartbeat  = flag.Duration("heartbeat", 2*time.Second, "delta transport keepalive interval; peers declare a connection dead after 4x this")
 	)
 	flag.Parse()
 	if err := validateFlags(*ckptEvery, *traceSmpl, *maxRanges, *memBudget, *tlWindow, *tlEvery, *mutexProf, *staleAfter, *skewMax, *wlTopK, *wlDepth); err != nil {
+		fmt.Fprintln(os.Stderr, "ipd:", err)
+		os.Exit(2)
+	}
+	if err := cliflags.DeltaListen(*listenDlt, *mergeStall, *heartbeat); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd:", err)
 		os.Exit(2)
 	}
@@ -152,60 +179,48 @@ func main() {
 	tl := timelineFlags{window: *tlWindow, every: *tlEvery}
 	ef := exporterFlags{staleAfter: *staleAfter, skewMax: *skewMax}
 	wf := workloadFlags{topK: *wlTopK, maxDepth: *wlDepth}
-	if err := run(*in, *format, cfg, *bin, *summary, *debugHTTP, *journalOut, *journalCap, *explainIPs, tf, cf, gf, tl, ef, wf); err != nil {
+	df := deltaFlags{listen: *listenDlt, edges: splitEdges(*edgesList), mergeStall: *mergeStall, heartbeat: *heartbeat}
+	if err := run(*in, *format, cfg, *bin, *summary, *debugHTTP, *journalOut, *journalCap, *explainIPs, tf, cf, gf, tl, ef, wf, df); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd:", err)
 		os.Exit(1)
 	}
 }
 
-// validateFlags rejects flag values that earlier versions silently "fixed"
-// (a checkpoint cadence of 0 became 1, a non-positive trace sample rate
-// traced nothing): a typo like -checkpoint-every 0 now fails loudly instead
-// of checkpointing on every cycle.
+// validateFlags chains the shared rule sets from internal/cliflags; the
+// first violated rule wins.
 func validateFlags(ckptEvery uint64, traceSample, maxRanges int, memBudget int64, tlWindow, tlEvery, mutexProf int, staleAfter, skewMax time.Duration, wlTopK, wlMaxDepth int) error {
-	if ckptEvery < 1 {
-		return fmt.Errorf("-checkpoint-every must be >= 1 (got %d)", ckptEvery)
+	if err := cliflags.Engine(ckptEvery, traceSample, maxRanges, memBudget, tlWindow, tlEvery, mutexProf); err != nil {
+		return err
 	}
-	if traceSample < 1 {
-		return fmt.Errorf("-trace-sample must be >= 1 (got %d)", traceSample)
+	if err := cliflags.ExporterHealth(staleAfter, skewMax); err != nil {
+		return err
 	}
-	if maxRanges < 0 {
-		return fmt.Errorf("-max-ranges must be >= 0 (got %d)", maxRanges)
-	}
-	if maxRanges == 1 {
-		return fmt.Errorf("-max-ranges 1 cannot hold the two /0 roots (use 0 for unlimited or >= 2)")
-	}
-	if memBudget < 0 {
-		return fmt.Errorf("-mem-budget must be >= 0 (got %d)", memBudget)
-	}
-	if tlWindow < 0 {
-		return fmt.Errorf("-timeline-window must be >= 0 (got %d)", tlWindow)
-	}
-	if tlEvery < 1 {
-		return fmt.Errorf("-timeline-every must be >= 1 (got %d)", tlEvery)
-	}
-	if mutexProf < 0 {
-		return fmt.Errorf("-mutexprofile must be >= 0 (got %d)", mutexProf)
-	}
-	if staleAfter <= 0 {
-		return fmt.Errorf("-exporter-stale-after must be positive (got %v)", staleAfter)
-	}
-	if skewMax <= 0 {
-		return fmt.Errorf("-skew-max must be positive (got %v)", skewMax)
-	}
-	if wlTopK < 2 {
-		return fmt.Errorf("-workload-topk must be >= 2 (got %d)", wlTopK)
-	}
-	if wlMaxDepth < 2 || wlMaxDepth > 10 {
-		return fmt.Errorf("-workload-maxdepth must be in 2..10 (got %d)", wlMaxDepth)
-	}
-	return nil
+	return cliflags.Workload(wlTopK, wlMaxDepth)
 }
 
 // workloadFlags carries the workload-profiler flag values into run.
 type workloadFlags struct {
 	topK     int // heavy-hitter table capacity
 	maxDepth int // deepest candidate shard depth simulated
+}
+
+// deltaFlags carries the cluster-core flag values into run.
+type deltaFlags struct {
+	listen     string   // TCP listen address; "" = normal trace mode
+	edges      []string // expected edge IDs for the deterministic merge
+	mergeStall time.Duration
+	heartbeat  time.Duration
+}
+
+// splitEdges parses the comma-separated -edges list, dropping empty items.
+func splitEdges(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func config(f4, f6, floor, q float64, cm4, cm6 int, t, e time.Duration, bytesCnt bool) ipd.Config {
@@ -346,6 +361,35 @@ func restoreState(eng *ipd.Engine, mgr *ipd.CheckpointManager, journalPath strin
 	return nil
 }
 
+// restoreCluster is the core-mode half of crash recovery: load the newest
+// valid cluster checkpoint (engine state + per-edge applied offsets) into
+// eng and return the offsets for DeltaReceiver.SetApplied. The journal tail
+// is NOT replayed here — in cluster mode the transport itself replays: with
+// durable acks, every record past the restored offsets is still in some
+// edge's spool, and resumed sessions redeliver exactly those.
+func restoreCluster(eng *ipd.Engine, mgr *ipd.CheckpointManager) (map[string]uint64, error) {
+	var applied map[string]uint64
+	path, err := mgr.Load(func(data []byte) error {
+		state, app, err := ipd.DecodeClusterCheckpoint(data)
+		if err != nil {
+			return err
+		}
+		if err := eng.UnmarshalState(state); err != nil {
+			return err
+		}
+		applied = app
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, ipd.ErrNoCheckpoint) {
+			return nil, nil // cold start
+		}
+		return nil, fmt.Errorf("cluster checkpoint restore: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "ipd: restored cluster checkpoint %s (seq %d, %d edges)\n", path, eng.Seq(), len(applied))
+	return applied, nil
+}
+
 // serveDebug mounts the telemetry, profiling, introspection, and health
 // surface while a trace run is in flight (best-effort: the process exits
 // with the run). wd may be nil (no watchdog → /healthz and /readyz are not
@@ -374,9 +418,9 @@ func serveDebug(addr string, reg *ipd.TelemetryRegistry, introspect http.Handler
 	fmt.Fprintf(os.Stderr, "ipd: debug endpoints on http://%s\n", addr)
 }
 
-func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, debugHTTP, journalOut string, journalCap int, explainIPs string, tf traceFlags, cf ckptFlags, gf govFlags, tl timelineFlags, ef exporterFlags, wf workloadFlags) error {
+func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, debugHTTP, journalOut string, journalCap int, explainIPs string, tf traceFlags, cf ckptFlags, gf govFlags, tl timelineFlags, ef exporterFlags, wf workloadFlags, df deltaFlags) error {
 	var r io.Reader = os.Stdin
-	if in != "-" {
+	if in != "-" && df.listen == "" {
 		f, err := os.Open(in)
 		if err != nil {
 			return err
@@ -491,14 +535,22 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 	locked := &lockedEngine{eng: eng}
 
 	// Crash recovery: restore the newest valid checkpoint and replay the
-	// journal tail, then checkpoint periodically (and finally) below.
+	// journal tail, then checkpoint periodically (and finally) below. A
+	// cluster core restores the envelope variant instead: engine state plus
+	// the per-edge applied offsets that seed the receiver's resume handshake.
 	var mgr *ipd.CheckpointManager
+	var restoredApplied map[string]uint64
 	if cf.dir != "" {
 		mgr, err = ipd.NewCheckpointManager(ipd.CheckpointOptions{Dir: cf.dir, Registry: eng.Telemetry()})
 		if err != nil {
 			return err
 		}
-		if err := restoreState(eng, mgr, journalOut); err != nil {
+		if df.listen != "" {
+			restoredApplied, err = restoreCluster(eng, mgr)
+			if err != nil {
+				return err
+			}
+		} else if err := restoreState(eng, mgr, journalOut); err != nil {
 			return err
 		}
 	}
@@ -521,6 +573,49 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 		// run continues with the previous checkpoint intact.
 		if err := mgr.Save(seq, data); err != nil {
 			fmt.Fprintln(os.Stderr, "ipd: checkpoint:", err)
+		}
+	}
+
+	// Cluster core (-listen-delta): records arrive from edge senders over
+	// the resilient delta transport instead of a trace file. The receiver is
+	// built here (before the debug server mounts) so /ipd/cluster and the
+	// timeline delta.* series attach race-free; its Apply callback is bound
+	// below, after the record-handling closure exists — Serve starts later,
+	// so the late binding is never observed.
+	var recv *ipd.DeltaReceiver
+	var applyBatch func([]ipd.Record, map[string]uint64) error
+	if df.listen != "" {
+		recv, err = ipd.NewDeltaReceiver(ipd.DeltaReceiverConfig{
+			Edges:       df.edges,
+			Heartbeat:   df.heartbeat,
+			MergeStall:  df.mergeStall,
+			DurableAcks: mgr != nil,
+			Apply: func(recs []ipd.Record, app map[string]uint64) error {
+				return applyBatch(recs, app)
+			},
+			Logf: func(format string, args ...any) {
+				cfg.Logger.Info("delta: " + fmt.Sprintf(format, args...))
+			},
+		})
+		if err != nil {
+			return err
+		}
+		recv.SetApplied(restoredApplied)
+		recv.RegisterMetrics(eng.Telemetry())
+		if tlColl != nil {
+			tlColl.SetCluster(func() ipd.TimelineClusterCounters {
+				st := recv.Stats()
+				cc := ipd.TimelineClusterCounters{
+					Applied:  st.Applied,
+					Sessions: st.Sessions,
+				}
+				for _, e := range st.Edges {
+					cc.Duplicates += e.Duplicates
+					cc.Gaps += e.Gaps
+					cc.Pending += e.Pending
+				}
+				return cc
+			})
 		}
 	}
 
@@ -563,6 +658,12 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 		}
 		ih.SetExporterHealth(health)
 		ih.SetWorkload(wl)
+		if recv != nil {
+			ih.SetCluster(func() ipd.ClusterStatus {
+				st := recv.Stats()
+				return ipd.ClusterStatus{Role: "core", Receiver: &st}
+			})
+		}
 		serveDebug(debugHTTP, eng.Telemetry(), ih, wd)
 	}
 	out := bufio.NewWriter(os.Stdout)
@@ -608,50 +709,126 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 		return nil
 	}
 
-	var count int
-	switch format {
-	case "binary":
-		tr := ipd.NewTraceReader(r)
-		tr.SetMetrics(flowMetrics)
-		tr.SetTracer(tracer)
-		tr.SetResync(cf.resync)
-		for {
-			rec, err := tr.Read()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return err
-			}
-			if err := handle(rec); err != nil {
-				return err
-			}
-			count++
-			maybeCheckpoint(false)
-		}
-	case "csv":
-		sc := bufio.NewScanner(r)
-		sc.Buffer(make([]byte, 1<<20), 1<<20)
-		for sc.Scan() {
-			line := strings.TrimSpace(sc.Text())
-			if line == "" || strings.HasPrefix(line, "#") {
-				continue
-			}
-			rec, err := flow.ParseCSV(line)
-			if err != nil {
-				return err
-			}
-			if err := handle(rec); err != nil {
-				return err
-			}
-			count++
-			maybeCheckpoint(false)
-		}
-		if err := sc.Err(); err != nil {
+	// saveCluster writes the cluster checkpoint envelope: engine state plus
+	// the per-edge applied offsets of the batch just applied. MarkDurable
+	// follows a successful save only — an ack licenses the senders to
+	// discard, so a failed save must leave the acked boundary (and hence
+	// every unpersisted record, still in some spool) where it was.
+	saveCluster := func(app map[string]uint64) error {
+		locked.mu.Lock()
+		data := eng.MarshalState()
+		seq := eng.Seq()
+		locked.mu.Unlock()
+		env, err := ipd.EncodeClusterCheckpoint(data, app)
+		if err != nil {
 			return err
 		}
-	default:
-		return fmt.Errorf("unknown format %q (want binary or csv)", format)
+		return mgr.Save(seq, env)
+	}
+
+	var count int
+	if df.listen != "" {
+		lastClusterCkpt := eng.Cycles()
+		applyBatch = func(recs []ipd.Record, app map[string]uint64) error {
+			for _, rec := range recs {
+				if err := handle(rec); err != nil {
+					return err
+				}
+				count++
+			}
+			if mgr == nil {
+				return nil
+			}
+			if cycles := eng.Cycles(); cycles-lastClusterCkpt >= cf.every {
+				lastClusterCkpt = cycles
+				if err := saveCluster(app); err != nil {
+					fmt.Fprintln(os.Stderr, "ipd: cluster checkpoint:", err)
+				} else {
+					recv.MarkDurable(app)
+				}
+			}
+			return nil
+		}
+
+		ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stopSig()
+		ln, err := net.Listen("tcp", df.listen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ipd: core accepting deltas on tcp://%s (edges %v)\n", ln.Addr(), df.edges)
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- recv.Serve(ln) }()
+		var srvErr error
+		select {
+		case <-ctx.Done():
+			_ = recv.Close()
+			srvErr = <-serveErr
+		case <-recv.Done():
+			// Every expected edge sent Fin and its stream is fully applied.
+			// Persist the final checkpoint and let the last acks flush
+			// before tearing the sessions down — the edges' shutdown Drain
+			// is waiting on exactly those acks to empty their spools.
+			if mgr != nil {
+				if err := saveCluster(recv.Applied()); err != nil {
+					fmt.Fprintln(os.Stderr, "ipd: cluster checkpoint:", err)
+				} else {
+					recv.MarkDurable(recv.Applied())
+				}
+			}
+			time.Sleep(df.heartbeat / 2)
+			_ = recv.Close()
+			srvErr = <-serveErr
+		case srvErr = <-serveErr:
+		}
+		if srvErr != nil && recv.Err() != nil {
+			return fmt.Errorf("delta receiver: %v", recv.Err())
+		}
+	} else {
+		switch format {
+		case "binary":
+			tr := ipd.NewTraceReader(r)
+			tr.SetMetrics(flowMetrics)
+			tr.SetTracer(tracer)
+			tr.SetResync(cf.resync)
+			for {
+				rec, err := tr.Read()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return err
+				}
+				if err := handle(rec); err != nil {
+					return err
+				}
+				count++
+				maybeCheckpoint(false)
+			}
+		case "csv":
+			sc := bufio.NewScanner(r)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				if line == "" || strings.HasPrefix(line, "#") {
+					continue
+				}
+				rec, err := flow.ParseCSV(line)
+				if err != nil {
+					return err
+				}
+				if err := handle(rec); err != nil {
+					return err
+				}
+				count++
+				maybeCheckpoint(false)
+			}
+			if err := sc.Err(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown format %q (want binary or csv)", format)
+		}
 	}
 
 	locked.mu.Lock()
@@ -661,7 +838,15 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 	if err != nil {
 		return err
 	}
-	maybeCheckpoint(true)
+	if recv != nil {
+		if mgr != nil {
+			if err := saveCluster(recv.Applied()); err != nil {
+				fmt.Fprintln(os.Stderr, "ipd: cluster checkpoint:", err)
+			}
+		}
+	} else {
+		maybeCheckpoint(true)
+	}
 	if explainIPs != "" {
 		if err := explain(os.Stderr, locked, j, explainIPs); err != nil {
 			return err

@@ -1,0 +1,470 @@
+// cluster is the edge→core delta-shipping acceptance scenario: two edge
+// senders ship deterministic record streams to one core receiver while a
+// seeded fault injector abuses the wire — mid-stream connection cuts, a
+// delivery stall long enough to trip the heartbeat deadline — and on top of
+// the transport chaos both tiers are killed and restarted: one edge sender
+// dies mid-stream and is replaced (same edge ID, full stream re-offered),
+// and the core itself is killed after a checkpoint and restored from the
+// cluster checkpoint envelope (engine state + per-edge applied offsets).
+//
+// The run asserts the convergence contract end to end:
+//
+//   - the core's final engine partition is byte-identical to a single
+//     uninterrupted engine fed the deterministically merged streams — the
+//     chaos must be invisible in the output;
+//   - the replayed edge really retransmitted (receiver duplicates > 0) and
+//     the transport really reconnected (reconnects > 0), so the run
+//     exercised resume rather than a clean pass;
+//   - no record was lost: zero receiver gaps, zero sender sheds, and the
+//     applied count equals the total input.
+//
+// The -snapshot flag writes the convergence evidence (per-edge sender
+// stats, receiver stats, state digests) as JSON, for CI artifact upload.
+//
+//	go run ./examples/cluster
+//	go run ./examples/cluster -snapshot cluster-convergence.json
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"ipd"
+	"ipd/internal/faultinject"
+)
+
+var base = time.Unix(1_600_000_000, 0).UTC().Truncate(time.Minute)
+
+const (
+	rounds    = 6
+	heartbeat = 40 * time.Millisecond
+	deadline  = 30 * time.Second
+)
+
+func main() {
+	snapOut := flag.String("snapshot", "", "write the convergence evidence as JSON to this file ('' disables)")
+	flag.Parse()
+	if err := run(*snapOut); err != nil {
+		fmt.Fprintln(os.Stderr, "FAILED:", err)
+		os.Exit(1)
+	}
+	fmt.Println("PASS: chaos-interrupted cluster converged byte-identically to the single-node reference")
+}
+
+// config mirrors the tiny-n_cidr setup the repo's tests use so stage-2
+// splits and classifications happen at example scale.
+func config() ipd.Config {
+	cfg := ipd.DefaultConfig()
+	cfg.NCidrFactor4 = 0.001
+	cfg.NCidrFactor6 = 1e-8
+	return cfg
+}
+
+// edgeStream builds a deterministic per-edge record stream: each edge sees
+// its own /16s with its own dominant ingress, timestamps advancing a few
+// seconds per record with an edge-specific phase so the merge genuinely
+// interleaves.
+func edgeStream(edge int) []ipd.Record {
+	in := ipd.Ingress{Router: ipd.RouterID(edge + 1), Iface: 1}
+	var out []ipd.Record
+	ts := base.Add(time.Duration(edge) * 700 * time.Millisecond)
+	for r := 0; r < rounds; r++ {
+		for block := 0; block < 3; block++ {
+			a := [4]byte{10, byte(edge*8 + block), byte(r % 4), 0}
+			for i := 0; i < 20; i++ {
+				a[3] = byte(i)
+				out = append(out, ipd.Record{Ts: ts, Src: netip.AddrFrom4(a), In: in, Bytes: 800, Packets: 3})
+				ts = ts.Add(1700 * time.Millisecond)
+			}
+		}
+		ts = ts.Add(30 * time.Second)
+	}
+	return out
+}
+
+// referenceState feeds a single uninterrupted engine the deterministic
+// merge of the edge streams (per-edge running-max keys, ordered by key with
+// edge-ID tie-break — exactly the receiver's merge) and returns its
+// byte-deterministic partition.
+func referenceState(streams map[string][]ipd.Record) ([]byte, int, error) {
+	ids := make([]string, 0, len(streams))
+	for id := range streams {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	type keyed struct {
+		key time.Time
+		rec ipd.Record
+	}
+	var all []keyed
+	for _, id := range ids {
+		var runMax time.Time
+		for _, rec := range streams[id] {
+			if rec.Ts.After(runMax) {
+				runMax = rec.Ts
+			}
+			all = append(all, keyed{key: runMax, rec: rec})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].key.Before(all[j].key) })
+	eng, err := ipd.NewEngine(config())
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, k := range all {
+		eng.Feed(k.rec)
+	}
+	return eng.MarshalState(), len(all), nil
+}
+
+// core is the restartable central node: a receiver-backed engine on a
+// fault-injected listener, checkpointing the cluster envelope on every
+// applied batch (durable acks — an edge is never licensed to discard a
+// record the core could lose).
+type core struct {
+	mu       sync.Mutex
+	eng      *ipd.Engine
+	recv     *ipd.DeltaReceiver
+	ln       *faultinject.Listener
+	addr     string
+	serveErr chan error
+	applies  int
+	applied  int
+	ckpt     []byte
+}
+
+// start (re)creates the listener and receiver; applied seeds resume offsets
+// after a core restart.
+func (c *core) start(edges []string, schedule func(i int) faultinject.ConnConfig, applied map[string]uint64) error {
+	tcp, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	var recv *ipd.DeltaReceiver
+	recv, err = ipd.NewDeltaReceiver(ipd.DeltaReceiverConfig{
+		Edges:       edges,
+		Heartbeat:   heartbeat,
+		DurableAcks: true,
+		Apply: func(recs []ipd.Record, app map[string]uint64) error {
+			c.mu.Lock()
+			if c.recv != recv && c.recv != nil {
+				// A killed core's in-flight drain must not feed the engine
+				// its replacement restored — that batch is the replayed
+				// senders' job now.
+				c.mu.Unlock()
+				return fmt.Errorf("stale receiver")
+			}
+			for _, rec := range recs {
+				c.eng.Feed(rec)
+			}
+			c.applies++
+			c.applied += len(recs)
+			env, err := ipd.EncodeClusterCheckpoint(c.eng.MarshalState(), app)
+			if err != nil {
+				c.mu.Unlock()
+				return err
+			}
+			c.ckpt = env
+			c.mu.Unlock()
+			recv.MarkDurable(app)
+			return nil
+		},
+	})
+	if err != nil {
+		tcp.Close()
+		return err
+	}
+	recv.SetApplied(applied)
+	ln := faultinject.WrapListener(tcp, schedule)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- recv.Serve(ln) }()
+	c.mu.Lock()
+	c.recv, c.ln, c.addr, c.serveErr = recv, ln, tcp.Addr().String(), serveErr
+	c.mu.Unlock()
+	return nil
+}
+
+// dial targets whatever listener the core currently runs — after a core
+// restart the address changes and reconnecting senders must follow it.
+func (c *core) dial(ctx context.Context) (net.Conn, error) {
+	c.mu.Lock()
+	addr := c.addr
+	c.mu.Unlock()
+	return (&net.Dialer{}).DialContext(ctx, "tcp", addr)
+}
+
+// snapshot is the -snapshot artifact: the convergence evidence of one run.
+type snapshot struct {
+	Edges          []ipd.DeltaSenderStats `json:"edges"`
+	Receiver       ipd.DeltaReceiverStats `json:"receiver"`
+	InputRecords   int                    `json:"input_records"`
+	AppliedRecords int                    `json:"applied_records"`
+	CoreRestarts   int                    `json:"core_restarts"`
+	EdgeRestarts   int                    `json:"edge_restarts"`
+	ReferenceSHA   string                 `json:"reference_state_sha256"`
+	ClusterSHA     string                 `json:"cluster_state_sha256"`
+	ByteIdentical  bool                   `json:"byte_identical"`
+}
+
+func run(snapOut string) error {
+	aStream, bStream := edgeStream(0), edgeStream(1)
+	streams := map[string][]ipd.Record{"edge-a": aStream, "edge-b": bStream}
+	refState, total, err := referenceState(streams)
+	if err != nil {
+		return err
+	}
+
+	// The wire chaos schedule, keyed by accept index: the first session is
+	// cut mid-stream after 4 KiB (a TCP RST shape — CloseOnFault makes both
+	// ends see it), the second stalls delivery past the 4x-heartbeat read
+	// deadline (a silent-peer shape), the third is cut again, everything
+	// after flows clean so the run terminates.
+	schedule := func(i int) faultinject.ConnConfig {
+		switch i {
+		case 0:
+			return faultinject.ConnConfig{
+				Read:         faultinject.ReaderConfig{ErrAfter: 4 << 10},
+				CloseOnFault: true,
+			}
+		case 1:
+			return faultinject.ConnConfig{
+				Read: faultinject.ReaderConfig{StallEvery: 8 << 10, StallFor: 6 * heartbeat},
+			}
+		case 2:
+			return faultinject.ConnConfig{
+				Read:         faultinject.ReaderConfig{ErrAfter: 16 << 10},
+				CloseOnFault: true,
+			}
+		}
+		return faultinject.ConnConfig{}
+	}
+
+	c := &core{}
+	eng, err := ipd.NewEngine(config())
+	if err != nil {
+		return err
+	}
+	c.eng = eng
+	edges := []string{"edge-a", "edge-b"}
+	if err := c.start(edges, schedule, nil); err != nil {
+		return err
+	}
+
+	newSender := func(id string, seed uint64) (*ipd.DeltaSender, error) {
+		return ipd.NewDeltaSender(ipd.DeltaSenderConfig{
+			Target:      "core",
+			EdgeID:      id,
+			Heartbeat:   heartbeat,
+			BatchMax:    48,
+			MaxBackoff:  200 * time.Millisecond,
+			DialTimeout: time.Second,
+			Seed:        seed,
+			Dial:        c.dial,
+		})
+	}
+
+	// Edge-b starts throttled to half its stream: the merge gate (min
+	// watermark over both edges) then pins how far edge-a can be applied,
+	// guaranteeing the upcoming kills land mid-stream with buffered-but-
+	// unapplied records — the case where resume must dedupe.
+	sb, err := newSender("edge-b", 7)
+	if err != nil {
+		return err
+	}
+	for _, rec := range bStream[:len(bStream)/2] {
+		sb.Offer(rec)
+	}
+	sa1, err := newSender("edge-a", 11)
+	if err != nil {
+		return err
+	}
+	for _, rec := range aStream {
+		sa1.Offer(rec)
+	}
+
+	// Kill edge-a once it has shipped a meaningful prefix (acks prove the
+	// core applied it), then replace it: same edge ID, full stream offered
+	// again. The handshake's last-acked offset plus receiver-side offset
+	// dedupe make the overlap exactly-once.
+	if err := waitFor(func() bool { return sa1.Stats().Acked >= 60 }, "edge-a first-life progress"); err != nil {
+		return err
+	}
+	if err := sa1.Close(); err != nil {
+		return err
+	}
+	sa2, err := newSender("edge-a", 13)
+	if err != nil {
+		return err
+	}
+	for _, rec := range aStream {
+		sa2.Offer(rec)
+	}
+	sa2.CloseInput()
+
+	// Hold the core kill until the replacement edge's replay has overlapped
+	// the first core's buffer — receiver-side offset dedupe is the path this
+	// scenario exists to prove, and it must fire before that receiver dies.
+	if err := waitFor(func() bool {
+		c.mu.Lock()
+		r := c.recv
+		c.mu.Unlock()
+		for _, e := range r.Stats().Edges {
+			if e.EdgeID == "edge-a" && e.Duplicates > 0 {
+				return true
+			}
+		}
+		return false
+	}, "edge-a replay duplicates"); err != nil {
+		return err
+	}
+
+	// Kill the core after its next checkpoint and restore from the cluster
+	// envelope: decode state + per-edge applied offsets into a fresh engine
+	// and a fresh receiver. Durable acks guarantee every record past the
+	// restored offsets is still in some sender's spool.
+	if err := waitFor(func() bool { c.mu.Lock(); defer c.mu.Unlock(); return c.ckpt != nil }, "first core checkpoint"); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	recv, serveErr := c.recv, c.serveErr
+	c.mu.Unlock()
+	_ = recv.Close()
+	<-serveErr
+	// Per-incarnation counters (duplicates, gaps) die with this receiver;
+	// capture them so the final accounting spans both lives.
+	preStats := recv.Stats()
+	c.mu.Lock()
+	env := append([]byte(nil), c.ckpt...)
+	c.mu.Unlock()
+	state, applied, err := ipd.DecodeClusterCheckpoint(env)
+	if err != nil {
+		return fmt.Errorf("decode cluster checkpoint: %v", err)
+	}
+	eng2, err := ipd.NewEngine(config())
+	if err != nil {
+		return err
+	}
+	if err := eng2.UnmarshalState(state); err != nil {
+		return fmt.Errorf("restore cluster checkpoint: %v", err)
+	}
+	c.mu.Lock()
+	c.eng = eng2
+	c.mu.Unlock()
+	if err := c.start(edges, nil, applied); err != nil {
+		return err
+	}
+
+	// Release edge-b's second half and let everything drain to Fin.
+	for _, rec := range bStream[len(bStream)/2:] {
+		sb.Offer(rec)
+	}
+	sb.CloseInput()
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	if err := sa2.Drain(ctx); err != nil {
+		return fmt.Errorf("edge-a drain: %v", err)
+	}
+	if err := sb.Drain(ctx); err != nil {
+		return fmt.Errorf("edge-b drain: %v", err)
+	}
+	c.mu.Lock()
+	recv = c.recv
+	c.mu.Unlock()
+	select {
+	case <-recv.Done():
+	case <-ctx.Done():
+		return fmt.Errorf("receiver never drained: %+v", recv.Stats())
+	}
+
+	// The convergence contract.
+	c.mu.Lock()
+	clusterState := c.eng.MarshalState()
+	appliedRecs := c.applied
+	c.mu.Unlock()
+	rstats := recv.Stats()
+	var dups, gaps uint64
+	for _, e := range append(append([]ipd.DeltaReceiverEdgeStats(nil), preStats.Edges...), rstats.Edges...) {
+		dups += e.Duplicates
+		gaps += e.Gaps
+	}
+	identical := string(clusterState) == string(refState)
+	if !identical {
+		return fmt.Errorf("cluster partition differs from the single-node reference (%d vs %d bytes)", len(clusterState), len(refState))
+	}
+	// The applied-records counter is per-incarnation (the restored core never
+	// re-applies checkpointed records); the per-edge applied offsets are
+	// cumulative across restarts and must cover every input record.
+	var finalOff uint64
+	for _, e := range rstats.Edges {
+		finalOff += e.Applied
+	}
+	if finalOff != uint64(total) {
+		return fmt.Errorf("final applied offsets sum to %d, want %d", finalOff, total)
+	}
+	if dups == 0 {
+		return fmt.Errorf("no duplicates seen: the kills never exercised resume (stats %+v)", rstats)
+	}
+	if gaps != 0 {
+		return fmt.Errorf("%d records lost to gaps", gaps)
+	}
+	aSt, bSt := sa2.Stats(), sb.Stats()
+	if aSt.Shed+bSt.Shed != 0 {
+		return fmt.Errorf("senders shed %d records", aSt.Shed+bSt.Shed)
+	}
+	if aSt.Reconnects+bSt.Reconnects == 0 {
+		return fmt.Errorf("no reconnects: the chaos schedule never fired")
+	}
+	_ = sa2.Close()
+	_ = sb.Close()
+	_ = recv.Close()
+
+	fmt.Printf("cluster: %d records over 2 edges, %d applied batches, %d duplicates deduped, %d+%d reconnects, state %d bytes\n",
+		total, rstats.Batches, dups, aSt.Reconnects, bSt.Reconnects, len(clusterState))
+	_ = appliedRecs
+
+	if snapOut != "" {
+		refSum, cluSum := sha256.Sum256(refState), sha256.Sum256(clusterState)
+		snap := snapshot{
+			Edges:          []ipd.DeltaSenderStats{aSt, bSt},
+			Receiver:       rstats,
+			InputRecords:   total,
+			AppliedRecords: appliedRecs,
+			CoreRestarts:   1,
+			EdgeRestarts:   1,
+			ReferenceSHA:   hex.EncodeToString(refSum[:]),
+			ClusterSHA:     hex.EncodeToString(cluSum[:]),
+			ByteIdentical:  identical,
+		}
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(snapOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("cluster: wrote convergence snapshot to %s\n", snapOut)
+	}
+	return nil
+}
+
+// waitFor polls cond until it holds or the global deadline passes.
+func waitFor(cond func() bool, what string) error {
+	t0 := time.Now()
+	for !cond() {
+		if time.Since(t0) > deadline {
+			return fmt.Errorf("timeout waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil
+}

@@ -1,0 +1,547 @@
+package delta
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"ipd/internal/core"
+	"ipd/internal/faultinject"
+	"ipd/internal/flow"
+)
+
+var chaosBase = time.Unix(1_600_000_000, 0).UTC().Truncate(time.Minute)
+
+// chaosConfig mirrors the tiny-n_cidr setup the core tests use so stage-2
+// splits and classifications actually happen at test scale.
+func chaosConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.NCidrFactor4 = 0.001
+	cfg.NCidrFactor6 = 1e-8
+	return cfg
+}
+
+// edgeStream builds a deterministic per-edge record stream: each edge sees
+// its own /16s with its own dominant ingress, timestamps advancing a few
+// seconds per record with edge-specific phase so the merged order genuinely
+// interleaves.
+func edgeStream(edge, rounds int) []flow.Record {
+	in := flow.Ingress{Router: flow.RouterID(edge + 1), Iface: 1}
+	var out []flow.Record
+	ts := chaosBase.Add(time.Duration(edge) * 700 * time.Millisecond)
+	for r := 0; r < rounds; r++ {
+		for block := 0; block < 3; block++ {
+			a := [4]byte{10, byte(edge*8 + block), byte(r % 4), 0}
+			for i := 0; i < 20; i++ {
+				a[3] = byte(i)
+				out = append(out, flow.Record{
+					Ts: ts, Src: netip.AddrFrom4(a), In: in,
+					Bytes: 800, Packets: 3,
+				})
+				ts = ts.Add(1700 * time.Millisecond)
+			}
+		}
+		ts = ts.Add(30 * time.Second)
+	}
+	return out
+}
+
+// referenceOrder computes the deterministic merge the receiver must
+// reproduce: per-edge running-max keys, globally ordered by (key, edgeID,
+// offset). Concatenating streams in edge-ID order and stable-sorting by key
+// realizes exactly that tie-break.
+func referenceOrder(streams map[string][]flow.Record) []flow.Record {
+	ids := make([]string, 0, len(streams))
+	for id := range streams {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	type keyed struct {
+		key time.Time
+		rec flow.Record
+	}
+	var all []keyed
+	for _, id := range ids {
+		var runMax time.Time
+		for _, rec := range streams[id] {
+			if rec.Ts.After(runMax) {
+				runMax = rec.Ts
+			}
+			all = append(all, keyed{key: runMax, rec: rec})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].key.Before(all[j].key) })
+	out := make([]flow.Record, len(all))
+	for i, k := range all {
+		out[i] = k.rec
+	}
+	return out
+}
+
+// referenceState runs a single uninterrupted engine over recs and returns
+// its byte-deterministic partition.
+func referenceState(t *testing.T, recs []flow.Record) []byte {
+	t.Helper()
+	eng, err := core.NewEngine(chaosConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		eng.Feed(rec)
+	}
+	return eng.MarshalState()
+}
+
+// clusterHarness wires a receiver-backed engine on an in-process TCP
+// listener, with a faultinject schedule on accepted conns. With durable set,
+// every Apply is treated as a checkpoint (encoded and marked durable), the
+// shape cmd/ipd uses with -state.
+type clusterHarness struct {
+	t        *testing.T
+	durable  bool
+	mu       sync.Mutex
+	eng      *core.Engine
+	recv     *Receiver
+	ln       *faultinject.Listener
+	serveErr chan error
+	applies  int
+	ckpt     []byte                                 // latest checkpoint (durable mode)
+	onApply  func(n int, applied map[string]uint64) // called under mu after each batch
+}
+
+func newClusterHarness(t *testing.T, edges []string, schedule func(i int) faultinject.ConnConfig, durable bool) *clusterHarness {
+	t.Helper()
+	h := &clusterHarness{t: t, durable: durable, serveErr: make(chan error, 1)}
+	eng, err := core.NewEngine(chaosConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.eng = eng
+	h.start(t, edges, schedule, nil)
+	return h
+}
+
+// start (re)creates the receiver and listener; applied seeds resume offsets.
+func (h *clusterHarness) start(t *testing.T, edges []string, schedule func(i int) faultinject.ConnConfig, applied map[string]uint64) {
+	t.Helper()
+	var recv *Receiver
+	recv, err := NewReceiver(ReceiverConfig{
+		Edges:       edges,
+		Heartbeat:   40 * time.Millisecond,
+		DurableAcks: h.durable,
+		Apply: func(recs []flow.Record, app map[string]uint64) error {
+			h.mu.Lock()
+			if h.recv != recv && h.recv != nil {
+				// A killed core's in-flight drain must not feed the engine
+				// its replacement restored — that batch is the replayed
+				// senders' job now.
+				h.mu.Unlock()
+				return fmt.Errorf("stale receiver")
+			}
+			for _, rec := range recs {
+				h.eng.Feed(rec)
+			}
+			h.applies++
+			if h.durable {
+				env, err := EncodeClusterCheckpoint(h.eng.MarshalState(), app)
+				if err != nil {
+					h.mu.Unlock()
+					return err
+				}
+				h.ckpt = env
+			}
+			if h.onApply != nil {
+				h.onApply(h.applies, app)
+			}
+			h.mu.Unlock()
+			if h.durable {
+				recv.MarkDurable(app) // "checkpoint written": acks may advance
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != nil {
+		recv.SetApplied(applied)
+	}
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock()
+	h.recv = recv
+	h.ln = faultinject.WrapListener(inner, schedule)
+	h.mu.Unlock()
+	go func() { h.serveErr <- recv.Serve(h.ln) }()
+}
+
+func (h *clusterHarness) addr() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ln.Addr().String()
+}
+
+func (h *clusterHarness) state() []byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.eng.MarshalState()
+}
+
+// runEdge feeds stream through a sender dialing the harness (with optional
+// dial-side faults), closes input, and drains.
+func runEdge(t *testing.T, h *clusterHarness, id string, stream []flow.Record, seed uint64, dialFault func(attempt int) faultinject.ConnConfig) *Sender {
+	t.Helper()
+	attempts := 0
+	var mu sync.Mutex
+	s, err := NewSender(SenderConfig{
+		EdgeID:     id,
+		Target:     h.addr(),
+		Heartbeat:  40 * time.Millisecond,
+		MaxBackoff: 150 * time.Millisecond,
+		BatchMax:   64,
+		SpoolCap:   1 << 18, // roomy: equivalence requires zero shed
+		Seed:       seed,
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			mu.Lock()
+			a := attempts
+			attempts++
+			addr := h.addr()
+			mu.Unlock()
+			conn, err := d.DialContext(ctx, "tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			if dialFault == nil {
+				return conn, nil
+			}
+			return faultinject.WrapConn(conn, dialFault(a)), nil
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range stream {
+		s.Offer(rec)
+	}
+	s.CloseInput()
+	return s
+}
+
+func waitDone(t *testing.T, h *clusterHarness, senders ...*Sender) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for _, s := range senders {
+		if err := s.Drain(ctx); err != nil {
+			t.Fatalf("drain %s: %v (stats %+v, recv %+v)", s.cfg.EdgeID, err, s.Stats(), h.recv.Stats())
+		}
+	}
+	select {
+	case <-h.recv.Done():
+	case <-ctx.Done():
+		t.Fatalf("receiver never converged: %+v", h.recv.Stats())
+	}
+}
+
+// TestClusterEquivalenceClean: two clean edges must reproduce the reference
+// partition byte-identically — the no-chaos baseline for the tests below.
+func TestClusterEquivalenceClean(t *testing.T) {
+	streams := map[string][]flow.Record{
+		"edge-a": edgeStream(0, 3),
+		"edge-b": edgeStream(1, 3),
+	}
+	want := referenceState(t, referenceOrder(streams))
+
+	h := newClusterHarness(t, []string{"edge-a", "edge-b"}, nil, false)
+	defer h.recv.Close()
+	sa := runEdge(t, h, "edge-a", streams["edge-a"], 11, nil)
+	sb := runEdge(t, h, "edge-b", streams["edge-b"], 22, nil)
+	defer sa.Close()
+	defer sb.Close()
+	waitDone(t, h, sa, sb)
+
+	if !bytes.Equal(h.state(), want) {
+		t.Fatal("clean cluster partition differs from single-node reference")
+	}
+}
+
+// TestClusterEquivalenceChaos is the tentpole proof: seeded connection cuts,
+// bit flips, stalls, and torn writes on both listener and dial sides — the
+// core partition must still be byte-identical to the uninterrupted
+// single-node run, with every retransmission deduped by offset.
+func TestClusterEquivalenceChaos(t *testing.T) {
+	streams := map[string][]flow.Record{
+		"edge-a": edgeStream(0, 3),
+		"edge-b": edgeStream(1, 3),
+	}
+	want := referenceState(t, referenceOrder(streams))
+
+	// Listener side: first four sessions die in varied ways (receive cut,
+	// bit flip → CRC tear-down, stall then cut), later sessions are clean
+	// so the run terminates.
+	schedule := func(i int) faultinject.ConnConfig {
+		switch i {
+		case 0:
+			return faultinject.ConnConfig{Read: faultinject.ReaderConfig{Seed: 101, ErrAfter: 2000}, CloseOnFault: true}
+		case 1:
+			return faultinject.ConnConfig{Read: faultinject.ReaderConfig{Seed: 102, BitFlipEvery: 4000}, CloseOnFault: true}
+		case 2:
+			return faultinject.ConnConfig{Read: faultinject.ReaderConfig{
+				Seed: 103, StallEvery: 1500, StallFor: 60 * time.Millisecond, ErrAfter: 6000,
+			}, CloseOnFault: true}
+		case 3:
+			return faultinject.ConnConfig{Read: faultinject.ReaderConfig{Seed: 104, ErrAfter: 9000}, CloseOnFault: true}
+		default:
+			return faultinject.ConnConfig{}
+		}
+	}
+	h := newClusterHarness(t, []string{"edge-a", "edge-b"}, schedule, false)
+	defer h.recv.Close()
+
+	// Dial side: edge-a's first two attempts tear their writes mid-stream.
+	tornWrites := func(attempt int) faultinject.ConnConfig {
+		if attempt < 2 {
+			return faultinject.ConnConfig{Write: faultinject.WriterConfig{FailAfter: int64(3000 + attempt*2500)}, CloseOnFault: true}
+		}
+		return faultinject.ConnConfig{}
+	}
+	sa := runEdge(t, h, "edge-a", streams["edge-a"], 31, tornWrites)
+	sb := runEdge(t, h, "edge-b", streams["edge-b"], 32, nil)
+	defer sa.Close()
+	defer sb.Close()
+	waitDone(t, h, sa, sb)
+
+	if !bytes.Equal(h.state(), want) {
+		t.Fatal("chaos cluster partition differs from single-node reference")
+	}
+	stA, stB := sa.Stats(), sb.Stats()
+	if stA.Reconnects == 0 && stB.Reconnects == 0 {
+		t.Fatalf("chaos run never reconnected — faults did not fire (a=%+v b=%+v)", stA, stB)
+	}
+	if stA.Shed+stB.Shed != 0 {
+		t.Fatalf("equivalence run shed records: a=%d b=%d", stA.Shed, stB.Shed)
+	}
+	t.Logf("edge-a: %+v", stA)
+	t.Logf("edge-b: %+v", stB)
+}
+
+// TestClusterSenderKillRestart: a sender killed mid-stream (process gone,
+// spool lost) is replaced by a fresh sender that re-reads its input from the
+// start — the handshake's applied offset must skip everything already
+// applied, and the partition must match the reference exactly.
+func TestClusterSenderKillRestart(t *testing.T) {
+	streams := map[string][]flow.Record{
+		"edge-a": edgeStream(0, 6),
+		"edge-b": edgeStream(1, 6),
+	}
+	want := referenceState(t, referenceOrder(streams))
+
+	h := newClusterHarness(t, []string{"edge-a", "edge-b"}, nil, false)
+	defer h.recv.Close()
+
+	// edge-b ships only half its stream for now. The merge gate (min
+	// watermark) then caps how far edge-a can be applied, so the kill below
+	// is guaranteed to land mid-stream: some edge-a records applied, some
+	// buffered at the core, some still only in its spool.
+	bStream := streams["edge-b"]
+	sb, err := NewSender(SenderConfig{
+		EdgeID: "edge-b", Target: h.addr(),
+		Heartbeat: 40 * time.Millisecond, MaxBackoff: 150 * time.Millisecond,
+		BatchMax: 64, SpoolCap: 1 << 18, Seed: 42, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+	for _, rec := range bStream[:len(bStream)/2] {
+		sb.Offer(rec)
+	}
+
+	// First incarnation of edge-a: offer everything, let it ship until a
+	// chunk is applied, then kill it abruptly.
+	sa1, err := NewSender(SenderConfig{
+		EdgeID: "edge-a", Target: h.addr(),
+		Heartbeat: 40 * time.Millisecond, MaxBackoff: 150 * time.Millisecond,
+		BatchMax: 32, SpoolCap: 1 << 18, Seed: 51, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range streams["edge-a"] {
+		sa1.Offer(rec)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for sa1.Stats().Acked < 100 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if sa1.Stats().Acked < 100 {
+		t.Fatalf("edge-a never made progress: %+v", sa1.Stats())
+	}
+	sa1.Close() // kill -9: in-memory spool and cursor are gone
+
+	// Second incarnation: same edge ID, input re-read from the start, so
+	// offsets recount identically. The handshake trims everything applied;
+	// edge-b ships its remaining half.
+	sa2 := runEdge(t, h, "edge-a", streams["edge-a"], 52, nil)
+	defer sa2.Close()
+	for _, rec := range bStream[len(bStream)/2:] {
+		sb.Offer(rec)
+	}
+	sb.CloseInput()
+	waitDone(t, h, sa2, sb)
+
+	if !bytes.Equal(h.state(), want) {
+		t.Fatal("kill+restart partition differs from single-node reference")
+	}
+	if d := sa2.Stats(); d.Acked != uint64(len(streams["edge-a"])) {
+		t.Fatalf("edge-a acked %d of %d", d.Acked, len(streams["edge-a"]))
+	}
+	st := h.recv.Stats()
+	var dups uint64
+	for _, e := range st.Edges {
+		dups += e.Duplicates
+	}
+	if dups == 0 {
+		t.Fatal("restart replayed nothing — the resume path was not exercised")
+	}
+}
+
+// TestClusterCoreRestartFromCheckpoint: the core is killed mid-merge and
+// rebuilt from its last cluster checkpoint (engine state + applied offsets
+// taken atomically inside Apply). Durable acks guarantee no sender trimmed a
+// record the restored state lacks; senders reconnect, the handshake resumes
+// them from the restored offsets, and the final partition must match the
+// reference.
+func TestClusterCoreRestartFromCheckpoint(t *testing.T) {
+	streams := map[string][]flow.Record{
+		"edge-a": edgeStream(0, 4),
+		"edge-b": edgeStream(1, 4),
+	}
+	want := referenceState(t, referenceOrder(streams))
+	edges := []string{"edge-a", "edge-b"}
+
+	h := newClusterHarness(t, edges, nil, true)
+	ckptReady := make(chan struct{})
+	h.mu.Lock()
+	h.onApply = func(n int, applied map[string]uint64) {
+		if n == 2 { // a checkpoint exists and work remains after it
+			close(ckptReady)
+		}
+	}
+	h.mu.Unlock()
+
+	sa := runEdge(t, h, "edge-a", streams["edge-a"], 61, nil)
+	sb := runEdge(t, h, "edge-b", streams["edge-b"], 62, nil)
+	defer sa.Close()
+	defer sb.Close()
+
+	select {
+	case <-ckptReady:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("checkpoint never taken: %+v", h.recv.Stats())
+	}
+	// Kill the core: everything applied after the last checkpoint write is
+	// lost, along with every buffered-but-unapplied record.
+	h.recv.Close()
+	<-h.serveErr
+
+	h.mu.Lock()
+	env := append([]byte(nil), h.ckpt...)
+	h.onApply = nil
+	h.mu.Unlock()
+	state, applied, err := DecodeClusterCheckpoint(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := core.NewEngine(chaosConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.UnmarshalState(state); err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock()
+	h.eng = eng2
+	h.mu.Unlock()
+	h.start(t, edges, nil, applied)
+	defer h.recv.Close()
+
+	waitDone(t, h, sa, sb)
+	if !bytes.Equal(h.state(), want) {
+		t.Fatal("core-restart partition differs from single-node reference")
+	}
+}
+
+// TestClusterMergeDeterminism: the same two streams under two different
+// chaos schedules must produce the same partition — determinism does not
+// depend on which faults fired when.
+func TestClusterMergeDeterminism(t *testing.T) {
+	streams := map[string][]flow.Record{
+		"edge-a": edgeStream(0, 2),
+		"edge-b": edgeStream(1, 2),
+	}
+	run := func(schedule func(i int) faultinject.ConnConfig, seedA, seedB uint64) []byte {
+		h := newClusterHarness(t, []string{"edge-a", "edge-b"}, schedule, false)
+		defer h.recv.Close()
+		sa := runEdge(t, h, "edge-a", streams["edge-a"], seedA, nil)
+		sb := runEdge(t, h, "edge-b", streams["edge-b"], seedB, nil)
+		defer sa.Close()
+		defer sb.Close()
+		waitDone(t, h, sa, sb)
+		return h.state()
+	}
+	cut := func(after int64, seed uint64) func(i int) faultinject.ConnConfig {
+		return func(i int) faultinject.ConnConfig {
+			if i < 2 {
+				return faultinject.ConnConfig{Read: faultinject.ReaderConfig{Seed: seed, ErrAfter: after}, CloseOnFault: true}
+			}
+			return faultinject.ConnConfig{}
+		}
+	}
+	a := run(cut(1500, 7), 71, 72)
+	b := run(cut(5000, 8), 81, 82)
+	if !bytes.Equal(a, b) {
+		t.Fatal("different chaos schedules produced different partitions")
+	}
+}
+
+// TestSenderGovernorGate: with the gate shut the sender sheds instead of
+// spooling — the governor-awareness contract.
+func TestSenderGovernorGate(t *testing.T) {
+	open := true
+	var mu sync.Mutex
+	s, err := NewSender(SenderConfig{
+		EdgeID: "edge-g",
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			return nil, fmt.Errorf("core unreachable")
+		},
+		Gate:       func() bool { mu.Lock(); defer mu.Unlock(); return open },
+		Heartbeat:  20 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	recs := edgeStream(0, 1)
+	s.Offer(recs[0])
+	mu.Lock()
+	open = false
+	mu.Unlock()
+	s.Offer(recs[1])
+	s.Offer(recs[2])
+	st := s.Stats()
+	if st.Spooled != 1 || st.Shed != 2 {
+		t.Fatalf("spooled=%d shed=%d, want 1/2", st.Spooled, st.Shed)
+	}
+}

@@ -1,0 +1,76 @@
+package delta
+
+import (
+	"fmt"
+	"sort"
+
+	"ipd/internal/persist"
+)
+
+// Cluster checkpoints wrap an engine checkpoint (the PR 4 byte-deterministic
+// MarshalState payload) together with the per-edge applied offsets that
+// produced it. The pairing is the exactly-once invariant: restoring the
+// envelope restores a partition plus the exact offsets its state already
+// contains, so the next handshake resumes each edge with no loss and no
+// double-apply.
+const (
+	// clusterMagic is "IPDX" — IPD cluster checkpoint envelope.
+	clusterMagic   uint32 = 0x49504458
+	clusterVersion uint16 = 1
+)
+
+// EncodeClusterCheckpoint wraps state and applied into a deterministic
+// envelope (edges sorted by ID), ready for persist.Manager.
+func EncodeClusterCheckpoint(state []byte, applied map[string]uint64) ([]byte, error) {
+	ids := make([]string, 0, len(applied))
+	for id := range applied {
+		if len(id) > maxEdgeID {
+			return nil, fmt.Errorf("delta: edge id longer than %d bytes", maxEdgeID)
+		}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	enc := persist.NewEncoder(clusterMagic, clusterVersion)
+	enc.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		enc.Bytes([]byte(id))
+		enc.Uvarint(applied[id])
+	}
+	enc.Bytes(state)
+	return enc.Finish(), nil
+}
+
+// DecodeClusterCheckpoint unwraps an envelope. The returned state slice
+// aliases data.
+func DecodeClusterCheckpoint(data []byte) (state []byte, applied map[string]uint64, err error) {
+	dec, err := persist.NewDecoder(data, clusterMagic, clusterVersion)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, err := dec.Len()
+	if err != nil {
+		return nil, nil, err
+	}
+	applied = make(map[string]uint64, n)
+	for i := 0; i < n; i++ {
+		id, err := dec.Bytes()
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(id) > maxEdgeID {
+			return nil, nil, fmt.Errorf("delta: edge id longer than %d bytes", maxEdgeID)
+		}
+		off, err := dec.Uvarint()
+		if err != nil {
+			return nil, nil, err
+		}
+		applied[string(id)] = off
+	}
+	if state, err = dec.Bytes(); err != nil {
+		return nil, nil, err
+	}
+	if err := dec.Finish(); err != nil {
+		return nil, nil, err
+	}
+	return state, applied, nil
+}

@@ -1,0 +1,557 @@
+package delta
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ipd/internal/flow"
+	"ipd/internal/persist"
+	"ipd/internal/telemetry"
+)
+
+// SenderConfig configures an edge-side delta sender.
+type SenderConfig struct {
+	// Target is the core's delta listen address (host:port).
+	Target string
+	// EdgeID names this edge in the session handshake and the core's merge;
+	// it must be unique and stable across restarts.
+	EdgeID string
+	// SpoolCap bounds the record spool (waiting + unacked). <= 0 selects
+	// DefaultSpoolCap.
+	SpoolCap int
+	// Heartbeat is the idle keepalive interval; read deadlines are 4x this.
+	// <= 0 selects DefaultHeartbeat.
+	Heartbeat time.Duration
+	// BatchMax caps records per delta frame. <= 0 selects DefaultBatchMax.
+	BatchMax int
+	// DialTimeout bounds each connection attempt. <= 0 selects 5s.
+	DialTimeout time.Duration
+	// MaxBackoff caps the exponential reconnect backoff. <= 0 selects 30s.
+	MaxBackoff time.Duration
+	// Seed drives backoff jitter; 0 picks a fixed default (deterministic
+	// tests pass an explicit seed per sender).
+	Seed uint64
+	// Dial overrides the dialer (tests inject faultinject conns here). nil
+	// uses net.Dialer against Target.
+	Dial func(ctx context.Context) (net.Conn, error)
+	// Gate, when non-nil and returning false, makes Offer drop the record
+	// instead of spooling it — the hook for the collector's memory governor,
+	// so a memory-pressed edge sheds at the spool the same way it sheds at
+	// the ingest queue.
+	Gate func() bool
+	// Logf receives connection lifecycle messages; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Defaults for SenderConfig zero values.
+const (
+	DefaultSpoolCap  = 1 << 16
+	DefaultHeartbeat = 2 * time.Second
+	DefaultBatchMax  = 2048
+)
+
+// SenderStats is a point-in-time snapshot for introspection.
+type SenderStats struct {
+	EdgeID        string    `json:"edge_id"`
+	Target        string    `json:"target"`
+	Connected     bool      `json:"connected"`
+	Sent          uint64    `json:"sent"`          // records sent (incl. retransmits)
+	Acked         uint64    `json:"acked"`         // highest applied offset acked by core
+	Retransmitted uint64    `json:"retransmitted"` // records sent more than once
+	Spooled       uint64    `json:"spooled"`       // records accepted into the spool
+	Shed          uint64    `json:"shed"`          // records dropped (spool full or gated)
+	Reconnects    uint64    `json:"reconnects"`    // completed handshakes after the first
+	SpoolDepth    int       `json:"spool_depth"`   // records currently buffered
+	BackoffSecs   float64   `json:"backoff_secs"`  // current reconnect backoff (0 when connected)
+	Watermark     time.Time `json:"watermark"`     // running-max record timestamp offered
+}
+
+// Sender ships flow records to the core, surviving disconnects with
+// exponential backoff + jitter, spooling while down, and resuming exactly
+// where the core's handshake says to. Offer is safe for concurrent use with
+// the connection supervisor; the hot path is a mutex, a ring append, and a
+// cond signal.
+type Sender struct {
+	cfg SenderConfig
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	spool     *spool
+	watermark time.Time // running-max Ts over all offered records
+	acked     uint64    // highest applied offset acked by the core
+	maxSent   uint64    // highest offset ever put on the wire
+	connected bool
+	inputDone bool // CloseInput called: no more Offers, Fin once all sent
+	closed    bool // Close called: tear everything down
+	backoff   time.Duration
+
+	sent          uint64
+	retransmitted uint64
+	spooled       uint64
+	shed          uint64
+	reconnects    uint64
+	handshakes    uint64
+
+	rng  rng
+	done chan struct{} // supervisor exited
+}
+
+// xorshift64* — same generator faultinject uses, re-stated here because
+// faultinject is a test-only harness the production sender must not import.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// NewSender starts the connection supervisor and returns the sender.
+func NewSender(cfg SenderConfig) (*Sender, error) {
+	if cfg.EdgeID == "" {
+		return nil, errors.New("delta: sender needs an EdgeID")
+	}
+	if len(cfg.EdgeID) > maxEdgeID {
+		return nil, fmt.Errorf("delta: edge id longer than %d bytes", maxEdgeID)
+	}
+	if cfg.Target == "" && cfg.Dial == nil {
+		return nil, errors.New("delta: sender needs a Target or Dial")
+	}
+	if cfg.SpoolCap <= 0 {
+		cfg.SpoolCap = DefaultSpoolCap
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = DefaultHeartbeat
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = DefaultBatchMax
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	s := &Sender{
+		cfg:   cfg,
+		spool: newSpool(cfg.SpoolCap),
+		rng:   rng{s: seed},
+		done:  make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.supervise()
+	return s, nil
+}
+
+// Offer hands one record to the sender. It never blocks: at spool capacity
+// (or when the governor gate is shut) a record is shed and counted. Records
+// offered after CloseInput are dropped.
+func (s *Sender) Offer(rec flow.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.inputDone {
+		return
+	}
+	if s.cfg.Gate != nil && !s.cfg.Gate() {
+		s.shed++
+		return
+	}
+	if s.spool.add(rec) {
+		s.shed++
+	}
+	s.spooled++
+	if rec.Ts.After(s.watermark) {
+		s.watermark = rec.Ts
+	}
+	s.cond.Broadcast()
+}
+
+// CloseInput declares that no further records will be offered. Once every
+// spooled record is on the wire the session sends Fin so the core can close
+// out this edge's stream.
+func (s *Sender) CloseInput() {
+	s.mu.Lock()
+	s.inputDone = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Drain blocks until every offered record has been acked by the core (or ctx
+// expires). Call after CloseInput.
+func (s *Sender) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return errors.New("delta: sender closed while draining")
+		}
+		if s.acked >= s.spool.last() {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("delta: drain: %w (acked %d of %d)", ctx.Err(), s.acked, s.spool.last())
+		}
+		// Cond has no timed wait; poke ourselves so ctx expiry is noticed.
+		waker := time.AfterFunc(50*time.Millisecond, s.cond.Broadcast)
+		s.cond.Wait()
+		waker.Stop()
+	}
+}
+
+// Close tears down the supervisor and connection. Unacked records are
+// abandoned (use CloseInput+Drain first for a clean shutdown).
+func (s *Sender) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	<-s.done
+	return nil
+}
+
+// Stats snapshots the sender.
+func (s *Sender) Stats() SenderStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SenderStats{
+		EdgeID:        s.cfg.EdgeID,
+		Target:        s.cfg.Target,
+		Connected:     s.connected,
+		Sent:          s.sent,
+		Acked:         s.acked,
+		Retransmitted: s.retransmitted,
+		Spooled:       s.spooled,
+		Shed:          s.shed,
+		Reconnects:    s.reconnects,
+		SpoolDepth:    s.spool.count,
+		BackoffSecs:   s.backoff.Seconds(),
+		Watermark:     s.watermark,
+	}
+}
+
+// RegisterMetrics exposes the sender's counters on reg under the canonical
+// ipd_delta_* names.
+func (s *Sender) RegisterMetrics(reg *telemetry.Registry) {
+	stat := func(f func(SenderStats) float64) func() float64 {
+		return func() float64 { return f(s.Stats()) }
+	}
+	reg.CounterFunc("ipd_delta_sent_total",
+		"Delta records sent to the core, including retransmissions.",
+		stat(func(st SenderStats) float64 { return float64(st.Sent) }))
+	reg.CounterFunc("ipd_delta_acked_total",
+		"Highest record offset the core has acked as applied.",
+		stat(func(st SenderStats) float64 { return float64(st.Acked) }))
+	reg.CounterFunc("ipd_delta_retransmitted_total",
+		"Delta records sent more than once after reconnects.",
+		stat(func(st SenderStats) float64 { return float64(st.Retransmitted) }))
+	reg.CounterFunc("ipd_delta_spooled_total",
+		"Records accepted into the delta spool.",
+		stat(func(st SenderStats) float64 { return float64(st.Spooled) }))
+	reg.CounterFunc("ipd_delta_shed_total",
+		"Records dropped because the spool was full or the governor gated.",
+		stat(func(st SenderStats) float64 { return float64(st.Shed) }))
+	reg.CounterFunc("ipd_delta_reconnects_total",
+		"Completed session handshakes beyond the first.",
+		stat(func(st SenderStats) float64 { return float64(st.Reconnects) }))
+	reg.GaugeFunc("ipd_delta_backoff_seconds",
+		"Current reconnect backoff; 0 while connected.",
+		stat(func(st SenderStats) float64 { return st.BackoffSecs }))
+	reg.GaugeFunc("ipd_delta_spool_depth",
+		"Records currently buffered in the delta spool.",
+		stat(func(st SenderStats) float64 { return float64(st.SpoolDepth) }))
+}
+
+// supervise runs dial → session → backoff until Close or a fully drained,
+// Fin-acked stream.
+func (s *Sender) supervise() {
+	defer close(s.done)
+	var attempt uint
+	for {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+
+		conn, err := s.dial()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			s.sleepBackoff(&attempt, err)
+			continue
+		}
+		attempt = 0 // a completed dial resets the backoff ladder
+		err = s.session(conn)
+		conn.Close()
+		s.mu.Lock()
+		s.connected = false
+		closed = s.closed
+		finished := err == nil && s.inputDone && s.acked >= s.spool.last()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		if closed || finished {
+			return
+		}
+		s.sleepBackoff(&attempt, err)
+	}
+}
+
+func (s *Sender) dial() (net.Conn, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DialTimeout)
+	defer cancel()
+	if s.cfg.Dial != nil {
+		return s.cfg.Dial(ctx)
+	}
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", s.cfg.Target)
+}
+
+// sleepBackoff sleeps the exponential backoff for attempt (base 100ms
+// doubling, ±25% seeded jitter, capped at MaxBackoff), publishing the delay
+// on the backoff gauge and waking early on Close.
+func (s *Sender) sleepBackoff(attempt *uint, cause error) {
+	base := 100 * time.Millisecond << min(*attempt, 16)
+	if base > s.cfg.MaxBackoff {
+		base = s.cfg.MaxBackoff
+	}
+	jitter := time.Duration(s.rng.next() % uint64(base/2+1)) // [0, base/2]
+	d := base - base/4 + jitter                              // base ± 25%
+	*attempt++
+	s.mu.Lock()
+	s.backoff = d
+	s.mu.Unlock()
+	s.cfg.Logf("delta sender %s: connection lost (%v); retrying in %v", s.cfg.EdgeID, cause, d)
+	deadline := time.Now().Add(d)
+	for {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed || !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(min(20*time.Millisecond, time.Until(deadline)))
+	}
+	s.mu.Lock()
+	s.backoff = 0
+	s.mu.Unlock()
+}
+
+// Actions the session send loop can wake up to.
+const (
+	actData = iota
+	actFin
+	actHeartbeat
+)
+
+// session runs one connected session: handshake, then a send loop here plus
+// an ack-reader goroutine, until either side errors or the stream completes
+// (Fin sent and fully acked → returns nil).
+func (s *Sender) session(conn net.Conn) error {
+	hb := s.cfg.Heartbeat
+	writeFrame := func(f Frame) error {
+		payload, err := EncodeFrame(f)
+		if err != nil {
+			return err
+		}
+		conn.SetWriteDeadline(time.Now().Add(4 * hb))
+		return persist.WriteFrame(conn, payload)
+	}
+
+	// Handshake: Hello out, HelloAck back tells us where to resume.
+	if err := writeFrame(Frame{Type: FrameHello, EdgeID: s.cfg.EdgeID}); err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+	fr := persist.NewFrameReader(conn, MaxFrameBytes+64)
+	conn.SetReadDeadline(time.Now().Add(4 * hb))
+	payload, err := fr.Next()
+	if err != nil {
+		return fmt.Errorf("hello-ack: %w", err)
+	}
+	ack, err := DecodeFrame(payload)
+	if err != nil {
+		return fmt.Errorf("hello-ack: %w", err)
+	}
+	if ack.Type != FrameHelloAck {
+		return fmt.Errorf("hello-ack: unexpected %v frame", ack.Type)
+	}
+
+	s.mu.Lock()
+	if ack.Offset > s.acked {
+		s.acked = ack.Offset
+	}
+	s.spool.trimTo(s.acked)
+	cursor := s.acked + 1 // next offset to put on the wire
+	// The session watermark covers only records this session has sent (the
+	// merge key of record cursor-1), never merely-offered ones — advertising
+	// further ahead would let the core order other edges past records still
+	// sitting unsent in our spool.
+	sessWM := s.spool.keyAt(cursor - 1)
+	s.connected = true
+	s.handshakes++
+	if s.handshakes > 1 {
+		s.reconnects++
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.cfg.Logf("delta sender %s: connected, resuming after offset %d", s.cfg.EdgeID, ack.Offset)
+
+	// Ack reader: applies core acks until the conn dies; closing the conn
+	// from either side unblocks the other.
+	readErr := make(chan error, 1)
+	go func() {
+		for {
+			conn.SetReadDeadline(time.Now().Add(4 * hb))
+			payload, err := fr.Next()
+			if err != nil {
+				readErr <- err
+				s.cond.Broadcast()
+				return
+			}
+			f, err := DecodeFrame(payload)
+			if err != nil {
+				readErr <- err
+				s.cond.Broadcast()
+				return
+			}
+			switch f.Type {
+			case FrameAck:
+				s.mu.Lock()
+				if f.Offset > s.acked {
+					s.acked = f.Offset
+				}
+				s.spool.trimTo(s.acked)
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			case FrameHeartbeat:
+				// Deadline already refreshed; nothing else to do.
+			default:
+				readErr <- fmt.Errorf("unexpected %v frame from core", f.Type)
+				s.cond.Broadcast()
+				return
+			}
+		}
+	}()
+	failed := func() error {
+		select {
+		case err := <-readErr:
+			return fmt.Errorf("ack stream: %w", err)
+		default:
+			return nil
+		}
+	}
+
+	batch := make([]flow.Record, 0, s.cfg.BatchMax)
+	idle := time.NewTimer(hb)
+	defer idle.Stop()
+	finSent := false
+	for {
+		if err := failed(); err != nil {
+			return err
+		}
+
+		s.mu.Lock()
+		action := -1
+		for action < 0 {
+			switch {
+			case s.closed:
+				s.mu.Unlock()
+				return nil
+			case finSent && s.acked >= s.spool.last():
+				s.mu.Unlock()
+				return nil // stream complete
+			case cursor <= s.spool.last():
+				action = actData
+			case s.inputDone && !finSent:
+				action = actFin
+			case idleExpired(idle):
+				action = actHeartbeat
+			default:
+				waker := time.AfterFunc(hb, s.cond.Broadcast)
+				s.cond.Wait()
+				waker.Stop()
+				if err := failed(); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+			}
+		}
+		var win []flow.Record
+		var from uint64
+		if action == actData {
+			var lastKey time.Time
+			win, from, lastKey = s.spool.window(cursor, s.cfg.BatchMax, batch)
+			if lastKey.After(sessWM) {
+				sessWM = lastKey
+			}
+		}
+		s.mu.Unlock()
+
+		switch action {
+		case actData:
+			n := len(win)
+			if err := writeFrame(Frame{Type: FrameDelta, Offset: from, Watermark: sessWM, Records: win}); err != nil {
+				return fmt.Errorf("delta: %w", err)
+			}
+			cursor = from + uint64(n)
+			s.mu.Lock()
+			s.sent += uint64(n)
+			newHigh := from + uint64(n) - 1
+			if from <= s.maxSent {
+				s.retransmitted += min(s.maxSent, newHigh) - from + 1
+			}
+			if newHigh > s.maxSent {
+				s.maxSent = newHigh
+			}
+			s.mu.Unlock()
+		case actFin:
+			if err := writeFrame(Frame{Type: FrameFin, Watermark: sessWM}); err != nil {
+				return fmt.Errorf("fin: %w", err)
+			}
+			finSent = true
+		case actHeartbeat:
+			if err := writeFrame(Frame{Type: FrameHeartbeat, Watermark: sessWM}); err != nil {
+				return fmt.Errorf("heartbeat: %w", err)
+			}
+		}
+		resetTimer(idle, hb)
+	}
+}
+
+// idleExpired reports whether t has fired, consuming the tick.
+func idleExpired(t *time.Timer) bool {
+	select {
+	case <-t.C:
+		return true
+	default:
+		return false
+	}
+}
+
+func resetTimer(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(d)
+}

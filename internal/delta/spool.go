@@ -1,0 +1,129 @@
+package delta
+
+import (
+	"time"
+
+	"ipd/internal/flow"
+)
+
+// spool is the sender's bounded in-memory record buffer. Records live here
+// from the moment the collector offers them until the core acks them, so the
+// spool covers both "waiting to send" and "sent, not yet applied". While the
+// core is unreachable it keeps filling; at capacity it sheds the *oldest*
+// records (the ones a late-joining core is least likely to still bin) and
+// counts them, mirroring the ingest queue's shed-oldest degrade mode.
+//
+// Offsets are cumulative and 1-based: the first record ever offered has
+// offset 1. first is the offset of buf's head element.
+//
+// Alongside each record the spool stores its merge key — the running-max Ts
+// at offer time. The watermark a session may advertise is the key of the
+// last record it has *sent* (never of merely-offered ones): advertising an
+// offered-but-unsent maximum would let the core emit other edges' records
+// ahead of lower-key records still in this spool, breaking the
+// deterministic merge order.
+type spool struct {
+	buf   []flow.Record
+	keys  []time.Time // merge key per slot: running-max Ts at offer
+	head  int         // index of the oldest element within buf
+	count int         // live elements
+	cap   int
+
+	first uint64 // offset of the oldest buffered record
+	next  uint64 // offset the next offered record will get (last+1)
+	shed  uint64 // total records dropped at capacity
+
+	keyBefore time.Time // merge key of record first-1 (trimmed prefix)
+	runMax    time.Time // merge key of record next-1 (running max offered)
+}
+
+func newSpool(capacity int) *spool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &spool{
+		buf:   make([]flow.Record, capacity),
+		keys:  make([]time.Time, capacity),
+		cap:   capacity,
+		first: 1,
+		next:  1,
+	}
+}
+
+// add appends rec, assigning it the next offset and its merge key; at
+// capacity the oldest record is shed. Returns true if a record was shed.
+func (s *spool) add(rec flow.Record) bool {
+	shed := false
+	if s.count == s.cap {
+		s.keyBefore = s.keys[s.head]
+		s.head = (s.head + 1) % s.cap
+		s.count--
+		s.first++
+		s.shed++
+		shed = true
+	}
+	if rec.Ts.After(s.runMax) {
+		s.runMax = rec.Ts
+	}
+	slot := (s.head + s.count) % s.cap
+	s.buf[slot] = rec
+	s.keys[slot] = s.runMax
+	s.count++
+	s.next++
+	return shed
+}
+
+// trimTo drops every record with offset <= applied (they are safe at the
+// core). A stale ack below first is a no-op.
+func (s *spool) trimTo(applied uint64) {
+	for s.count > 0 && s.first <= applied {
+		s.keyBefore = s.keys[s.head]
+		s.buf[s.head] = flow.Record{}
+		s.head = (s.head + 1) % s.cap
+		s.count--
+		s.first++
+	}
+}
+
+// window copies up to max records starting at offset from (clamped into the
+// buffered range) into out, returning the slice, the offset of its first
+// record, and the merge key of its last record. A from below first (records
+// already shed) snaps forward; the caller learns the gap from the returned
+// offset.
+func (s *spool) window(from uint64, max int, out []flow.Record) ([]flow.Record, uint64, time.Time) {
+	if from < s.first {
+		from = s.first
+	}
+	if from >= s.first+uint64(s.count) {
+		return out[:0], from, time.Time{}
+	}
+	start := int(from - s.first)
+	n := s.count - start
+	if n > max {
+		n = max
+	}
+	out = out[:0]
+	var lastKey time.Time
+	for i := 0; i < n; i++ {
+		slot := (s.head + start + i) % s.cap
+		out = append(out, s.buf[slot])
+		lastKey = s.keys[slot]
+	}
+	return out, from, lastKey
+}
+
+// keyAt returns the merge key of the record at off, which must lie in
+// [first-1, last]; first-1 answers with the trimmed prefix's key (zero if
+// nothing was ever trimmed or shed).
+func (s *spool) keyAt(off uint64) time.Time {
+	if off < s.first {
+		return s.keyBefore
+	}
+	if off >= s.next {
+		return s.runMax
+	}
+	return s.keys[(s.head+int(off-s.first))%s.cap]
+}
+
+// last returns the offset of the newest record ever offered (0 if none).
+func (s *spool) last() uint64 { return s.next - 1 }

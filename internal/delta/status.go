@@ -1,0 +1,11 @@
+package delta
+
+// ClusterStatus is the /ipd/cluster introspection body: the node's role in
+// the delta-shipping topology plus whichever transport snapshot that role
+// carries. An edge (collector shipping deltas) fills Sender; a core
+// (receiver merging them) fills Receiver.
+type ClusterStatus struct {
+	Role     string         `json:"role"` // "edge" or "core"
+	Sender   *SenderStats   `json:"sender,omitempty"`
+	Receiver *ReceiverStats `json:"receiver,omitempty"`
+}

@@ -1,0 +1,238 @@
+package delta
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"ipd/internal/flow"
+)
+
+var wireBase = time.Unix(1_600_000_000, 0).UTC()
+
+func testRecords() []flow.Record {
+	return []flow.Record{
+		{
+			Ts:    wireBase,
+			Src:   netip.MustParseAddr("10.1.2.3"),
+			Dst:   netip.MustParseAddr("192.0.2.9"),
+			In:    flow.Ingress{Router: 7, Iface: 3},
+			Bytes: 1500, Packets: 2,
+		},
+		{
+			Ts:  wireBase.Add(3 * time.Second),
+			Src: netip.MustParseAddr("2001:db8::1"),
+			// Dst left invalid: exporters often omit it.
+			In:    flow.Ingress{Router: 65535, Iface: 65535},
+			Bytes: 4294967295, Packets: 4294967295,
+		},
+		{
+			Ts:    wireBase.Add(time.Minute),
+			Src:   netip.MustParseAddr("172.16.0.1"),
+			In:    flow.Ingress{Router: 1, Iface: 1},
+			Bytes: 40, Packets: 1,
+		},
+	}
+}
+
+func TestFrameEncodeDecodeAllTypes(t *testing.T) {
+	frames := []Frame{
+		{Type: FrameHello, EdgeID: "edge-west-1"},
+		{Type: FrameHelloAck, Offset: 12345},
+		{Type: FrameAck, Offset: 1 << 40},
+		{Type: FrameDelta, Offset: 101, Watermark: wireBase.Add(time.Minute), Records: testRecords()},
+		{Type: FrameDelta, Offset: 1, Records: []flow.Record{}},
+		{Type: FrameHeartbeat, Watermark: wireBase},
+		{Type: FrameHeartbeat},
+		{Type: FrameFin, Watermark: wireBase.Add(time.Hour)},
+	}
+	for _, want := range frames {
+		payload, err := EncodeFrame(want)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", want.Type, err)
+		}
+		got, err := DecodeFrame(payload)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", want.Type, err)
+		}
+		// Normalize: empty slices decode as empty, times compare by instant.
+		if got.Type != want.Type || got.EdgeID != want.EdgeID || got.Offset != want.Offset {
+			t.Fatalf("%v: header mismatch: got %+v want %+v", want.Type, got, want)
+		}
+		if !got.Watermark.Equal(want.Watermark) {
+			t.Fatalf("%v: watermark %v != %v", want.Type, got.Watermark, want.Watermark)
+		}
+		if len(got.Records) != len(want.Records) {
+			t.Fatalf("%v: %d records, want %d", want.Type, len(got.Records), len(want.Records))
+		}
+		for i := range got.Records {
+			g, w := got.Records[i], want.Records[i]
+			if !g.Ts.Equal(w.Ts) {
+				t.Fatalf("record %d ts mismatch", i)
+			}
+			g.Ts, w.Ts = time.Time{}, time.Time{}
+			if !reflect.DeepEqual(g, w) {
+				t.Fatalf("record %d: got %+v want %+v", i, g, w)
+			}
+		}
+	}
+}
+
+func TestFrameDecodeRejectsCorruption(t *testing.T) {
+	payload, err := EncodeFrame(Frame{Type: FrameDelta, Offset: 1, Watermark: wireBase, Records: testRecords()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		mut := append([]byte(nil), payload...)
+		mut[i] ^= 0x40
+		if _, err := DecodeFrame(mut); err == nil {
+			t.Fatalf("flipped byte %d went undetected", i)
+		}
+	}
+}
+
+func TestFrameEncodeRejectsBadInput(t *testing.T) {
+	if _, err := EncodeFrame(Frame{Type: FrameType(99)}); err == nil {
+		t.Fatal("unknown frame type encoded")
+	}
+	long := make([]byte, maxEdgeID+1)
+	if _, err := EncodeFrame(Frame{Type: FrameHello, EdgeID: string(long)}); err == nil {
+		t.Fatal("oversized edge id encoded")
+	}
+}
+
+func FuzzDecodeFrame(f *testing.F) {
+	for _, fr := range []Frame{
+		{Type: FrameHello, EdgeID: "e1"},
+		{Type: FrameDelta, Offset: 5, Watermark: wireBase, Records: testRecords()},
+		{Type: FrameAck, Offset: 9},
+	} {
+		payload, err := EncodeFrame(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; on success the frame must re-encode.
+		fr, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if _, err := EncodeFrame(fr); err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+	})
+}
+
+func TestSpool(t *testing.T) {
+	s := newSpool(4)
+	if s.last() != 0 {
+		t.Fatalf("empty spool last = %d", s.last())
+	}
+	recs := testRecords()
+	for i := 0; i < 3; i++ {
+		if s.add(recs[i%len(recs)]) {
+			t.Fatalf("add %d shed unexpectedly", i)
+		}
+	}
+	if s.last() != 3 || s.count != 3 || s.first != 1 {
+		t.Fatalf("after 3 adds: last=%d count=%d first=%d", s.last(), s.count, s.first)
+	}
+
+	win, from, _ := s.window(1, 10, nil)
+	if from != 1 || len(win) != 3 {
+		t.Fatalf("window(1) = %d records from %d", len(win), from)
+	}
+	win, from, _ = s.window(3, 10, nil)
+	if from != 3 || len(win) != 1 {
+		t.Fatalf("window(3) = %d records from %d", len(win), from)
+	}
+	if win, _, _ := s.window(4, 10, nil); len(win) != 0 {
+		t.Fatalf("window past end returned %d records", len(win))
+	}
+
+	// Fill to capacity and one beyond: offset 1 is shed.
+	s.add(recs[0])
+	if !s.add(recs[1]) {
+		t.Fatal("add at capacity did not shed")
+	}
+	if s.first != 2 || s.shed != 1 || s.last() != 5 {
+		t.Fatalf("after shed: first=%d shed=%d last=%d", s.first, s.shed, s.last())
+	}
+	// A window request below first snaps forward, reporting the gap.
+	if _, from, _ := s.window(1, 10, nil); from != 2 {
+		t.Fatalf("window below first resumed at %d, want 2", from)
+	}
+
+	s.trimTo(4)
+	if s.first != 5 || s.count != 1 {
+		t.Fatalf("after trimTo(4): first=%d count=%d", s.first, s.count)
+	}
+	s.trimTo(100)
+	if s.count != 0 {
+		t.Fatalf("after trimTo(100): count=%d", s.count)
+	}
+	// Stale ack is a no-op.
+	s.trimTo(3)
+	if s.first != 6 || s.next != 6 {
+		t.Fatalf("stale trim moved cursors: first=%d next=%d", s.first, s.next)
+	}
+}
+
+func TestSpoolWrapAround(t *testing.T) {
+	s := newSpool(3)
+	recs := testRecords()
+	for i := 0; i < 10; i++ {
+		s.add(recs[i%len(recs)])
+		if i%2 == 1 {
+			s.trimTo(uint64(i))
+		}
+	}
+	// Contents must always be the most recent adds in order.
+	win, from, _ := s.window(s.first, 10, nil)
+	if from != s.first || len(win) != s.count {
+		t.Fatalf("window = %d from %d, want %d from %d", len(win), from, s.count, s.first)
+	}
+	for i, r := range win {
+		want := recs[(int(from)+i-1)%len(recs)]
+		if !r.Ts.Equal(want.Ts) {
+			t.Fatalf("slot %d holds wrong record", i)
+		}
+	}
+}
+
+func TestClusterCheckpointRoundTrip(t *testing.T) {
+	state := []byte("pretend-engine-state")
+	applied := map[string]uint64{"edge-b": 42, "edge-a": 7, "edge-c": 0}
+	env, err := EncodeClusterCheckpoint(state, applied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic: re-encoding the same inputs gives identical bytes.
+	env2, err := EncodeClusterCheckpoint(state, applied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(env) != string(env2) {
+		t.Fatal("cluster checkpoint encoding is not deterministic")
+	}
+	gotState, gotApplied, err := DecodeClusterCheckpoint(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotState) != string(state) {
+		t.Fatal("state did not round-trip")
+	}
+	if !reflect.DeepEqual(gotApplied, applied) {
+		t.Fatalf("applied did not round-trip: %v", gotApplied)
+	}
+	// Corruption is detected.
+	env[len(env)/2] ^= 1
+	if _, _, err := DecodeClusterCheckpoint(env); err == nil {
+		t.Fatal("corrupt envelope decoded")
+	}
+}

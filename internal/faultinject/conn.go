@@ -1,0 +1,120 @@
+package faultinject
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// ConnConfig selects the faults a wrapped net.Conn injects, one config per
+// direction, reusing the Reader/Writer shapes so every fault the file-level
+// chaos tests know (bit flips, burst corruption, stalls, cut-after-N-bytes,
+// torn writes) applies unchanged to a network stream. The zero value is a
+// transparent wrapper.
+//
+// Cuts are expressed with the existing offset-keyed fields: Read.ErrAfter
+// cuts the receive side after N delivered bytes, Write.FailAfter tears the
+// send side after N accepted bytes. With CloseOnFault set, the first
+// injected fault also closes the underlying conn so the peer observes the
+// cut too — the shape of a mid-stream TCP RST rather than a local-only
+// error.
+type ConnConfig struct {
+	// Read faults apply to bytes read from the peer (delivered-offset keyed).
+	Read ReaderConfig
+	// Write faults apply to bytes written to the peer (accepted-offset
+	// keyed); FailAfter is the torn write.
+	Write WriterConfig
+	// CloseOnFault closes the underlying conn when an injected fault first
+	// fires, so both ends see the connection die.
+	CloseOnFault bool
+}
+
+// Conn wraps a net.Conn with deterministic seeded fault injection on both
+// directions. Deadlines, addresses, and Close pass through to the wrapped
+// conn. Like real conns, one concurrent reader plus one concurrent writer
+// are allowed; concurrent Reads (or Writes) are not.
+type Conn struct {
+	net.Conn
+	cfg ConnConfig
+	fr  *Reader
+	fw  *Writer
+
+	closeOnce sync.Once
+}
+
+// WrapConn applies cfg to c.
+func WrapConn(c net.Conn, cfg ConnConfig) *Conn {
+	return &Conn{
+		Conn: c,
+		cfg:  cfg,
+		fr:   NewReader(c, cfg.Read),
+		fw:   NewWriter(c, cfg.Write),
+	}
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	n, err := c.fr.Read(p)
+	c.maybeCut(err)
+	return n, err
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	n, err := c.fw.Write(p)
+	c.maybeCut(err)
+	return n, err
+}
+
+func (c *Conn) maybeCut(err error) {
+	if err == nil || !c.cfg.CloseOnFault || !errors.Is(err, ErrInjected) {
+		return
+	}
+	c.closeOnce.Do(func() { c.Conn.Close() })
+}
+
+// ReadDelivered returns how many bytes have been delivered to the caller.
+func (c *Conn) ReadDelivered() int64 { return c.fr.off }
+
+// WriteAccepted returns how many bytes the write side has accepted.
+func (c *Conn) WriteAccepted() int64 { return c.fw.Written() }
+
+// Listener wraps a net.Listener so every accepted conn carries a fault
+// config chosen by accept index — a deterministic per-connection chaos
+// schedule (e.g. "cut the first two sessions mid-handshake, leave the third
+// clean").
+type Listener struct {
+	net.Listener
+
+	mu       sync.Mutex
+	accepted int
+	schedule func(connIndex int) ConnConfig
+}
+
+// WrapListener wraps l. schedule is called with the zero-based accept index
+// of each connection and returns the fault config to apply; nil means every
+// conn is transparent.
+func WrapListener(l net.Listener, schedule func(connIndex int) ConnConfig) *Listener {
+	return &Listener{Listener: l, schedule: schedule}
+}
+
+// Accepted returns how many connections have been accepted so far.
+func (l *Listener) Accepted() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.accepted
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	i := l.accepted
+	l.accepted++
+	l.mu.Unlock()
+	var cfg ConnConfig
+	if l.schedule != nil {
+		cfg = l.schedule(i)
+	}
+	return WrapConn(c, cfg), nil
+}

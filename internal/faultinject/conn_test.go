@@ -1,0 +1,221 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns two ends of an in-memory conn, the a side wrapped with
+// cfg.
+func pipePair(cfg ConnConfig) (*Conn, net.Conn) {
+	a, b := net.Pipe()
+	return WrapConn(a, cfg), b
+}
+
+func TestConnTransparent(t *testing.T) {
+	fc, peer := pipePair(ConnConfig{})
+	defer fc.Close()
+	defer peer.Close()
+
+	msg := []byte("hello over the wire")
+	go func() {
+		peer.Write(msg)
+		peer.Close()
+	}()
+	got, err := io.ReadAll(fc)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+	if fc.ReadDelivered() != int64(len(msg)) {
+		t.Fatalf("ReadDelivered = %d, want %d", fc.ReadDelivered(), len(msg))
+	}
+}
+
+// TestConnCutReadAfter: the receive side dies with ErrInjected after exactly
+// N delivered bytes, and with CloseOnFault the peer's next write observes
+// the closed pipe.
+func TestConnCutReadAfter(t *testing.T) {
+	const cut = 10
+	fc, peer := pipePair(ConnConfig{
+		Read:         ReaderConfig{ErrAfter: cut},
+		CloseOnFault: true,
+	})
+	defer fc.Close()
+	defer peer.Close()
+
+	writeErr := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 64)
+		var err error
+		for err == nil {
+			peer.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			_, err = peer.Write(buf)
+		}
+		writeErr <- err
+	}()
+
+	got, err := io.ReadAll(fc)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("read error = %v, want ErrInjected", err)
+	}
+	if len(got) != cut {
+		t.Fatalf("delivered %d bytes before cut, want %d", len(got), cut)
+	}
+	if err := <-writeErr; err == nil {
+		t.Fatal("peer write kept succeeding after CloseOnFault cut")
+	}
+}
+
+// TestConnTornWrite: Write.FailAfter accepts exactly the prefix and reports
+// ErrInjected with a short write — the torn-write shape, keyed to the
+// accepted offset across multiple Write calls.
+func TestConnTornWrite(t *testing.T) {
+	const tearAt = 7
+	fc, peer := pipePair(ConnConfig{Write: WriterConfig{FailAfter: tearAt}})
+	defer fc.Close()
+	defer peer.Close()
+
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		io.Copy(&got, peer)
+		close(done)
+	}()
+
+	n1, err := fc.Write([]byte("abcd")) // 4 bytes, below the tear
+	if n1 != 4 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n1, err)
+	}
+	n2, err := fc.Write([]byte("efghij")) // crosses the tear at offset 7
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write error = %v, want ErrInjected", err)
+	}
+	if n1+n2 != tearAt {
+		t.Fatalf("accepted %d bytes total, want %d", n1+n2, tearAt)
+	}
+	if fc.WriteAccepted() != tearAt {
+		t.Fatalf("WriteAccepted = %d, want %d", fc.WriteAccepted(), tearAt)
+	}
+	fc.Close()
+	<-done
+	if got.String() != "abcdefg" {
+		t.Fatalf("peer received %q, want %q", got.String(), "abcdefg")
+	}
+}
+
+// TestConnBitFlipDeterminism: the same seed corrupts the same bytes, a
+// different seed corrupts different ones.
+func TestConnBitFlipDeterminism(t *testing.T) {
+	run := func(seed uint64) []byte {
+		fc, peer := pipePair(ConnConfig{Read: ReaderConfig{Seed: seed, BitFlipEvery: 16}})
+		defer fc.Close()
+		msg := bytes.Repeat([]byte{0xAA}, 256)
+		go func() {
+			peer.Write(msg)
+			peer.Close()
+		}()
+		got, err := io.ReadAll(fc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		return got
+	}
+	a1, a2, b := run(42), run(42), run(43)
+	if !bytes.Equal(a1, a2) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if bytes.Equal(a1, b) {
+		t.Fatal("different seeds produced identical corruption")
+	}
+	if bytes.Equal(a1, bytes.Repeat([]byte{0xAA}, 256)) {
+		t.Fatal("no bits were flipped")
+	}
+}
+
+// TestListenerSchedule: each accepted conn gets the config for its accept
+// index; here the first session is cut immediately and the second is clean.
+func TestListenerSchedule(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(inner, func(i int) ConnConfig {
+		if i == 0 {
+			return ConnConfig{Read: ReaderConfig{ErrAfter: 1}, CloseOnFault: true}
+		}
+		return ConnConfig{}
+	})
+	defer ln.Close()
+
+	serve := func() ([]byte, error) {
+		c, err := ln.Accept()
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		return io.ReadAll(c)
+	}
+	results := make(chan error, 2)
+	go func() {
+		_, err := serve() // session 0: cut after 1 byte
+		results <- err
+	}()
+	go func() {
+		got, err := serve() // session 1: clean
+		if err == nil && string(got) != "second" {
+			err = errors.New("clean session corrupted: " + string(got))
+		}
+		results <- err
+	}()
+
+	dial := func(msg string) {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.Write([]byte(msg))
+		c.Close()
+	}
+	dial("first-session-payload")
+	// Wait for session 0 to finish before dialing again so accept order is
+	// deterministic.
+	if err := <-results; !errors.Is(err, ErrInjected) {
+		t.Fatalf("session 0 error = %v, want ErrInjected", err)
+	}
+	dial("second")
+	if err := <-results; err != nil {
+		t.Fatalf("session 1: %v", err)
+	}
+	if ln.Accepted() != 2 {
+		t.Fatalf("Accepted = %d, want 2", ln.Accepted())
+	}
+}
+
+// TestConnStall: StallEvery/StallFor introduces real wall-clock delay on the
+// read path (the silence-window primitive the cluster harness uses).
+func TestConnStall(t *testing.T) {
+	fc, peer := pipePair(ConnConfig{
+		Read: ReaderConfig{StallEvery: 4, StallFor: 30 * time.Millisecond},
+	})
+	defer fc.Close()
+	msg := make([]byte, 16)
+	go func() {
+		peer.Write(msg)
+		peer.Close()
+	}()
+	start := time.Now()
+	if _, err := io.ReadAll(fc); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("16 bytes with a stall every 4 took %v, want >= 100ms", d)
+	}
+}

@@ -1,11 +1,14 @@
-// Package faultinject wraps io.Reader/io.Writer with deterministic, seeded
-// fault injection for the chaos tests of the crash-recovery layer: bit
-// flips, truncation, short reads, stalls, and write errors. Every fault
-// position is derived from the seed, so a failing chaos test reproduces
-// exactly by rerunning with the same configuration.
+// Package faultinject wraps io.Reader/io.Writer — and, for the delta
+// transport, net.Conn/net.Listener — with deterministic, seeded fault
+// injection for the chaos tests of the crash-recovery and cluster layers:
+// bit flips, truncation, short reads, stalls, connection cuts, torn writes,
+// and write errors. Every fault position is derived from the seed, so a
+// failing chaos test reproduces exactly by rerunning with the same
+// configuration.
 //
 // The package is a test harness, not a production facility: it lives under
-// internal/ and is imported only from _test files.
+// internal/ and is imported only from _test files and the chaos acceptance
+// harnesses under examples/.
 package faultinject
 
 import (

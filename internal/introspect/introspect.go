@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"ipd/internal/core"
+	"ipd/internal/delta"
 	"ipd/internal/exphealth"
 	"ipd/internal/flow"
 	"ipd/internal/governor"
@@ -67,6 +68,8 @@ type Handler struct {
 	tl     *timeline.Collector // may be nil: /ipd/timeline and /ipd/alerts are 404
 	exp    *exphealth.Tracker  // may be nil: /ipd/exporters is 404
 	wl     *workload.Profiler  // may be nil: /ipd/workload is 404
+
+	cluster func() delta.ClusterStatus // may be nil: /ipd/cluster is 404
 }
 
 // RouteInfo describes one mounted endpoint in the GET /ipd/ index.
@@ -90,6 +93,7 @@ func New(src Source, j *journal.Journal) *Handler {
 	h.handle("/ipd/alerts", "active and recent analytics alerts", h.alerts)
 	h.handle("/ipd/exporters", "per-exporter feed health and coverage", h.exporters)
 	h.handle("/ipd/workload", "workload profile: heavy hitters, shard plan, batch locality, latency", h.workloadSnapshot)
+	h.handle("/ipd/cluster", "delta-shipping transport state (edge sender or core receiver)", h.clusterStatus)
 	// The subtree pattern catches "/ipd/" itself (the index) and every
 	// otherwise-unmatched /ipd/* path (404). Registered last for clarity;
 	// ServeMux picks the longest pattern regardless of order.
@@ -156,6 +160,11 @@ func (h *Handler) SetExporterHealth(t *exphealth.Tracker) { h.exp = t }
 // SetWorkload attaches the workload profiler, enabling /ipd/workload. Call
 // during setup, before serving.
 func (h *Handler) SetWorkload(p *workload.Profiler) { h.wl = p }
+
+// SetCluster attaches the delta-shipping status reader (a closure snapshotting
+// the node's sender or receiver), enabling /ipd/cluster. Call during setup,
+// before serving.
+func (h *Handler) SetCluster(fn func() delta.ClusterStatus) { h.cluster = fn }
 
 // ServeHTTP dispatches to the /ipd/* routes.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
@@ -457,6 +466,16 @@ func (h *Handler) governor(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, h.gov.Snapshot())
+}
+
+// clusterStatus serves GET /ipd/cluster: the delta transport snapshot of
+// this node — sender stats on an edge, receiver stats on a core.
+func (h *Handler) clusterStatus(w http.ResponseWriter, _ *http.Request) {
+	if h.cluster == nil {
+		writeErr(w, http.StatusNotFound, "no cluster transport attached")
+		return
+	}
+	writeJSON(w, http.StatusOK, h.cluster())
 }
 
 // timeline serves GET /ipd/timeline?series=&from=&to=&format=: the windowed

@@ -10,6 +10,7 @@ import (
 
 	"net/netip"
 
+	"ipd/internal/delta"
 	"ipd/internal/exphealth"
 	"ipd/internal/flow"
 	"ipd/internal/governor"
@@ -41,6 +42,9 @@ func fullHandler(t *testing.T) *Handler {
 	h.SetTimeline(timeline.NewCollector(timeline.Options{}))
 	h.SetExporterHealth(exphealth.New(exphealth.Options{}))
 	h.SetWorkload(workload.New(workload.Options{SampleN: 1}))
+	h.SetCluster(func() delta.ClusterStatus {
+		return delta.ClusterStatus{Role: "edge", Sender: &delta.SenderStats{EdgeID: "edge-test"}}
+	})
 	return h
 }
 
@@ -64,7 +68,7 @@ func TestIndexRoutes(t *testing.T) {
 		"/ipd/ranges": true, "/ipd/range": true, "/ipd/explain": true,
 		"/ipd/events": true, "/ipd/traces": true, "/ipd/governor": true,
 		"/ipd/timeline": true, "/ipd/alerts": true, "/ipd/exporters": true,
-		"/ipd/workload": true,
+		"/ipd/workload": true, "/ipd/cluster": true,
 	}
 	if len(rawEndpoints) != len(want) {
 		t.Errorf("index advertises %d endpoints, want %d", len(rawEndpoints), len(want))
@@ -171,6 +175,39 @@ func TestBadParamsUniform(t *testing.T) {
 		if msg, _ := body["error"].(string); !strings.Contains(msg, c.errPart) {
 			t.Errorf("GET %s error = %q, want mention of %q", c.url, msg, c.errPart)
 		}
+	}
+}
+
+// TestClusterEndpoint checks /ipd/cluster: 404 when detached, and the role
+// plus transport snapshot once a reader is attached.
+func TestClusterEndpoint(t *testing.T) {
+	e, j := quadrantEngine(t)
+	h := New(e, j)
+
+	code, body := get(t, h, "/ipd/cluster")
+	if code != http.StatusNotFound {
+		t.Fatalf("detached /ipd/cluster = %d, body %v", code, body)
+	}
+
+	h.SetCluster(func() delta.ClusterStatus {
+		return delta.ClusterStatus{
+			Role:     "core",
+			Receiver: &delta.ReceiverStats{Applied: 42, Batches: 3},
+		}
+	})
+	code, body = get(t, h, "/ipd/cluster")
+	if code != http.StatusOK {
+		t.Fatalf("attached /ipd/cluster = %d, body %v", code, body)
+	}
+	if body["role"] != "core" {
+		t.Errorf("role = %v, want core", body["role"])
+	}
+	recv, _ := body["receiver"].(map[string]any)
+	if recv == nil || recv["applied_records"].(float64) != 42 {
+		t.Errorf("receiver snapshot = %v", recv)
+	}
+	if _, present := body["sender"]; present {
+		t.Error("core status carries a sender block")
 	}
 }
 

@@ -1,0 +1,117 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame streaming: the delta-shipping wire format frames persist payloads
+// over a byte stream (TCP between an edge collector and the stage-2 core) as
+//
+//	frame = uvarint(len(payload)) payload
+//
+// where payload is a complete Encoder payload carrying its own magic,
+// version, and CRC-32 trailer. The length prefix only delimits; integrity is
+// the payload's job, so a flipped length byte either truncates (caught by
+// the payload CRC) or inflates past the cap (caught here). Every failure
+// mode of a torn TCP stream maps to a distinct error:
+//
+//   - clean EOF exactly on a frame boundary      → io.EOF
+//   - stream ends inside a length prefix or body → ErrTruncated
+//   - length prefix exceeds the configured cap   → ErrFrameTooBig
+//   - length prefix malformed (>10 varint bytes) → ErrFrameTooBig
+
+// ErrFrameTooBig is returned when a frame length prefix exceeds the reader's
+// cap (a corrupt prefix or a hostile peer; either way the stream is dead —
+// skipping would desynchronize every following frame).
+var ErrFrameTooBig = errors.New("persist: frame exceeds size limit")
+
+// DefaultMaxFrame bounds frame payloads when the caller passes no cap: large
+// enough for thousands of delta records, small enough that a corrupt length
+// cannot balloon a single allocation.
+const DefaultMaxFrame = 1 << 22
+
+// WriteFrame writes one length-prefixed frame. The payload should be a
+// complete Encoder payload (with CRC trailer) so the receiving end can
+// verify it. A single Write call carries prefix+payload, so a torn write
+// tears inside one frame instead of between the prefix and its body.
+func WriteFrame(w io.Writer, payload []byte) error {
+	buf := make([]byte, 0, binary.MaxVarintLen64+len(payload))
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// FrameReader reads length-prefixed frames from a byte stream. It reads
+// exactly the bytes each frame needs (one byte at a time for the varint
+// prefix, io.ReadFull for the body), so it never consumes ahead of the
+// frame boundary — a requirement for handing the underlying stream between
+// protocol phases.
+type FrameReader struct {
+	r        io.Reader
+	maxFrame int
+	buf      []byte
+}
+
+// NewFrameReader wraps r. maxFrame caps accepted payload lengths
+// (maxFrame <= 0 selects DefaultMaxFrame).
+func NewFrameReader(r io.Reader, maxFrame int) *FrameReader {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &FrameReader{r: r, maxFrame: maxFrame}
+}
+
+// Next returns the next frame payload. The returned slice is reused by the
+// following Next call; callers that keep it must copy. io.EOF is returned
+// only on a clean frame boundary; a stream that ends mid-frame returns
+// ErrTruncated (wrapped with position context).
+func (fr *FrameReader) Next() ([]byte, error) {
+	n, err := fr.readLength()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(fr.maxFrame) {
+		return nil, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooBig, n, fr.maxFrame)
+	}
+	if uint64(cap(fr.buf)) < n {
+		fr.buf = make([]byte, n)
+	}
+	buf := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, buf); err != nil {
+		// A frame body cut short — whether by clean close or error — is a
+		// truncated frame, never a clean EOF.
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: stream ended inside a %d-byte frame", ErrTruncated, n)
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// readLength reads the uvarint length prefix one byte at a time. EOF before
+// the first byte is the clean end of stream; EOF after it is a truncation.
+func (fr *FrameReader) readLength() (uint64, error) {
+	var v uint64
+	var one [1]byte
+	for shift := 0; shift < 64; shift += 7 {
+		if _, err := io.ReadFull(fr.r, one[:]); err != nil {
+			if shift == 0 && err == io.EOF {
+				return 0, io.EOF
+			}
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return 0, fmt.Errorf("%w: stream ended inside a frame length prefix", ErrTruncated)
+			}
+			return 0, err
+		}
+		b := one[0]
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: frame length prefix overflows", ErrFrameTooBig)
+}

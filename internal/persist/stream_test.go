@@ -1,0 +1,247 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/iotest"
+)
+
+// framePayload builds a small CRC-guarded payload like the delta wire format
+// does, so stream tests exercise realistic frame bodies. t may be nil when
+// called from fuzz seed setup.
+func framePayload(t *testing.T, fill int) []byte {
+	if t != nil {
+		t.Helper()
+	}
+	enc := NewEncoder(0x54455354, 1)
+	enc.Uvarint(uint64(fill))
+	for i := 0; i < fill; i++ {
+		enc.Uvarint(uint64(i * 7))
+	}
+	return enc.Finish()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := [][]byte{
+		framePayload(t, 0),
+		framePayload(t, 3),
+		framePayload(t, 500),
+		{}, // empty payload is a legal frame
+		framePayload(t, 1),
+	}
+	for _, p := range want {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	fr := NewFrameReader(&buf, 0)
+	for i, p := range want {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(p))
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("after last frame: got %v, want io.EOF", err)
+	}
+}
+
+// TestFrameBoundarySplitReads proves frame decoding is independent of how
+// the transport chops the stream: a one-byte-at-a-time reader (the worst
+// case of TCP segmentation) must yield identical frames.
+func TestFrameBoundarySplitReads(t *testing.T) {
+	var buf bytes.Buffer
+	want := [][]byte{framePayload(t, 10), framePayload(t, 200), framePayload(t, 1)}
+	for _, p := range want {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(iotest.OneByteReader(&buf), 0)
+	for i, p := range want {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d mismatch under split reads", i)
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("tail: got %v, want io.EOF", err)
+	}
+}
+
+// TestFrameTruncation sweeps every cut position of a two-frame stream: a cut
+// on the boundary is a clean EOF after frame one; any other cut must surface
+// ErrTruncated for the frame it lands in, never a bogus frame.
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	first := framePayload(t, 4)
+	second := framePayload(t, 6)
+	if err := WriteFrame(&buf, first); err != nil {
+		t.Fatal(err)
+	}
+	firstLen := buf.Len()
+	if err := WriteFrame(&buf, second); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.Bytes()
+
+	for cut := 0; cut <= len(stream); cut++ {
+		fr := NewFrameReader(bytes.NewReader(stream[:cut]), 0)
+		var frames int
+		var err error
+		for {
+			var p []byte
+			p, err = fr.Next()
+			if err != nil {
+				break
+			}
+			want := first
+			if frames == 1 {
+				want = second
+			}
+			if !bytes.Equal(p, want) {
+				t.Fatalf("cut %d: frame %d corrupted", cut, frames)
+			}
+			frames++
+		}
+		switch {
+		case cut == 0 || cut == firstLen || cut == len(stream):
+			if err != io.EOF {
+				t.Fatalf("cut %d (boundary): got %v, want io.EOF", cut, err)
+			}
+		default:
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("cut %d (mid-frame): got %v, want ErrTruncated", cut, err)
+			}
+		}
+	}
+}
+
+func TestFrameOversized(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf, 64)
+	if _, err := fr.Next(); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("got %v, want ErrFrameTooBig", err)
+	}
+
+	// A corrupt length prefix claiming ~16 EiB must be rejected from the
+	// prefix alone, without any attempt to allocate or read it.
+	huge := binary.AppendUvarint(nil, 1<<60)
+	fr = NewFrameReader(bytes.NewReader(huge), 0)
+	if _, err := fr.Next(); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("huge prefix: got %v, want ErrFrameTooBig", err)
+	}
+}
+
+// TestFramePrefixGarbage feeds non-varint garbage: ten continuation bytes
+// never terminate a uvarint, which must be reported as a bad prefix rather
+// than spinning or misreading.
+func TestFramePrefixGarbage(t *testing.T) {
+	garbage := bytes.Repeat([]byte{0xff}, 16)
+	fr := NewFrameReader(bytes.NewReader(garbage), 0)
+	if _, err := fr.Next(); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("got %v, want ErrFrameTooBig for unterminated prefix", err)
+	}
+
+	// A prefix cut off mid-varint is a truncation.
+	fr = NewFrameReader(bytes.NewReader([]byte{0x80}), 0)
+	if _, err := fr.Next(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("got %v, want ErrTruncated for cut prefix", err)
+	}
+}
+
+// TestFrameReuseSafety documents the buffer-reuse contract: the payload
+// returned by Next is only valid until the following Next.
+func TestFrameReuseSafety(t *testing.T) {
+	var buf bytes.Buffer
+	a := framePayload(t, 50)
+	b := framePayload(t, 50)
+	if err := WriteFrame(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf, 0)
+	got, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := append([]byte(nil), got...)
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(kept, a) {
+		t.Fatal("copied first payload changed after second Next")
+	}
+}
+
+// FuzzFrameReader throws arbitrary bytes at the frame reader: it must never
+// panic, never return a frame larger than the cap, and always make progress
+// (terminate) on every input.
+func FuzzFrameReader(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteFrame(&seed, framePayload(nil, 3))
+	_ = WriteFrame(&seed, framePayload(nil, 0))
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x05, 1, 2, 3})
+	f.Add(binary.AppendUvarint(nil, 1<<40))
+	f.Add(bytes.Repeat([]byte{0xff}, 12))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const cap = 1 << 12
+		fr := NewFrameReader(bytes.NewReader(data), cap)
+		for i := 0; i < len(data)+2; i++ {
+			p, err := fr.Next()
+			if err != nil {
+				return // every error terminates the stream
+			}
+			if len(p) > cap {
+				t.Fatalf("frame of %d bytes exceeds cap %d", len(p), cap)
+			}
+		}
+		t.Fatal("reader failed to terminate")
+	})
+}
+
+// FuzzFrameRoundTrip: any payload must survive WriteFrame → Next bit-exactly,
+// including through one-byte reads.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add(framePayload(nil, 9))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) > DefaultMaxFrame {
+			t.Skip()
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			t.Fatal(err)
+		}
+		fr := NewFrameReader(iotest.OneByteReader(&buf), 0)
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("payload mismatch after round trip")
+		}
+		if _, err := fr.Next(); err != io.EOF {
+			t.Fatalf("tail: got %v, want io.EOF", err)
+		}
+	})
+}

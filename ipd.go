@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"ipd/internal/core"
+	"ipd/internal/delta"
 	"ipd/internal/exphealth"
 	"ipd/internal/export"
 	"ipd/internal/flow"
@@ -405,6 +406,65 @@ func ReplayJournalTail(r io.Reader, afterSeq uint64, apply func(Event) error) (i
 // (typically a *Server) and an optional journal (nil disables history).
 func NewIntrospectHandler(src IntrospectSource, j *Journal) *IntrospectHandler {
 	return introspect.New(src, j)
+}
+
+// Edge→core delta-shipping types. A DeltaSender runs on an edge collector
+// and ships stage-1 flow records to a central core over a resilient framed
+// TCP transport (exponential backoff with jitter, heartbeats, a bounded
+// shed-oldest spool); a DeltaReceiver listens on the core, acks contiguous
+// per-edge offsets so a reconnect handshake resumes exactly once, and merges
+// the per-edge streams in deterministic statistical-time order before
+// feeding the engine. The merged central partition is byte-identical to a
+// single-node run over the concatenated input. Wire sender stats into
+// IntrospectHandler.SetCluster and TimelineCollector.SetCluster; pair
+// DeltaReceiverConfig.DurableAcks with EncodeClusterCheckpoint /
+// DecodeClusterCheckpoint + DeltaReceiver.SetApplied for crash-safe cores.
+type (
+	// DeltaSender is the edge-side shipping transport.
+	DeltaSender = delta.Sender
+	// DeltaSenderConfig parameterizes a DeltaSender (target, edge id,
+	// spool cap, heartbeat, batch size, governor gate).
+	DeltaSenderConfig = delta.SenderConfig
+	// DeltaSenderStats is the sender's JSON stats snapshot.
+	DeltaSenderStats = delta.SenderStats
+	// DeltaReceiver is the core-side listener and merge gate.
+	DeltaReceiver = delta.Receiver
+	// DeltaReceiverConfig parameterizes a DeltaReceiver (expected edges,
+	// heartbeat, buffer cap, merge-stall override, apply callback,
+	// durable-ack mode).
+	DeltaReceiverConfig = delta.ReceiverConfig
+	// DeltaReceiverStats is the receiver's JSON stats snapshot.
+	DeltaReceiverStats = delta.ReceiverStats
+	// DeltaReceiverEdgeStats is one edge's slice of DeltaReceiverStats.
+	DeltaReceiverEdgeStats = delta.ReceiverEdgeStats
+	// ClusterStatus is the /ipd/cluster introspection body (role plus the
+	// role's transport snapshot).
+	ClusterStatus = delta.ClusterStatus
+	// TimelineClusterCounters is the role-agnostic transport counter set a
+	// TimelineCollector turns into per-cycle delta.* series.
+	TimelineClusterCounters = timeline.ClusterCounters
+)
+
+// NewDeltaSender validates cfg, applies defaults (64 KiB spool, 2 s
+// heartbeat, 2048-record batches), and starts the connection supervisor.
+func NewDeltaSender(cfg DeltaSenderConfig) (*DeltaSender, error) { return delta.NewSender(cfg) }
+
+// NewDeltaReceiver validates cfg and returns a receiver ready to Serve a
+// listener.
+func NewDeltaReceiver(cfg DeltaReceiverConfig) (*DeltaReceiver, error) {
+	return delta.NewReceiver(cfg)
+}
+
+// EncodeClusterCheckpoint wraps an engine state blob with the per-edge
+// applied offsets in the CRC-guarded cluster checkpoint envelope.
+func EncodeClusterCheckpoint(state []byte, applied map[string]uint64) ([]byte, error) {
+	return delta.EncodeClusterCheckpoint(state, applied)
+}
+
+// DecodeClusterCheckpoint unwraps a cluster checkpoint envelope back into
+// the engine state blob and the per-edge applied offsets.
+func DecodeClusterCheckpoint(env []byte) ([]byte, map[string]uint64, error) {
+	return delta.DecodeClusterCheckpoint(env)
 }
 
 // Flow-record types.
