@@ -465,6 +465,28 @@ func BenchmarkObserveWorkload(b *testing.B) {
 	b.ReportMetric(float64(eng.RangeCount()), "ranges")
 }
 
+// BenchmarkObserveSketched is BenchmarkObserve with the fixed-memory sketch
+// tier enabled but idle: no governor pressure, so no range ever degrades and
+// every record still takes the exact per-IP path. The only added hot-path
+// cost is the sketch first-seen probe on each mint; the acceptance gate is
+// staying within 3% of BenchmarkObserve measured in the same session.
+func BenchmarkObserveSketched(b *testing.B) {
+	records := benchRecords(b, 500_000)
+	cfg := ipd.DefaultConfig()
+	cfg.NCidrFactor4 = 0.01
+	cfg.NCidrFloor = 4
+	cfg.Sketch = true
+	eng, err := ipd.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Observe(records[i%len(records)])
+	}
+	b.ReportMetric(float64(eng.RangeCount()), "ranges")
+}
+
 // BenchmarkEngineEndToEnd measures stage 1 + stage 2 over a continuous
 // stream (cycles included).
 func BenchmarkEngineEndToEnd(b *testing.B) {

@@ -28,6 +28,7 @@
 //	/ipd/alerts   active flap/drift/exporter alerts and recent alert history (JSON)
 //	/ipd/exporters per-exporter feed health: loss, skew, staleness, coverage (JSON)
 //	/ipd/cluster  delta-shipping transport state when -ship-to is set (JSON)
+//	/ipd/sketch   fixed-memory sketch tier sizing and accuracy bound when -sketch is set (JSON)
 //	/healthz      liveness (503 once no stage-2 cycle completed within the stall window)
 //	/readyz       readiness (additionally 503 while the last cycle overran its budget
 //	              or the resource governor is in emergency)
@@ -123,6 +124,10 @@ func main() {
 		wlDepth    = flag.Int("workload-maxdepth", 10, "deepest candidate shard depth simulated by the workload profiler (2..10)")
 		skewMax    = flag.Duration("skew-max", 5*time.Minute, "raise AlertClockSkew once an exporter's export clock drifts this far from the collector clock")
 		mutexProf  = flag.Int("mutexprofile", 0, "runtime mutex/block profiling fraction for /debug/pprof/{mutex,block} (0 disables)")
+		sketchOn   = flag.Bool("sketch", false, "enable the fixed-memory sketch tier: under governor pressure, unclassified ranges far from the classification threshold degrade per-IP state to a count-min sketch and hydrate back when calm")
+		sketchW    = flag.Int("sketch-width", 1024, "count-min sketch width in counters per row (16..1048576; error bound ε = e/width of window mass)")
+		sketchD    = flag.Int("sketch-depth", 4, "count-min sketch depth in rows (1..16; bound failure probability δ = e^-depth)")
+		sketchM    = flag.Float64("sketch-exact-margin", 0.05, "keep exact per-IP state while a range's top share is within this margin below q (0 uses the engine default)")
 		shipTo     = flag.String("ship-to", "", "ship every ingested record to this core address (host:port) over the resilient delta transport ('' disables cluster mode)")
 		edgeID     = flag.String("edge-id", "", "stable unique name for this edge in the cluster handshake (required with -ship-to)")
 		spoolCap   = flag.Int("spool-cap", 1<<16, "delta spool capacity in records (waiting + unacked); oldest are shed under overflow")
@@ -150,6 +155,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(2)
 	}
+	if err := cliflags.Sketch(*sketchOn, *sketchW, *sketchD, *sketchM); err != nil {
+		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
+		os.Exit(2)
+	}
 	if *mutexProf > 0 {
 		runtime.SetMutexProfileFraction(*mutexProf)
 		runtime.SetBlockProfileRate(*mutexProf)
@@ -160,7 +169,8 @@ func main() {
 	ef := exporterFlags{staleAfter: *staleAfter, skewMax: *skewMax}
 	wf := workloadFlags{topK: *wlTopK, maxDepth: *wlDepth}
 	sf := shipFlags{target: *shipTo, edgeID: *edgeID, spoolCap: *spoolCap, heartbeat: *heartbeat}
-	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q, logger, *journalOut, *journalCap, *traceCap, *traceSmpl, *queueCap, cf, gf, tl, ef, wf, sf); err != nil {
+	skf := sketchFlags{enabled: *sketchOn, width: *sketchW, depth: *sketchD, exactMargin: *sketchM}
+	if err := run(*listen, *ipfixAddr, *httpAddr, *exporters, *trust, *factor4, *floor, *q, logger, *journalOut, *journalCap, *traceCap, *traceSmpl, *queueCap, cf, gf, tl, ef, wf, sf, skf); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd-collector:", err)
 		os.Exit(1)
 	}
@@ -173,6 +183,14 @@ func validateFlags(ckptEvery uint64, traceSample, queueCap, maxRanges int, memBu
 		return err
 	}
 	return cliflags.Ingest(queueCap, sampleN, boostN)
+}
+
+// sketchFlags carries the fixed-memory sketch-tier flag values into run.
+type sketchFlags struct {
+	enabled     bool
+	width       int
+	depth       int
+	exactMargin float64
 }
 
 // shipFlags carries the delta-shipping (cluster edge) flag values into run.
@@ -265,12 +283,18 @@ func newLogger(level string) (*slog.Logger, error) {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }
 
-func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64, logger *slog.Logger, journalOut string, journalCap, traceCap, traceSample, queueCap int, cf ckptFlags, gf govFlags, tl timelineFlags, ef exporterFlags, wf workloadFlags, sf shipFlags) error {
+func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4, floor, q float64, logger *slog.Logger, journalOut string, journalCap, traceCap, traceSample, queueCap int, cf ckptFlags, gf govFlags, tl timelineFlags, ef exporterFlags, wf workloadFlags, sf shipFlags, skf sketchFlags) error {
 	cfg := ipd.DefaultConfig()
 	cfg.NCidrFactor4 = factor4
 	cfg.NCidrFloor = floor
 	cfg.Q = q
 	cfg.Logger = logger
+	if skf.enabled {
+		cfg.Sketch = true
+		cfg.SketchWidth = skf.width
+		cfg.SketchDepth = skf.depth
+		cfg.SketchExactMargin = skf.exactMargin
+	}
 
 	// The bounded ingest queue decouples the UDP receive loops from the
 	// engine: Offer never blocks, and under overload the queue sheds the
@@ -297,6 +321,7 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 			MemBudget:  uint64(gf.memBudget),
 			QueueCap:   queueCap,
 			QueueDepth: queue.Len,
+			SketchTier: skf.enabled,
 			OnTransition: func(from, to ipd.GovernorState, _ ipd.GovernorUsage) {
 				if to == ipd.GovernorNormal {
 					sampler.SetBoost(1)
@@ -588,6 +613,9 @@ func run(listen, ipfixAddr, httpAddr, exportersFile string, trust bool, factor4,
 				st := shipper.Stats()
 				return ipd.ClusterStatus{Role: "edge", Sender: &st}
 			})
+		}
+		if skf.enabled {
+			ih.SetSketch(srv.SketchStatus)
 		}
 		mux.Handle("/ipd/", ih)
 		mux.HandleFunc("/ranges", func(w http.ResponseWriter, _ *http.Request) {

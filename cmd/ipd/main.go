@@ -137,6 +137,10 @@ func main() {
 		mutexProf  = flag.Int("mutexprofile", 0, "runtime mutex/block profiling fraction for /debug/pprof/{mutex,block} (0 disables)")
 		wlTopK     = flag.Int("workload-topk", 32, "workload profiler heavy-hitter capacity (top-K /24 or /48 aggregates)")
 		wlDepth    = flag.Int("workload-maxdepth", 10, "deepest candidate shard depth simulated by the workload profiler (2..10)")
+		sketchOn   = flag.Bool("sketch", false, "enable the fixed-memory sketch tier: under governor pressure, unclassified ranges far from the classification threshold degrade per-IP state to a count-min sketch and hydrate back when calm")
+		sketchW    = flag.Int("sketch-width", 1024, "count-min sketch width in counters per row (16..1048576; error bound ε = e/width of window mass)")
+		sketchD    = flag.Int("sketch-depth", 4, "count-min sketch depth in rows (1..16; bound failure probability δ = e^-depth)")
+		sketchM    = flag.Float64("sketch-exact-margin", 0.05, "keep exact per-IP state while a range's top share is within this margin below q (0 uses the engine default)")
 		listenDlt  = flag.String("listen-delta", "", "run as the cluster core: accept edge delta sessions on this TCP address instead of reading a trace ('' disables)")
 		edgesList  = flag.String("edges", "", "comma-separated edge IDs the deterministic merge waits for (with -listen-delta; '' merges edges as they appear, order then depends on join timing)")
 		mergeStall = flag.Duration("merge-stall", 0, "exclude a silent edge from the merge gate after this long (0 = never: the merge stays deterministic but stalls while an edge is down)")
@@ -148,6 +152,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := cliflags.DeltaListen(*listenDlt, *mergeStall, *heartbeat); err != nil {
+		fmt.Fprintln(os.Stderr, "ipd:", err)
+		os.Exit(2)
+	}
+	if err := cliflags.Sketch(*sketchOn, *sketchW, *sketchD, *sketchM); err != nil {
 		fmt.Fprintln(os.Stderr, "ipd:", err)
 		os.Exit(2)
 	}
@@ -173,6 +181,12 @@ func main() {
 
 	cfg := config(*factor4, *factor6, *floor, *q, *cidrMax4, *cidrMax6, *tBucket, *expiry, *bytesCnt)
 	cfg.Logger = logger
+	if *sketchOn {
+		cfg.Sketch = true
+		cfg.SketchWidth = *sketchW
+		cfg.SketchDepth = *sketchD
+		cfg.SketchExactMargin = *sketchM
+	}
 	tf := traceFlags{capacity: *traceCap, sampleN: *traceSmpl, out: *traceOut}
 	cf := ckptFlags{dir: *ckptDir, every: *ckptEvery, resync: *resync}
 	gf := govFlags{enabled: *govern, maxRanges: *maxRanges, memBudget: *memBudget}
@@ -508,8 +522,9 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 	if gf.active() {
 		var err error
 		gov, err = ipd.NewGovernor(ipd.GovernorConfig{
-			MaxRanges: gf.maxRanges,
-			MemBudget: uint64(gf.memBudget),
+			MaxRanges:  gf.maxRanges,
+			MemBudget:  uint64(gf.memBudget),
+			SketchTier: cfg.Sketch,
 		})
 		if err != nil {
 			return err
@@ -662,6 +677,13 @@ func run(in, format string, cfg ipd.Config, bin time.Duration, summary bool, deb
 			ih.SetCluster(func() ipd.ClusterStatus {
 				st := recv.Stats()
 				return ipd.ClusterStatus{Role: "core", Receiver: &st}
+			})
+		}
+		if cfg.Sketch {
+			ih.SetSketch(func() ipd.SketchStatus {
+				locked.mu.Lock()
+				defer locked.mu.Unlock()
+				return eng.SketchStatus()
 			})
 		}
 		serveDebug(debugHTTP, eng.Telemetry(), ih, wd)
@@ -919,6 +941,9 @@ func explain(w io.Writer, src ipd.IntrospectSource, j *ipd.Journal, ips string) 
 		fmt.Fprintf(w, "  verdict: %s\n", ex.VerdictString())
 		if ex.Coverage != nil {
 			fmt.Fprintf(w, "  caveat:  %s\n", ex.Coverage)
+		}
+		if ex.Sketch != nil {
+			fmt.Fprintf(w, "  caveat:  %s\n", ex.Sketch)
 		}
 		for _, sh := range ex.Shares {
 			fmt.Fprintf(w, "  vote:    %s share %.3f (%.0f samples)\n", sh.Ingress, sh.Share, sh.Count)

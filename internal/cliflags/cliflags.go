@@ -149,6 +149,25 @@ func DeltaShip(target, edgeID string, spoolCap int, heartbeat time.Duration) err
 	return v.Err()
 }
 
+// Sketch validates the fixed-memory sketch-tier flags both binaries define.
+// With -sketch off the sizing flags are ignored entirely (so scripted
+// invocations can leave them at defaults); with it on, the width and depth
+// must fit the count-min envelope internal/sketch accepts, and the exact
+// margin must be a fraction below 1 (the engine additionally requires it
+// below the prevalence threshold q).
+func Sketch(enabled bool, width, depth int, exactMargin float64) error {
+	if !enabled {
+		return nil
+	}
+	var v Validator
+	v.InRange("-sketch-width", width, 16, 1<<20).
+		InRange("-sketch-depth", depth, 1, 16)
+	if exactMargin < 0 || exactMargin >= 1 {
+		v.fail("-sketch-exact-margin must be in [0, 1) (got %g)", exactMargin)
+	}
+	return v.Err()
+}
+
 // DeltaListen validates the core-side delta-receiver flags (ipd). An empty
 // listen address disables the receiver; with one set, the transport
 // parameters must be sane (an empty -edges list is allowed: it selects

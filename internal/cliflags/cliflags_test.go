@@ -117,6 +117,34 @@ func TestDeltaShip(t *testing.T) {
 	}
 }
 
+func TestSketch(t *testing.T) {
+	// Disabled sketching skips every check, including nonsense sizing.
+	if err := Sketch(false, 0, 0, -1); err != nil {
+		t.Fatalf("disabled sketch rejected: %v", err)
+	}
+	if err := Sketch(true, 1024, 4, 0.05); err != nil {
+		t.Fatalf("valid sketch rejected: %v", err)
+	}
+	if err := Sketch(true, 1024, 4, 0); err != nil {
+		t.Fatalf("zero margin (use the engine default) rejected: %v", err)
+	}
+	for _, width := range []int{15, 1<<20 + 1} {
+		if err := Sketch(true, width, 4, 0.05); err == nil || !strings.Contains(err.Error(), "-sketch-width") {
+			t.Fatalf("width %d: %v", width, err)
+		}
+	}
+	for _, depth := range []int{0, 17} {
+		if err := Sketch(true, 1024, depth, 0.05); err == nil || !strings.Contains(err.Error(), "-sketch-depth") {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+	}
+	for _, margin := range []float64{-0.1, 1, 1.5} {
+		if err := Sketch(true, 1024, 4, margin); err == nil || !strings.Contains(err.Error(), "-sketch-exact-margin") {
+			t.Fatalf("margin %g: %v", margin, err)
+		}
+	}
+}
+
 func TestDeltaListen(t *testing.T) {
 	if err := DeltaListen("", -1, 0); err != nil {
 		t.Fatalf("disabled receiver rejected: %v", err)

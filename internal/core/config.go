@@ -26,6 +26,7 @@ import (
 
 	"ipd/internal/flow"
 	"ipd/internal/governor"
+	"ipd/internal/sketch"
 	"ipd/internal/trace"
 )
 
@@ -191,6 +192,40 @@ type Config struct {
 	// contained: the range is reset, quarantined for a few cycles, and an
 	// EventQuarantined is emitted while the cycle keeps going.
 	CycleFault func(netip.Prefix)
+
+	// Sketch enables the fixed-memory degradation tier (internal/sketch):
+	// while the governor is degraded or in emergency, unclassified ranges
+	// whose top-ingress share sits more than SketchExactMargin below Q
+	// stop minting exact per-IP entries and route per-source evidence
+	// through a shared count-min + Bloom sketch instead, keeping vote
+	// tallies live at fixed memory. Ranges near the classification
+	// threshold keep exact state; sketched ranges hydrate back to exact
+	// after SketchHoldCycles eligible cycles (hysteretic, so the boundary
+	// cannot flap). When enabled, the sketch also preserves the coarse
+	// first-seen timestamp of sources refused by the MaxIPStates cap.
+	Sketch bool
+
+	// SketchWidth and SketchDepth size the shared count-min sketch: the
+	// per-source estimate error is within e/SketchWidth of the window
+	// mass with probability 1 - e^-SketchDepth. 0 selects the
+	// internal/sketch defaults (1024 × 4).
+	SketchWidth int
+	SketchDepth int
+
+	// SketchExactMargin is how far below Q a range's top-ingress share
+	// must be before the range may degrade to sketched state; ranges
+	// within the margin of the classification threshold always keep exact
+	// per-IP state. Default 0.05.
+	SketchExactMargin float64
+
+	// SketchHoldCycles is how many consecutive hydration-eligible cycles
+	// (governor normal again, or the range back inside the exact margin) a
+	// sketched range must see before it re-mints exact state. Default 3.
+	SketchHoldCycles int
+
+	// SketchSeed keys the sketch hash family; 0 selects the package
+	// default. Runs with equal seeds (and equal input) are bit-identical.
+	SketchSeed uint64
 }
 
 // DefaultConfig returns the deployment parameterization from Table 1.
@@ -244,7 +279,55 @@ func (c *Config) Validate() error {
 	if c.OnCycleEvery < 0 {
 		return fmt.Errorf("core: OnCycleEvery %d must be >= 0", c.OnCycleEvery)
 	}
+	if c.Sketch {
+		if err := c.sketchConfig().Validate(); err != nil {
+			return err
+		}
+		if c.SketchExactMargin < 0 || c.SketchExactMargin >= c.Q {
+			return fmt.Errorf("core: SketchExactMargin %v must be in [0, Q)", c.SketchExactMargin)
+		}
+		if c.SketchHoldCycles < 0 {
+			return fmt.Errorf("core: SketchHoldCycles %d must be >= 0", c.SketchHoldCycles)
+		}
+	}
 	return nil
+}
+
+// sketchConfig assembles the internal/sketch configuration: explicit sizes
+// with package defaults for unset fields, and a generation ring spanning the
+// per-IP expiry horizon (ceil(E/T)+1 cycles), so the sketch window ages
+// evidence out on the same clock exact expiry would.
+func (c *Config) sketchConfig() sketch.Config {
+	gens := int((c.E + c.T - 1) / c.T)
+	if gens < 1 {
+		gens = 1
+	}
+	gens++
+	if gens > 64 {
+		gens = 64
+	}
+	return sketch.Config{
+		Width:       c.SketchWidth,
+		Depth:       c.SketchDepth,
+		Generations: gens,
+		Seed:        c.SketchSeed,
+	}.WithDefaults()
+}
+
+// sketchExactMargin returns the configured margin with its default applied.
+func (c *Config) sketchExactMargin() float64 {
+	if c.SketchExactMargin == 0 {
+		return 0.05
+	}
+	return c.SketchExactMargin
+}
+
+// sketchHoldCycles returns the configured hydration hold with its default.
+func (c *Config) sketchHoldCycles() int {
+	if c.SketchHoldCycles == 0 {
+		return 3
+	}
+	return c.SketchHoldCycles
 }
 
 // NCidr returns the minimum sample count for a range of the given prefix

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/netip"
 	"sort"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"ipd/internal/flow"
 	"ipd/internal/governor"
 	"ipd/internal/netaddr"
+	"ipd/internal/sketch"
 	"ipd/internal/telemetry"
 	"ipd/internal/trace"
 	"ipd/internal/trie"
@@ -25,6 +27,11 @@ type ipState struct {
 	counters map[flow.Ingress]float64
 	total    float64
 	lastSeen time.Time
+	// firstSeen is when this masked source first contributed — the anchor
+	// for stattime binning. When the MaxIPStates cap refused the source
+	// earlier, minting recovers a coarse first-seen from the sketch window
+	// instead of restarting aging from the mint time.
+	firstSeen time.Time
 }
 
 // rangeState is one active IPD range. Active ranges always partition the
@@ -43,8 +50,25 @@ type rangeState struct {
 	total    float64
 	lastSeen time.Time
 
-	// ips is per-masked-IP state; nil for classified ranges.
+	// ips is per-masked-IP state; nil for classified ranges (and for
+	// sketched ranges, whose per-source evidence lives in the engine's
+	// shared sketch instead).
 	ips map[netaddr.Key]*ipState
+
+	// sketched marks the range as running in the fixed-memory degradation
+	// tier (Config.Sketch): stage 1 routes its per-source evidence through
+	// the engine's shared sketch, and ring holds the exact per-ingress vote
+	// mass of the last few cycles so expiry is a generation subtraction
+	// instead of a per-source walk. sketchCalm counts consecutive
+	// hydration-eligible cycles toward the hysteresis hold.
+	sketched   bool
+	sketchCalm int
+	ring       *sketch.VoteRing
+
+	// classifiedSketched records that the current classification was
+	// decided on sketched evidence; classify/join events and Explain carry
+	// the sketch's ε/δ bound while it is set.
+	classifiedSketched bool
 
 	// bornAt is when this range (or its current empty incarnation) was
 	// created; empty sibling pairs are only collapsed after they have been
@@ -165,6 +189,20 @@ type Engine struct {
 	// ungoverned.
 	gov *governor.Governor
 
+	// sk is the shared fixed-memory sketch behind sketched ranges and the
+	// cap-refused first-seen preservation; nil unless Config.Sketch. One
+	// instance serves every range: active ranges partition the address
+	// space, so masked-source keys never collide across ranges.
+	sk *sketch.Sketch
+
+	// hydroBudget is the per-cycle headroom for sketched→exact hydration:
+	// each hydrating range spends its retained vote mass (a conservative
+	// stand-in for the per-IP entries its traffic will re-mint) from this
+	// budget, so a calm governor cannot release every sketched range at
+	// once and slam the MaxIPStates cap it just recovered from. Reset at
+	// the top of every cycle; +Inf when ungoverned or uncapped.
+	hydroBudget float64
+
 	log *slog.Logger
 	// churn accumulates per-ingress classification churn within one cycle;
 	// non-nil only while a cycle runs with logging enabled.
@@ -189,6 +227,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 		tracer: cfg.Tracer,
 		gov:    cfg.Governor,
 		log:    cfg.Logger,
+	}
+	if cfg.Sketch {
+		sk, err := sketch.New(cfg.sketchConfig())
+		if err != nil {
+			return nil, err
+		}
+		e.sk = sk
 	}
 	root4 := netip.PrefixFrom(netip.IPv4Unspecified(), 0)
 	root6 := netip.PrefixFrom(netip.IPv6Unspecified(), 0)
@@ -228,6 +273,64 @@ func (e *Engine) RangeCount() int { return e.active.Len() }
 // unclassified ranges. The count is maintained live at every mutation site
 // (O(1); formerly a full trie walk per cycle).
 func (e *Engine) IPStateCount() int { return e.ipCount }
+
+// SketchStatus is the introspection view of the fixed-memory sketch tier
+// (Config.Sketch), served at /ipd/sketch.
+type SketchStatus struct {
+	// Enabled reports whether the tier is configured at all; the remaining
+	// fields are zero when it is not.
+	Enabled bool `json:"enabled"`
+	// Width/Depth/Generations/Seed are the effective sketch sizing, and
+	// Epsilon/Delta the resulting accuracy bound: per-source estimates are
+	// within Epsilon of the window mass with probability 1−Delta.
+	Width       int     `json:"width,omitempty"`
+	Depth       int     `json:"depth,omitempty"`
+	Generations int     `json:"generations,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+	Epsilon     float64 `json:"epsilon,omitempty"`
+	Delta       float64 `json:"delta,omitempty"`
+	// Bytes is the sketch's heap footprint — fixed by the configuration,
+	// which is the whole point. Observes counts lifetime observations
+	// routed through the sketch.
+	Bytes    int    `json:"bytes"`
+	Observes uint64 `json:"observes"`
+	// SketchedRanges is the number of unclassified ranges currently in
+	// sketched mode (as of the last cycle); the counters below accumulate
+	// mode transitions, first-seen recoveries at mint time, and
+	// classifications decided on sketched evidence.
+	SketchedRanges          int    `json:"sketched_ranges"`
+	Degrades                uint64 `json:"degrades"`
+	Hydrates                uint64 `json:"hydrates"`
+	FirstSeenRecovered      uint64 `json:"first_seen_recovered"`
+	SketchedClassifications uint64 `json:"sketched_classifications"`
+}
+
+// SketchStatus reports the sketch tier's configuration, accuracy bound, and
+// live accounting. Safe to call concurrently with ingest: everything reads
+// registry atomics or the immutable configuration except Bytes/Observes,
+// which wrappers (Server) serialize with the ingest lock.
+func (e *Engine) SketchStatus() SketchStatus {
+	if e.sk == nil {
+		return SketchStatus{}
+	}
+	cfg := e.sk.Config()
+	return SketchStatus{
+		Enabled:                 true,
+		Width:                   cfg.Width,
+		Depth:                   cfg.Depth,
+		Generations:             cfg.Generations,
+		Seed:                    cfg.Seed,
+		Epsilon:                 cfg.Epsilon(),
+		Delta:                   cfg.Delta(),
+		Bytes:                   e.sk.Bytes(),
+		Observes:                e.sk.Observes(),
+		SketchedRanges:          int(e.tel.sketchRanges.Value()),
+		Degrades:                e.tel.sketchDegrades.Value(),
+		Hydrates:                e.tel.sketchHydrates.Value(),
+		FirstSeenRecovered:      e.tel.sketchFirstSeen.Value(),
+		SketchedClassifications: e.tel.sketchClassifications.Value(),
+	}
+}
 
 // Observe ingests one flow record (stage 1). Records should already have
 // passed statistical-time cleaning; wildly out-of-order input degrades
@@ -270,25 +373,51 @@ func (e *Engine) Observe(rec flow.Record) {
 		rs.lastSeen = rec.Ts
 	}
 	if !rs.classified {
-		k := netaddr.KeyOf(masked)
-		st := rs.ips[k]
-		if st == nil {
-			if e.cfg.MaxIPStates > 0 && e.ipCount >= e.cfg.MaxIPStates {
-				// Per-IP budget exhausted: keep counting the range-level
-				// votes (above) but do not mint new per-IP entries, so an
-				// address scan cannot grow this state without bound.
-				e.tel.ipStatesSkipped.Inc()
-			} else {
-				st = &ipState{counters: make(map[flow.Ingress]float64)}
-				rs.ips[k] = st
-				e.ipCount++
+		if rs.sketched {
+			// Fixed-memory tier: the shared sketch absorbs the per-source
+			// evidence and the vote ring keeps the per-ingress tally of
+			// this generation, so the flood cannot mint state.
+			if e.sk != nil {
+				e.sk.Observe(masked, w, rec.Ts)
+				e.tel.sketchObserves.Inc()
 			}
-		}
-		if st != nil {
-			st.total += w
-			st.counters[logical] += w
-			if rec.Ts.After(st.lastSeen) {
-				st.lastSeen = rec.Ts
+			if rs.ring != nil {
+				rs.ring.Observe(logical, w)
+			}
+		} else {
+			k := netaddr.KeyOf(masked)
+			st := rs.ips[k]
+			if st == nil {
+				if e.cfg.MaxIPStates > 0 && e.ipCount >= e.cfg.MaxIPStates {
+					// Per-IP budget exhausted: keep counting the range-level
+					// votes (above) but do not mint new per-IP entries, so an
+					// address scan cannot grow this state without bound.
+					e.tel.ipStatesSkipped.Inc()
+					if e.sk != nil {
+						// Remember the refused source in the sketch so a
+						// later mint recovers its coarse first-seen instead
+						// of restarting its aging from zero.
+						e.sk.Observe(masked, w, rec.Ts)
+						e.tel.sketchObserves.Inc()
+					}
+				} else {
+					st = &ipState{counters: make(map[flow.Ingress]float64), firstSeen: rec.Ts}
+					if e.sk != nil {
+						if fs, ok := e.sk.FirstSeen(masked); ok && fs.Before(st.firstSeen) {
+							st.firstSeen = fs
+							e.tel.sketchFirstSeen.Inc()
+						}
+					}
+					rs.ips[k] = st
+					e.ipCount++
+				}
+			}
+			if st != nil {
+				st.total += w
+				st.counters[logical] += w
+				if rec.Ts.After(st.lastSeen) {
+					st.lastSeen = rec.Ts
+				}
 			}
 		}
 	}
@@ -387,6 +516,18 @@ func (e *Engine) runCycle(now time.Time) {
 	cycleStart := now.Add(-e.cfg.T)
 	cycleSpan := e.tracer.Begin(trace.PhaseCycle, e.cycleID)
 
+	if e.sk != nil {
+		// One sketch generation per cycle: the window then spans
+		// Generations·T ≥ E, the exact per-IP expiry horizon.
+		e.sk.Rotate(now)
+	}
+	e.hydroBudget = math.Inf(1)
+	if e.sk != nil && e.gov != nil {
+		if gcfg := e.gov.Config(); gcfg.MaxIPStates > 0 {
+			e.hydroBudget = gcfg.RecoverFraction*float64(gcfg.MaxIPStates) - float64(e.ipCount)
+		}
+	}
+
 	logging := e.log != nil && e.log.Enabled(context.Background(), slog.LevelInfo)
 	sampling := e.sampleThisCycle()
 	rangesBefore := e.active.Len()
@@ -450,7 +591,9 @@ func (e *Engine) runCycle(now time.Time) {
 	span = e.tracer.Begin(trace.PhaseSplit, e.cycleID)
 	deferSplits := e.gov != nil && e.gov.State() != governor.StateNormal
 	for _, ps := range splits {
-		if deferSplits || (e.cfg.MaxRanges > 0 && e.active.Len() >= e.cfg.MaxRanges) {
+		// Sketched ranges have no per-IP state to redistribute, so their
+		// splits wait until they hydrate.
+		if deferSplits || ps.rs.sketched || (e.cfg.MaxRanges > 0 && e.active.Len() >= e.cfg.MaxRanges) {
 			e.tel.splitsDeferred.Inc()
 			continue
 		}
@@ -473,6 +616,18 @@ func (e *Engine) runCycle(now time.Time) {
 	if e.gov != nil {
 		span = e.tracer.Begin(trace.PhaseGovern, e.cycleID)
 		span.End(e.govern(now))
+	}
+
+	if e.sk != nil {
+		sketched := 0
+		e.active.Walk(func(_ netip.Prefix, rs *rangeState) bool {
+			if rs.sketched {
+				sketched++
+			}
+			return true
+		})
+		e.tel.sketchRanges.Set(int64(sketched))
+		e.tel.sketchBytes.Set(int64(e.sk.Bytes()))
 	}
 
 	dur := time.Since(start)
@@ -593,6 +748,10 @@ func (e *Engine) unclassify(rs *rangeState, now time.Time) {
 	rs.byteTotal = 0
 	rs.ips = make(map[netaddr.Key]*ipState)
 	rs.bornAt = now
+	rs.sketched = false
+	rs.sketchCalm = 0
+	rs.ring = nil
+	rs.classifiedSketched = false
 }
 
 // pendingSplit is a split decision taken during the classify phase and
@@ -608,18 +767,26 @@ type pendingSplit struct {
 // inline, so the split phase can apply (and account) all of a cycle's splits
 // together.
 func (e *Engine) cycleUnclassified(rs *rangeState, now time.Time) (pendingSplit, bool) {
-	// Remove source-IP information older than E.
-	for k, st := range rs.ips {
-		if now.Sub(st.lastSeen) > e.cfg.E {
-			for in, c := range st.counters {
-				rs.counters[in] -= c
-				if rs.counters[in] <= 1e-9 {
-					delete(rs.counters, in)
+	if rs.sketched {
+		// Sketched expiry: subtract the vote generation that just left the
+		// retained window — O(ingresses) instead of a per-source walk.
+		// Votes age out by contribution time rather than source idleness;
+		// DESIGN §13 quantifies the difference.
+		e.expireSketchedVotes(rs)
+	} else {
+		// Remove source-IP information older than E.
+		for k, st := range rs.ips {
+			if now.Sub(st.lastSeen) > e.cfg.E {
+				for in, c := range st.counters {
+					rs.counters[in] -= c
+					if rs.counters[in] <= 1e-9 {
+						delete(rs.counters, in)
+					}
 				}
+				rs.total -= st.total
+				delete(rs.ips, k)
+				e.ipCount--
 			}
-			rs.total -= st.total
-			delete(rs.ips, k)
-			e.ipCount--
 		}
 	}
 	if rs.total < 0 {
@@ -627,25 +794,36 @@ func (e *Engine) cycleUnclassified(rs *rangeState, now time.Time) (pendingSplit,
 	}
 
 	ncidr := e.cfg.NCidr(rs.prefix.Bits(), rs.v6)
+	in, share := rs.top()
+	e.updateStateMode(rs, now, share, ncidr)
+
 	if rs.total < ncidr {
 		return pendingSplit{}, false // not enough samples yet (line 8)
 	}
-	in, share := rs.top()
 	if share >= e.cfg.Q {
 		// Single ingress prevalent: classify (lines 9-10) and drop all
 		// per-IP state (§3.2 "once a prevalent ingress is found, all
 		// state is removed").
+		wasSketched := rs.sketched
 		rs.classified = true
 		rs.ingress = in
 		rs.classifiedAt = now
 		e.ipCount -= len(rs.ips)
 		rs.ips = nil
+		rs.ring = nil
+		rs.sketched = false
+		rs.sketchCalm = 0
+		rs.classifiedSketched = wasSketched
 		e.tel.classifications.Inc()
+		if wasSketched {
+			e.tel.sketchClassifications.Inc()
+		}
 		e.noteChurn(in)
 		e.emit(Event{Kind: EventClassified, Prefix: rs.prefix.String(), Ingress: in, At: now,
 			Reason: Reason{Code: ReasonPrevalentIngress, Observed: share, Threshold: e.cfg.Q,
 				Samples: rs.total, MinSamples: ncidr},
-			Coverage: e.coverageAnnotation(in)})
+			Coverage: e.coverageAnnotation(in),
+			Sketch:   e.sketchAnnotation(wasSketched)})
 		return pendingSplit{}, false
 	}
 	if rs.prefix.Bits() < e.cfg.cidrMax(rs.v6) {
@@ -654,6 +832,136 @@ func (e *Engine) cycleUnclassified(rs *rangeState, now time.Time) (pendingSplit,
 	// At cidr_max with mixed ingress: keep monitoring (the join pass is
 	// what "try to join", line 15, can still do for such ranges' parents).
 	return pendingSplit{}, false
+}
+
+// expireSketchedVotes rotates the range's vote ring and subtracts the
+// expired generation from the range counters — the sketched analogue of the
+// exact per-IP expiry walk. Sorted iteration keeps the float subtraction
+// order, and therefore checkpoints, deterministic.
+func (e *Engine) expireSketchedVotes(rs *rangeState) {
+	if rs.ring == nil {
+		return
+	}
+	expired, total := rs.ring.Rotate()
+	if total == 0 {
+		return
+	}
+	ins := make([]flow.Ingress, 0, len(expired))
+	for in := range expired {
+		ins = append(ins, in)
+	}
+	sort.Slice(ins, func(i, j int) bool { return lessIngress(ins[i], ins[j]) })
+	for _, in := range ins {
+		rs.counters[in] -= expired[in]
+		if rs.counters[in] <= 1e-9 {
+			delete(rs.counters, in)
+		}
+	}
+	rs.total -= total
+}
+
+// updateStateMode is the per-cycle exact↔sketched hysteresis for one
+// unclassified range. Exact ranges degrade immediately when the governor is
+// under pressure and the range sits more than the exact margin below the
+// classification threshold; sketched ranges hydrate back only after
+// SketchHoldCycles consecutive eligible cycles, so the boundary cannot
+// flap. A range about to classify this cycle is left sketched so the
+// decision carries its ε/δ provenance.
+func (e *Engine) updateStateMode(rs *rangeState, now time.Time, share, ncidr float64) {
+	if e.sk == nil {
+		if rs.sketched {
+			// Restored from a sketched checkpoint into an engine running
+			// without the sketch tier: hydrate immediately.
+			e.hydrate(rs, now, share)
+		}
+		return
+	}
+	boundary := e.cfg.Q - e.cfg.sketchExactMargin()
+	govNormal := e.gov == nil || e.gov.State() == governor.StateNormal
+	if !rs.sketched {
+		if !govNormal && share < boundary {
+			e.degrade(rs, now, share)
+		}
+		return
+	}
+	if govNormal || share >= boundary {
+		rs.sketchCalm++
+		classifyImminent := share >= e.cfg.Q && rs.total >= ncidr
+		// Budget-aware hydration: the range's retained vote mass
+		// approximates the per-IP entries its traffic will re-mint, and
+		// hydration spends it from the cycle's headroom. A range the budget
+		// cannot absorb stays sketched with its calm streak intact, so it
+		// hydrates as soon as headroom opens — gradually, instead of every
+		// sketched range re-minting at once and re-breaching the cap.
+		if rs.sketchCalm >= e.cfg.sketchHoldCycles() && !classifyImminent && rs.total <= e.hydroBudget {
+			e.hydroBudget -= rs.total
+			e.hydrate(rs, now, share)
+		}
+	} else {
+		rs.sketchCalm = 0
+	}
+}
+
+// degrade folds a range's exact per-IP state into the shared sketch (so
+// coarse first-seen and window mass survive) and a fresh vote ring (so the
+// folded votes age out on the ring clock), then switches the range to
+// sketched mode. Sorted iteration keeps the float sums deterministic.
+func (e *Engine) degrade(rs *rangeState, now time.Time, share float64) {
+	ring := sketch.NewVoteRing(e.sk.Config().Generations)
+	keys := make([]netaddr.Key, 0, len(rs.ips))
+	for k := range rs.ips {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	for _, k := range keys {
+		st := rs.ips[k]
+		e.sk.Observe(k.Prefix(), st.total, st.lastSeen)
+		ins := make([]flow.Ingress, 0, len(st.counters))
+		for in := range st.counters {
+			ins = append(ins, in)
+		}
+		sort.Slice(ins, func(i, j int) bool { return lessIngress(ins[i], ins[j]) })
+		for _, in := range ins {
+			ring.Observe(in, st.counters[in])
+		}
+	}
+	e.ipCount -= len(rs.ips)
+	rs.ips = nil
+	rs.ring = ring
+	rs.sketched = true
+	rs.sketchCalm = 0
+	e.tel.sketchDegrades.Inc()
+	e.emit(Event{Kind: EventStateMode, Prefix: rs.prefix.String(), At: now, Detail: StateModeSketched,
+		Reason: Reason{Code: ReasonSketched, Observed: share,
+			Threshold: e.cfg.Q - e.cfg.sketchExactMargin()}})
+}
+
+// hydrate returns a sketched range to exact per-IP state. The vote mass
+// retained in the counters carries forward (like cap-refused mass in exact
+// mode, it only leaves via classify/unclassify); fresh traffic re-mints
+// per-IP entries from here on.
+func (e *Engine) hydrate(rs *rangeState, now time.Time, share float64) {
+	held := rs.sketchCalm
+	rs.sketched = false
+	rs.sketchCalm = 0
+	rs.ring = nil
+	if rs.ips == nil {
+		rs.ips = make(map[netaddr.Key]*ipState)
+	}
+	e.tel.sketchHydrates.Inc()
+	e.emit(Event{Kind: EventStateMode, Prefix: rs.prefix.String(), At: now, Detail: StateModeExact,
+		Reason: Reason{Code: ReasonSketched, Observed: share,
+			Threshold: e.cfg.Q - e.cfg.sketchExactMargin(), Samples: float64(held)}})
+}
+
+// sketchAnnotation builds the ε/δ provenance annotation attached to
+// classify/join decisions taken on sketched evidence; nil otherwise.
+func (e *Engine) sketchAnnotation(sketched bool) *Reason {
+	if !sketched || e.sk == nil {
+		return nil
+	}
+	cfg := e.sk.Config()
+	return &Reason{Code: ReasonSketched, Observed: cfg.Epsilon(), Threshold: cfg.Delta()}
 }
 
 // coverageAnnotation asks Config.Coverage about the ingress deciding a
@@ -772,7 +1080,8 @@ func (e *Engine) mergePass(now time.Time, collapse bool) int {
 						Threshold: e.cfg.Q, Samples: merged.total,
 						MinSamples: e.cfg.NCidr(parentPfx.Bits(), merged.v6)},
 					Children: children,
-					Coverage: e.coverageAnnotation(merged.ingress)})
+					Coverage: e.coverageAnnotation(merged.ingress),
+					Sketch:   e.sketchAnnotation(merged.classifiedSketched)})
 			}
 			changed = true
 			merges++
@@ -787,8 +1096,11 @@ func (e *Engine) mergePass(now time.Time, collapse bool) int {
 // nil. collapsed distinguishes the empty-sibling cleanup (EventDropped) from
 // the classified merge (EventJoined).
 func (e *Engine) tryJoin(lo, hi *rangeState, parent netip.Prefix, now time.Time) (merged *rangeState, collapsed bool) {
-	// Case 1: both empty and unclassified -> empty parent.
-	if !lo.classified && !hi.classified && lo.total == 0 && hi.total == 0 &&
+	// Case 1: both empty and unclassified -> empty parent. Sketched
+	// siblings are excluded: their vote rings may still hold in-window
+	// mass, and the collapse would silently discard it.
+	if !lo.classified && !hi.classified && !lo.sketched && !hi.sketched &&
+		lo.total == 0 && hi.total == 0 &&
 		len(lo.ips) == 0 && len(hi.ips) == 0 {
 		if now.Sub(lo.bornAt) < e.cfg.E || now.Sub(hi.bornAt) < e.cfg.E {
 			return nil, false // fresh emptiness; don't undo a recent split
@@ -822,6 +1134,9 @@ func (e *Engine) tryJoin(lo, hi *rangeState, parent netip.Prefix, now time.Time)
 			if hi.classifiedAt.Before(m.classifiedAt) {
 				m.classifiedAt = hi.classifiedAt
 			}
+			// Sketch provenance is sticky across joins: if either child was
+			// classified on sketched evidence, so was the parent.
+			m.classifiedSketched = lo.classifiedSketched || hi.classifiedSketched
 			// The merged range must still be prevalent; with identical
 			// ingresses it always is, but guard against pathological
 			// counter mixes.

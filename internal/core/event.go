@@ -63,6 +63,19 @@ const (
 	// its clear threshold for the configured hold, and the alert was retired.
 	// Subject fields mirror EventAlertRaised.
 	EventAlertCleared
+	// EventStateMode : an unclassified range switched per-IP counting modes
+	// (Config.Sketch): Detail "sketched" means its exact per-IP map was
+	// folded into the shared fixed-memory sketch under governor pressure,
+	// "exact" means it hydrated back after the hysteresis hold. The range's
+	// partition membership is unchanged — replay treats the event as a mode
+	// flag flip on an existing range.
+	EventStateMode
+)
+
+// Detail values carried by EventStateMode.
+const (
+	StateModeSketched = "sketched"
+	StateModeExact    = "exact"
 )
 
 func (k EventKind) String() string {
@@ -91,6 +104,8 @@ func (k EventKind) String() string {
 		return "alert-raised"
 	case EventAlertCleared:
 		return "alert-cleared"
+	case EventStateMode:
+		return "state-mode"
 	}
 	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }
@@ -104,7 +119,7 @@ func (k *EventKind) UnmarshalText(b []byte) error {
 	for _, c := range []EventKind{EventClassified, EventInvalidated, EventExpired,
 		EventSplit, EventJoined, EventCreated, EventDropped,
 		EventCompacted, EventQuarantined, EventGovernor,
-		EventAlertRaised, EventAlertCleared} {
+		EventAlertRaised, EventAlertCleared, EventStateMode} {
 		if string(b) == c.String() {
 			*k = c
 			return nil
@@ -184,6 +199,15 @@ const (
 	// (hot-prefix alert), or stayed below the clear threshold long enough
 	// (clear).
 	ReasonHotPrefix
+	// ReasonSketched : the fixed-memory sketch tier is involved. On
+	// EventStateMode it is the mode decision itself (Observed the range's
+	// top-ingress share, Threshold the exact-margin boundary Q − margin,
+	// Samples the hydration hold on the exact flip). As the Sketch
+	// annotation on classify/join events it carries the accuracy bound of
+	// the sketched evidence instead: Observed is ε (the count-min additive
+	// error as a fraction of window mass), Threshold is δ (the probability
+	// the bound is exceeded).
+	ReasonSketched
 )
 
 func (c ReasonCode) String() string {
@@ -226,6 +250,8 @@ func (c ReasonCode) String() string {
 		return "clock-skew"
 	case ReasonHotPrefix:
 		return "hot-prefix"
+	case ReasonSketched:
+		return "sketched"
 	}
 	return fmt.Sprintf("ReasonCode(%d)", uint8(c))
 }
@@ -241,7 +267,7 @@ func (c *ReasonCode) UnmarshalText(b []byte) error {
 		ReasonBudgetRecovered, ReasonForcedCompaction, ReasonPanicRecovered,
 		ReasonFlapRate, ReasonShareDrift, ReasonDegradedCoverage,
 		ReasonExporterLoss, ReasonExporterStale, ReasonClockSkew,
-		ReasonHotPrefix} {
+		ReasonHotPrefix, ReasonSketched} {
 		if string(b) == r.String() {
 			*c = r
 			return nil
@@ -324,6 +350,20 @@ func (r Reason) String() string {
 	case ReasonHotPrefix:
 		return fmt.Sprintf("hot-prefix: aggregate share %.3f of profiled traffic (threshold %.3f, %.0f records >= min %.0f)",
 			r.Observed, r.Threshold, r.Samples, r.MinSamples)
+	case ReasonSketched:
+		if r.MinSamples > 0 {
+			// Sketch-share alert form: only the timeline alert machine sets
+			// the MinSamples gate.
+			return fmt.Sprintf("sketched: %.3f of %.0f unclassified ranges on sketch tier (threshold %.3f)",
+				r.Observed, r.Samples, r.Threshold)
+		}
+		if r.Observed < r.Threshold {
+			// Annotation form: ε is always smaller than δ at valid sketch
+			// sizes, while a mode decision's share/boundary pair is not.
+			return fmt.Sprintf("sketched: evidence via fixed-memory sketch, error <= %.4f of window mass with probability %.4f",
+				r.Observed, 1-r.Threshold)
+		}
+		return fmt.Sprintf("sketched: top share %.3f vs exact margin %.3f", r.Observed, r.Threshold)
 	}
 	return r.Code.String()
 }
@@ -364,4 +404,9 @@ type Event struct {
 	// ReasonDegradedCoverage, Observed the score, Threshold the floor.
 	// Purely provenance — replay ignores it, the decision stands.
 	Coverage *Reason `json:"coverage,omitempty"`
+	// Sketch, when set, annotates a classify/join decision taken on
+	// sketched evidence (the range was in the fixed-memory tier when its
+	// votes accumulated): Code is ReasonSketched, Observed the sketch's ε
+	// bound, Threshold its δ. Like Coverage, pure provenance.
+	Sketch *Reason `json:"sketch,omitempty"`
 }

@@ -42,6 +42,11 @@ type Explanation struct {
 	// right now (Config.Coverage score below its floor): the verdict may
 	// say more about the exporter than about the network.
 	Coverage *Reason `json:"coverage,omitempty"`
+	// Sketch, when set, flags that the matched range's evidence runs (or,
+	// for a classified range, ran) through the fixed-memory sketch tier;
+	// Observed/Threshold carry the sketch's ε/δ accuracy bound, so the
+	// verdict's vote shares are approximate within that bound.
+	Sketch *Reason `json:"sketch,omitempty"`
 }
 
 // VerdictString renders the verdict like the event log does.
@@ -95,6 +100,7 @@ func (e *Engine) Explain(addr netip.Addr) (Explanation, bool) {
 	} else if top, _ := rs.top(); rs.total > 0 {
 		ex.Coverage = e.coverageAnnotation(top)
 	}
+	ex.Sketch = e.sketchAnnotation(rs.sketched || (rs.classified && rs.classifiedSketched))
 	return ex, true
 }
 

@@ -76,7 +76,46 @@ func (e *Engine) govern(now time.Time) int {
 	if next != governor.StateEmergency {
 		return 0
 	}
+	// Escalation order (governor.State.Actions): with the sketch tier on,
+	// "sketch" comes before "compact". Degrading far-from-threshold ranges
+	// frees their per-IP state without discarding any classified work, so
+	// compaction only runs if the budgets are still breached afterwards —
+	// typically only when the range budget (which sketching cannot shrink)
+	// is the one over target.
+	e.sketchSweep(now)
 	return e.compact(now)
+}
+
+// sketchSweep is the emergency pre-compaction pass: it degrades every
+// unclassified exact range sitting below the sketch boundary (more than the
+// exact margin under Q) until the governed populations are back under their
+// recover targets. It runs ahead of the per-range hysteresis in
+// updateStateMode because an emergency is exactly the "upgrade immediately"
+// case; the walk order is the trie's, so the sweep is deterministic.
+func (e *Engine) sketchSweep(now time.Time) int {
+	if e.sk == nil || !e.overRecoverTarget() {
+		return 0
+	}
+	boundary := e.cfg.Q - e.cfg.sketchExactMargin()
+	var victims []*rangeState
+	e.active.Walk(func(_ netip.Prefix, rs *rangeState) bool {
+		if !rs.classified && !rs.sketched && len(rs.ips) > 0 {
+			if _, share := rs.top(); share < boundary {
+				victims = append(victims, rs)
+			}
+		}
+		return true
+	})
+	swept := 0
+	for _, rs := range victims {
+		if !e.overRecoverTarget() {
+			break
+		}
+		_, share := rs.top()
+		e.degrade(rs, now, share)
+		swept++
+	}
+	return swept
 }
 
 // compactCand is one force-joinable sibling pair.

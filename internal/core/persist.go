@@ -9,16 +9,23 @@ import (
 	"ipd/internal/flow"
 	"ipd/internal/netaddr"
 	"ipd/internal/persist"
+	"ipd/internal/sketch"
 	"ipd/internal/trie"
 )
 
-// Checkpoint container: magic "IPDC", version 1, then a binner-present
+// Checkpoint container: magic "IPDC", version 2, then a binner-present
 // flag, the engine section, and (for Server checkpoints) the binner
 // section. The persist codec wraps the whole container in a CRC-32 guard,
 // so a torn or bit-rotten checkpoint is rejected before any field decodes.
+//
+// Version 2 added the sketch tier: per-range state-mode fields (sketched
+// flag, hysteresis counter, vote ring, classification provenance), the
+// per-IP first-seen timestamp, and an engine-level shared-sketch section,
+// so kill-and-restore round-trips sketched runs byte-identically. Version 1
+// payloads are not readable; the version gate rejects them up front.
 const (
 	checkpointMagic   = 0x49504443 // "IPDC"
-	checkpointVersion = 1
+	checkpointVersion = 2
 )
 
 // Seq returns the sequence number of the last emitted lifecycle event; a
@@ -90,6 +97,14 @@ func (e *Engine) encodeState(enc *persist.Encoder) {
 		rs, _ := e.active.Get(p)
 		encodeRange(enc, rs)
 	}
+
+	// Shared-sketch section: the fixed-memory tier's window must survive a
+	// kill, or restored sketched ranges would lose their per-source
+	// evidence and cap-refused first-seen timestamps.
+	enc.Bool(e.sk != nil)
+	if e.sk != nil {
+		e.sk.EncodeState(enc)
+	}
 }
 
 // engineRestore is a fully decoded engine section, not yet committed.
@@ -100,6 +115,9 @@ type engineRestore struct {
 	now       time.Time
 	lastCycle time.Time
 	active    *trie.Trie[*rangeState]
+	// sk is the decoded shared-sketch section; nil when the checkpoint was
+	// taken with the sketch tier disabled.
+	sk *sketch.Sketch
 }
 
 // decodeState decodes the engine section into fresh structures without
@@ -138,6 +156,15 @@ func (e *Engine) decodeState(dec *persist.Decoder) (engineRestore, error) {
 		}
 		st.active.Insert(rs.prefix, rs)
 	}
+	hasSketch, err := dec.Bool()
+	if err != nil {
+		return st, fmt.Errorf("core: restore sketch flag: %w", err)
+	}
+	if hasSketch {
+		if st.sk, err = sketch.DecodeState(dec); err != nil {
+			return st, fmt.Errorf("core: restore sketch: %w", err)
+		}
+	}
 	return st, nil
 }
 
@@ -148,16 +175,36 @@ func (e *Engine) commitState(st engineRestore) {
 	e.started = st.started
 	e.now = st.now
 	e.lastCycle = st.lastCycle
+	// Adopt the checkpoint's sketch window when both sides have the tier:
+	// the decoded state (including its sizing) wins, so a restored run
+	// continues the exact window the killed run had. A checkpoint without
+	// a section resets the tier; a section restored into a sketchless
+	// engine is dropped, and the first cycle hydrates the sketched ranges.
+	if e.sk != nil {
+		if st.sk != nil {
+			e.sk = st.sk
+		} else {
+			e.sk.Reset()
+		}
+	}
 	// Rebuild the live per-IP population counter from the restored
 	// partition (the one walk this counter's existence saves every cycle).
 	e.ipCount = 0
+	sketched := 0
 	e.active.Walk(func(_ netip.Prefix, rs *rangeState) bool {
 		e.ipCount += len(rs.ips)
+		if rs.sketched {
+			sketched++
+		}
 		return true
 	})
 	e.tel.activeRanges.Set(int64(e.active.Len()))
 	e.tel.ipStates.Set(int64(e.IPStateCount()))
 	e.tel.trieNodes.Set(int64(e.active.Nodes()))
+	if e.sk != nil {
+		e.tel.sketchRanges.Set(int64(sketched))
+		e.tel.sketchBytes.Set(int64(e.sk.Bytes()))
+	}
 }
 
 // encodeRange writes one rangeState; all maps go out in sorted order so the
@@ -186,7 +233,16 @@ func encodeRange(enc *persist.Encoder, rs *rangeState) {
 			encodeCounters(enc, st.counters)
 			enc.Float64(st.total)
 			enc.Time(st.lastSeen)
+			enc.Time(st.firstSeen)
 		}
+	}
+	// Sketch-tier mode fields (checkpoint v2).
+	enc.Bool(rs.sketched)
+	enc.Uvarint(uint64(rs.sketchCalm))
+	enc.Bool(rs.classifiedSketched)
+	enc.Bool(rs.ring != nil)
+	if rs.ring != nil {
+		rs.ring.EncodeState(enc)
 	}
 }
 
@@ -226,29 +282,59 @@ func decodeRange(dec *persist.Decoder) (*rangeState, error) {
 	}
 	if !hasIPs {
 		rs.ips = nil
-		return rs, nil
-	}
-	n, err := dec.Len()
-	if err != nil {
-		return nil, err
-	}
-	rs.ips = make(map[netaddr.Key]*ipState, n)
-	for i := 0; i < n; i++ {
-		kp, err := dec.Prefix()
+	} else {
+		n, err := dec.Len()
 		if err != nil {
 			return nil, err
 		}
-		st := &ipState{}
-		if st.counters, err = decodeCounters(dec); err != nil {
+		rs.ips = make(map[netaddr.Key]*ipState, n)
+		for i := 0; i < n; i++ {
+			kp, err := dec.Prefix()
+			if err != nil {
+				return nil, err
+			}
+			st := &ipState{}
+			if st.counters, err = decodeCounters(dec); err != nil {
+				return nil, err
+			}
+			if st.total, err = dec.Float64(); err != nil {
+				return nil, err
+			}
+			if st.lastSeen, err = dec.Time(); err != nil {
+				return nil, err
+			}
+			if st.firstSeen, err = dec.Time(); err != nil {
+				return nil, err
+			}
+			rs.ips[netaddr.KeyOf(kp)] = st
+		}
+	}
+	// Sketch-tier mode fields (checkpoint v2).
+	if rs.sketched, err = dec.Bool(); err != nil {
+		return nil, err
+	}
+	calm, err := dec.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if calm > 1<<20 {
+		return nil, fmt.Errorf("core: restore: sketch calm counter %d out of range", calm)
+	}
+	rs.sketchCalm = int(calm)
+	if rs.classifiedSketched, err = dec.Bool(); err != nil {
+		return nil, err
+	}
+	hasRing, err := dec.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if hasRing {
+		if rs.ring, err = sketch.DecodeVoteRing(dec); err != nil {
 			return nil, err
 		}
-		if st.total, err = dec.Float64(); err != nil {
-			return nil, err
-		}
-		if st.lastSeen, err = dec.Time(); err != nil {
-			return nil, err
-		}
-		rs.ips[netaddr.KeyOf(kp)] = st
+	}
+	if rs.sketched && rs.ips != nil {
+		return nil, fmt.Errorf("core: restore: range %v is sketched but carries exact per-IP state", rs.prefix)
 	}
 	return rs, nil
 }
@@ -406,6 +492,34 @@ func (e *Engine) ApplyEvent(ev Event) error {
 			return fmt.Errorf("core: apply event seq %d unclassifies unknown range %s", ev.Seq, ev.Prefix)
 		}
 		e.unclassify(rs, ev.At)
+	case EventStateMode:
+		// Mode flips are partition-neutral; like the sample counters, the
+		// replayed per-source evidence is approximate (the exact map or
+		// vote ring contents at decision time are not journaled) and fresh
+		// traffic re-fills it.
+		rs, ok := e.active.Get(p)
+		if !ok {
+			return fmt.Errorf("core: apply event seq %d flips mode of unknown range %s", ev.Seq, ev.Prefix)
+		}
+		switch ev.Detail {
+		case StateModeSketched:
+			e.ipCount -= len(rs.ips)
+			rs.ips = nil
+			rs.sketched = true
+			rs.sketchCalm = 0
+			if e.sk != nil {
+				rs.ring = sketch.NewVoteRing(e.sk.Config().Generations)
+			}
+		case StateModeExact:
+			rs.sketched = false
+			rs.sketchCalm = 0
+			rs.ring = nil
+			if rs.ips == nil {
+				rs.ips = make(map[netaddr.Key]*ipState)
+			}
+		default:
+			return fmt.Errorf("core: apply event seq %d has unknown state mode %q", ev.Seq, ev.Detail)
+		}
 	default:
 		return fmt.Errorf("core: apply event seq %d has unknown kind %d", ev.Seq, ev.Kind)
 	}

@@ -37,6 +37,12 @@ const (
 	// aggregate prefix, carried in Prefix; Ingress is the aggregate's
 	// dominant ingress.
 	AlertHotPrefix
+	// AlertSketchShare : the fraction of unclassified ranges running in
+	// the fixed-memory sketch tier crossed the raise threshold — so much
+	// of the partition is on approximate (ε/δ-bounded) evidence that
+	// classification accuracy is at risk. No subject: the alert is about
+	// the pipeline.
+	AlertSketchShare
 )
 
 func (k AlertKind) String() string {
@@ -53,6 +59,8 @@ func (k AlertKind) String() string {
 		return "clock-skew"
 	case AlertHotPrefix:
 		return "hot-prefix"
+	case AlertSketchShare:
+		return "sketch-share"
 	}
 	return "unknown"
 }
@@ -102,11 +110,14 @@ type CycleSample struct {
 	At       time.Time
 	Duration time.Duration
 
-	// Engine shape after the cycle.
-	Ranges     int
-	Classified int
-	IPStates   int
-	TrieNodes  int
+	// Engine shape after the cycle. SketchedRanges counts unclassified
+	// ranges currently in the fixed-memory sketch tier (always 0 without
+	// Config.Sketch).
+	Ranges         int
+	Classified     int
+	IPStates       int
+	TrieNodes      int
+	SketchedRanges int
 
 	// Depth4[b] / Depth6[b] count active ranges with prefix length b
 	// (Depth4 has 33 buckets, Depth6 129).
@@ -182,7 +193,7 @@ func (e *Engine) deliverCycleSample(now time.Time, dur time.Duration, before cyc
 	}
 	clear(b.stats)
 
-	classified := 0
+	classified, sketched := 0, 0
 	var totalMass float64
 	e.active.Walk(func(p netip.Prefix, rs *rangeState) bool {
 		if rs.v6 {
@@ -193,6 +204,9 @@ func (e *Engine) deliverCycleSample(now time.Time, dur time.Duration, before cyc
 		if rs.classified {
 			classified++
 			b.stat(rs.ingress).Ranges++
+		}
+		if rs.sketched {
+			sketched++
 		}
 		for in, c := range rs.counters {
 			if c <= 0 {
@@ -223,6 +237,7 @@ func (e *Engine) deliverCycleSample(now time.Time, dur time.Duration, before cyc
 		Classified:      classified,
 		IPStates:        e.ipCount,
 		TrieNodes:       e.active.Nodes(),
+		SketchedRanges:  sketched,
 		Depth4:          b.depth4[:],
 		Depth6:          b.depth6[:],
 		Splits:          after.splits - before.splits,

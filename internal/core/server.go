@@ -293,6 +293,14 @@ func (s *Server) Explain(addr netip.Addr) (Explanation, bool) {
 	return s.eng.Explain(addr)
 }
 
+// SketchStatus returns the fixed-memory sketch tier's status (safe
+// concurrently with Run); the zero status when Config.Sketch is off.
+func (s *Server) SketchStatus() SketchStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.SketchStatus()
+}
+
 // Stats returns engine and binner counters. Both are assembled from
 // telemetry atomics, so this never takes mu and never contends with ingest.
 func (s *Server) Stats() (Stats, stattime.Stats) {

@@ -35,6 +35,11 @@ type RangeInfo struct {
 	Counters map[flow.Ingress]float64
 	// Bytes is the byte total for the flow/byte correlation study.
 	Bytes float64
+	// Sketched reports that the range currently counts per-source evidence
+	// through the fixed-memory sketch tier (Config.Sketch). For classified
+	// ranges it instead reports that the classification was decided on
+	// sketched evidence.
+	Sketched bool
 }
 
 // info converts internal state to the public view.
@@ -51,6 +56,7 @@ func (e *Engine) info(rs *rangeState) RangeInfo {
 		ClassifiedAt: rs.classifiedAt,
 		Counters:     make(map[flow.Ingress]float64, len(rs.counters)),
 		Bytes:        rs.byteTotal,
+		Sketched:     rs.sketched || (rs.classified && rs.classifiedSketched),
 	}
 	if rs.classified {
 		ri.Ingress = rs.ingress

@@ -36,9 +36,21 @@ type engineMetrics struct {
 	panicsRecovered telemetry.Counter
 	quarantines     telemetry.Counter
 
+	// Sketch-tier accounting (Config.Sketch): observations routed through
+	// the shared sketch, exact→sketched and sketched→exact transitions,
+	// first-seen timestamps recovered from the sketch at mint time, and
+	// classifications decided on sketched evidence.
+	sketchObserves        telemetry.Counter
+	sketchDegrades        telemetry.Counter
+	sketchHydrates        telemetry.Counter
+	sketchFirstSeen       telemetry.Counter
+	sketchClassifications telemetry.Counter
+
 	activeRanges telemetry.Gauge
 	ipStates     telemetry.Gauge
 	trieNodes    telemetry.Gauge
+	sketchRanges telemetry.Gauge
+	sketchBytes  telemetry.Gauge
 
 	cycleDuration *telemetry.Histogram
 
@@ -81,6 +93,20 @@ func newEngineMetrics() *engineMetrics {
 		"Panics recovered during per-range stage-2 processing.", &m.panicsRecovered)
 	m.reg.RegisterCounter("ipd_ranges_quarantined_total",
 		"Ranges reset and quarantined after a contained stage-2 panic.", &m.quarantines)
+	m.reg.RegisterCounter("ipd_sketch_observes_total",
+		"Observations routed through the fixed-memory sketch tier (sketched ranges plus cap-refused sources).", &m.sketchObserves)
+	m.reg.RegisterCounter("ipd_sketch_degrades_total",
+		"Unclassified ranges degraded from exact per-IP state to the sketch tier.", &m.sketchDegrades)
+	m.reg.RegisterCounter("ipd_sketch_hydrates_total",
+		"Sketched ranges hydrated back to exact per-IP state.", &m.sketchHydrates)
+	m.reg.RegisterCounter("ipd_sketch_first_seen_recovered_total",
+		"Per-IP entries minted with a first-seen timestamp recovered from the sketch window.", &m.sketchFirstSeen)
+	m.reg.RegisterCounter("ipd_sketch_classifications_total",
+		"Ranges classified on sketched evidence (events carry the ε/δ bound).", &m.sketchClassifications)
+	m.reg.RegisterGauge("ipd_sketch_ranges",
+		"Unclassified ranges currently in sketched mode.", &m.sketchRanges)
+	m.reg.RegisterGauge("ipd_sketch_bytes",
+		"Heap footprint of the shared sketch (fixed by configuration, not by source count).", &m.sketchBytes)
 	m.reg.RegisterGauge("ipd_active_ranges",
 		"Active IPD ranges after the last stage-2 cycle (Appendix A memory proxy).", &m.activeRanges)
 	m.reg.RegisterGauge("ipd_ip_states",

@@ -480,3 +480,27 @@ func TestDayRunMapsIPv6(t *testing.T) {
 		t.Error("no IPv6 ranges mapped")
 	}
 }
+
+func TestSketchFlood(t *testing.T) {
+	res, err := SketchFlood(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GovernedPeak > res.Cap {
+		t.Errorf("governed peak %d exceeded cap %d", res.GovernedPeak, res.Cap)
+	}
+	if res.ReferencePeak <= 2*res.Cap {
+		t.Errorf("reference peak %d should dwarf the cap %d — flood too weak to exercise the tier",
+			res.ReferencePeak, res.Cap)
+	}
+	if res.LegitParity < 0.85 {
+		t.Errorf("legit parity %.3f at flood end, want at least 0.85", res.LegitParity)
+	}
+	if res.Sketch.Degrades == 0 || res.SketchedPeak == 0 {
+		t.Errorf("sketch tier never engaged: degrades=%d sketched peak=%d",
+			res.Sketch.Degrades, res.SketchedPeak)
+	}
+	if res.Compactions > 5 {
+		t.Errorf("%d emergency compactions — sketching should have absorbed the flood", res.Compactions)
+	}
+}

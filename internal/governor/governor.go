@@ -66,6 +66,29 @@ func (s State) String() string {
 // MarshalText encodes the state by name (JSON/journal readability).
 func (s State) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
 
+// Actions returns the degradation actions the pipeline applies in state s,
+// in escalation order. With the sketch tier enabled (Config.SketchTier),
+// far-from-threshold ranges degrade to sketched votes BEFORE stage 1 stops
+// minting per-IP entries at the cap — the sketch axis keeps vote evidence
+// accumulating at fixed memory, so "stop-minting" becomes the fallback for
+// near-threshold ranges only.
+func (s State) Actions(sketchTier bool) []string {
+	base := func() []string {
+		a := []string{"raise-sampling", "defer-splits"}
+		if sketchTier {
+			a = append(a, "sketch")
+		}
+		return append(a, "stop-minting")
+	}
+	switch s {
+	case StateDegraded:
+		return base()
+	case StateEmergency:
+		return append(base(), "compact", "shed-ingest")
+	}
+	return nil
+}
+
 // UnmarshalText parses the name form written by MarshalText.
 func (s *State) UnmarshalText(b []byte) error {
 	for _, c := range []State{StateNormal, StateDegraded, StateEmergency} {
@@ -141,6 +164,11 @@ type Config struct {
 	// every state change — the binaries use it to adjust the flow sampler.
 	// It must not call back into Evaluate.
 	OnTransition func(from, to State, u Usage)
+
+	// SketchTier records that the engine runs the fixed-memory sketch tier
+	// (core Config.Sketch), which inserts the "sketch" action before
+	// "stop-minting" in the degradation ladder reported by Snapshot.
+	SketchTier bool
 }
 
 // BudgetStatus is the per-axis view inside a Snapshot.
@@ -156,7 +184,10 @@ type Snapshot struct {
 	State       State          `json:"state"`
 	Utilization float64        `json:"utilization"`
 	Budgets     []BudgetStatus `json:"budgets"`
-	Transitions uint64         `json:"transitions"`
+	// Actions is the degradation ladder active in the current state, in
+	// escalation order (empty in normal state).
+	Actions     []string `json:"actions,omitempty"`
+	Transitions uint64   `json:"transitions"`
 	// HoldProgress counts consecutive calm evaluations toward the next
 	// downgrade (0 when not recovering); HoldCycles is the target.
 	HoldProgress int    `json:"hold_progress"`
@@ -384,6 +415,7 @@ func (g *Governor) Snapshot() Snapshot {
 		State:        g.State(),
 		Utilization:  util,
 		Budgets:      g.budgets(u),
+		Actions:      g.State().Actions(g.cfg.SketchTier),
 		Transitions:  total,
 		HoldProgress: g.holdProgress(),
 		HoldCycles:   g.cfg.HoldCycles,

@@ -12,6 +12,7 @@
 //	GET /ipd/alerts                                       active + recent flap/drift/exporter alerts
 //	GET /ipd/exporters                                    per-exporter feed health + coverage
 //	GET /ipd/workload                                     workload profile + shard plan
+//	GET /ipd/sketch                                       fixed-memory sketch tier status + ε/δ bound
 //
 // The handlers read through a Source (core.Server implements it; cmd/ipd
 // wraps its single-threaded engine in a mutex adapter) and never mutate, so
@@ -70,6 +71,7 @@ type Handler struct {
 	wl     *workload.Profiler  // may be nil: /ipd/workload is 404
 
 	cluster func() delta.ClusterStatus // may be nil: /ipd/cluster is 404
+	sketch  func() core.SketchStatus   // may be nil: /ipd/sketch is 404
 }
 
 // RouteInfo describes one mounted endpoint in the GET /ipd/ index.
@@ -94,6 +96,7 @@ func New(src Source, j *journal.Journal) *Handler {
 	h.handle("/ipd/exporters", "per-exporter feed health and coverage", h.exporters)
 	h.handle("/ipd/workload", "workload profile: heavy hitters, shard plan, batch locality, latency", h.workloadSnapshot)
 	h.handle("/ipd/cluster", "delta-shipping transport state (edge sender or core receiver)", h.clusterStatus)
+	h.handle("/ipd/sketch", "fixed-memory sketch tier: sizing, accuracy bound, and mode-flip counters", h.sketchStatus)
 	// The subtree pattern catches "/ipd/" itself (the index) and every
 	// otherwise-unmatched /ipd/* path (404). Registered last for clarity;
 	// ServeMux picks the longest pattern regardless of order.
@@ -166,6 +169,11 @@ func (h *Handler) SetWorkload(p *workload.Profiler) { h.wl = p }
 // before serving.
 func (h *Handler) SetCluster(fn func() delta.ClusterStatus) { h.cluster = fn }
 
+// SetSketch attaches the sketch-tier status reader (a closure over the
+// engine's SketchStatus under the server lock), enabling /ipd/sketch. Call
+// during setup, before serving.
+func (h *Handler) SetSketch(fn func() core.SketchStatus) { h.sketch = fn }
+
 // ServeHTTP dispatches to the /ipd/* routes.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
 
@@ -181,6 +189,7 @@ type rangeJSON struct {
 	ClassifiedAt *time.Time         `json:"classified_at,omitempty"`
 	Counters     map[string]float64 `json:"counters,omitempty"`
 	Bytes        float64            `json:"bytes"`
+	Sketched     bool               `json:"sketched,omitempty"`
 }
 
 func toRangeJSON(ri core.RangeInfo) rangeJSON {
@@ -191,6 +200,7 @@ func toRangeJSON(ri core.RangeInfo) rangeJSON {
 		Samples:    ri.Samples,
 		NCidr:      ri.NCidr,
 		Bytes:      ri.Bytes,
+		Sketched:   ri.Sketched,
 	}
 	if ri.Classified || ri.Samples > 0 {
 		out.Ingress = ri.Ingress.String()
@@ -396,6 +406,10 @@ func (h *Handler) explain(w http.ResponseWriter, r *http.Request) {
 		resp["coverage"] = ex.Coverage
 		resp["coverage_text"] = ex.Coverage.String()
 	}
+	if ex.Sketch != nil {
+		resp["sketch"] = ex.Sketch
+		resp["sketch_text"] = ex.Sketch.String()
+	}
 	if h.j != nil {
 		// The reason chain: every journal event that touched the matched
 		// range or one of the ancestors it was carved out of.
@@ -476,6 +490,18 @@ func (h *Handler) clusterStatus(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, h.cluster())
+}
+
+// sketchStatus serves GET /ipd/sketch: the fixed-memory sketch tier's sizing
+// (width/depth/generations), its ε/δ accuracy bound, the memory it pins, and
+// the degrade/hydrate counters — the operator's view of how much of the
+// partition runs on approximate evidence and how tight that approximation is.
+func (h *Handler) sketchStatus(w http.ResponseWriter, _ *http.Request) {
+	if h.sketch == nil {
+		writeErr(w, http.StatusNotFound, "no sketch tier attached")
+		return
+	}
+	writeJSON(w, http.StatusOK, h.sketch())
 }
 
 // timeline serves GET /ipd/timeline?series=&from=&to=&format=: the windowed

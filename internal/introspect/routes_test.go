@@ -10,6 +10,7 @@ import (
 
 	"net/netip"
 
+	"ipd/internal/core"
 	"ipd/internal/delta"
 	"ipd/internal/exphealth"
 	"ipd/internal/flow"
@@ -45,6 +46,9 @@ func fullHandler(t *testing.T) *Handler {
 	h.SetCluster(func() delta.ClusterStatus {
 		return delta.ClusterStatus{Role: "edge", Sender: &delta.SenderStats{EdgeID: "edge-test"}}
 	})
+	h.SetSketch(func() core.SketchStatus {
+		return core.SketchStatus{Enabled: true, Width: 1024, Depth: 4}
+	})
 	return h
 }
 
@@ -68,7 +72,7 @@ func TestIndexRoutes(t *testing.T) {
 		"/ipd/ranges": true, "/ipd/range": true, "/ipd/explain": true,
 		"/ipd/events": true, "/ipd/traces": true, "/ipd/governor": true,
 		"/ipd/timeline": true, "/ipd/alerts": true, "/ipd/exporters": true,
-		"/ipd/workload": true, "/ipd/cluster": true,
+		"/ipd/workload": true, "/ipd/cluster": true, "/ipd/sketch": true,
 	}
 	if len(rawEndpoints) != len(want) {
 		t.Errorf("index advertises %d endpoints, want %d", len(rawEndpoints), len(want))

@@ -23,6 +23,11 @@ type RangeView struct {
 	Prefix     netip.Prefix `json:"prefix"`
 	Classified bool         `json:"classified"`
 	Ingress    flow.Ingress `json:"ingress"`
+	// Sketched tracks the fixed-memory tier: true after an EventStateMode
+	// degrade, false again after the hydrate. A classification taken while
+	// sketched keeps the flag (provenance), mirroring
+	// core.RangeInfo.Sketched.
+	Sketched bool `json:"sketched,omitempty"`
 	// LastSeq is the sequence number of the newest event that touched the
 	// range (created it, classified it, ...).
 	LastSeq uint64 `json:"last_seq"`
@@ -87,12 +92,24 @@ func (r *Replayer) Apply(ev core.Event) error {
 	case core.EventJoined, core.EventDropped, core.EventCompacted:
 		// Only a join leaves the parent classified; drops and forced
 		// compactions produce an empty unclassified parent.
+		sketched := false
+		if ev.Kind == core.EventJoined {
+			// Sketch provenance is sticky across joins, like in the engine.
+			for _, c := range ev.Children {
+				if cp, err := netip.ParsePrefix(c); err == nil {
+					if cv, ok := r.ranges[cp]; ok && cv.Sketched {
+						sketched = true
+					}
+				}
+			}
+		}
 		if err := r.replaceChildrenWithParent(ev, p); err != nil {
 			return err
 		}
 		if ev.Kind == core.EventJoined {
 			r.ranges[p].Classified = true
 			r.ranges[p].Ingress = ev.Ingress
+			r.ranges[p].Sketched = sketched
 		}
 	case core.EventClassified:
 		rv, ok := r.ranges[p]
@@ -109,6 +126,21 @@ func (r *Replayer) Apply(ev core.Event) error {
 		}
 		rv.Classified = false
 		rv.Ingress = flow.Ingress{}
+		rv.Sketched = false
+		rv.LastSeq = ev.Seq
+	case core.EventStateMode:
+		rv, ok := r.ranges[p]
+		if !ok {
+			return fmt.Errorf("journal: event seq %d flips mode of unknown range %s", ev.Seq, ev.Prefix)
+		}
+		switch ev.Detail {
+		case core.StateModeSketched:
+			rv.Sketched = true
+		case core.StateModeExact:
+			rv.Sketched = false
+		default:
+			return fmt.Errorf("journal: event seq %d has unknown state mode %q", ev.Seq, ev.Detail)
+		}
 		rv.LastSeq = ev.Seq
 	default:
 		return fmt.Errorf("journal: event seq %d has unknown kind %d", ev.Seq, ev.Kind)
@@ -189,7 +221,7 @@ func (r *Replayer) Snapshot() []RangeView {
 func Project(infos []core.RangeInfo) []RangeView {
 	out := make([]RangeView, len(infos))
 	for i, ri := range infos {
-		out[i] = RangeView{Prefix: ri.Prefix, Classified: ri.Classified}
+		out[i] = RangeView{Prefix: ri.Prefix, Classified: ri.Classified, Sketched: ri.Sketched}
 		if ri.Classified {
 			out[i].Ingress = ri.Ingress
 		}
@@ -205,7 +237,8 @@ func Equal(replayed, engine []RangeView) bool {
 	}
 	for i := range replayed {
 		a, b := replayed[i], engine[i]
-		if a.Prefix != b.Prefix || a.Classified != b.Classified || a.Ingress != b.Ingress {
+		if a.Prefix != b.Prefix || a.Classified != b.Classified || a.Ingress != b.Ingress ||
+			a.Sketched != b.Sketched {
 			return false
 		}
 	}

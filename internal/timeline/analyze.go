@@ -69,6 +69,20 @@ type AnalyzerConfig struct {
 	HotHold       int
 	HotMinRecords uint64
 
+	// SketchRaiseShare is the fraction of unclassified ranges running in
+	// the fixed-memory sketch tier at which AlertSketchShare raises
+	// (default 0.5 — half the open questions ride on approximate
+	// evidence); it clears after SketchHold consecutive cycles at or below
+	// SketchClearShare (defaults 3 and SketchRaiseShare*0.5). Cycles with
+	// fewer than SketchMinRanges unclassified ranges decide nothing
+	// (default 8): a share over a handful of ranges is noise. The machine
+	// consumes only CycleSample fields, so the alert replays
+	// byte-identically.
+	SketchRaiseShare float64
+	SketchClearShare float64
+	SketchHold       int
+	SketchMinRanges  int
+
 	// ConvergenceBuckets are the upper bounds of the creation-to-first-
 	// classification histogram, in cycles (default 1,2,3,5,8,13,21,34,55;
 	// a final +Inf bucket is implicit).
@@ -131,6 +145,18 @@ func (c *AnalyzerConfig) withDefaults() AnalyzerConfig {
 	if out.HotMinRecords == 0 {
 		out.HotMinRecords = 256
 	}
+	if out.SketchRaiseShare <= 0 || out.SketchRaiseShare > 1 {
+		out.SketchRaiseShare = 0.5
+	}
+	if out.SketchClearShare <= 0 || out.SketchClearShare >= out.SketchRaiseShare {
+		out.SketchClearShare = out.SketchRaiseShare * 0.5
+	}
+	if out.SketchHold <= 0 {
+		out.SketchHold = 3
+	}
+	if out.SketchMinRanges <= 0 {
+		out.SketchMinRanges = 8
+	}
 	if len(out.ConvergenceBuckets) == 0 {
 		out.ConvergenceBuckets = []float64{1, 2, 3, 5, 8, 13, 21, 34, 55}
 	}
@@ -190,6 +216,11 @@ type analyzer struct {
 	births    map[string]uint64 // prefix -> creation cycle (convergence)
 	exporters map[string]*exporterState
 	hot       map[string]*hotState
+
+	// sketch-share alert hysteresis: one machine, no subject (the alert is
+	// about the pipeline as a whole).
+	sketchAlerted bool
+	sketchCalm    int
 
 	// convergence histogram: counts[i] observes delta <= buckets[i];
 	// the last slot is the +Inf overflow. onConv, when set, mirrors each
@@ -388,6 +419,47 @@ func (a *analyzer) evaluate(s core.CycleSample) []core.Alert {
 	var alerts []core.Alert
 	alerts = a.evaluateFlaps(s.Cycle, alerts)
 	alerts = a.evaluateDrift(s, alerts)
+	alerts = a.evaluateSketch(s, alerts)
+	return alerts
+}
+
+// evaluateSketch runs the sketch-share alert decision over one cycle sample:
+// the fraction of unclassified ranges in the fixed-memory tier against the
+// raise/clear thresholds with the usual hold. A run without Config.Sketch
+// reports SketchedRanges 0 every cycle, so the machine stays silent for free.
+func (a *analyzer) evaluateSketch(s core.CycleSample, alerts []core.Alert) []core.Alert {
+	unclassified := s.Ranges - s.Classified
+	if unclassified < a.cfg.SketchMinRanges {
+		// Too few open questions to judge a share; hold the machine.
+		return alerts
+	}
+	share := float64(s.SketchedRanges) / float64(unclassified)
+	reason := func(threshold float64) core.Reason {
+		return core.Reason{Code: core.ReasonSketched, Observed: share,
+			Threshold: threshold, Samples: float64(unclassified),
+			MinSamples: float64(a.cfg.SketchMinRanges)}
+	}
+	if !a.sketchAlerted {
+		if share >= a.cfg.SketchRaiseShare {
+			a.sketchAlerted = true
+			a.sketchCalm = 0
+			alerts = append(alerts, core.Alert{Kind: core.AlertSketchShare, Raise: true,
+				Reason: reason(a.cfg.SketchRaiseShare)})
+		}
+		return alerts
+	}
+	if share <= a.cfg.SketchClearShare {
+		if a.sketchCalm+1 >= a.cfg.SketchHold {
+			a.sketchAlerted = false
+			a.sketchCalm = 0
+			alerts = append(alerts, core.Alert{Kind: core.AlertSketchShare, Raise: false,
+				Reason: reason(a.cfg.SketchClearShare)})
+		} else {
+			a.sketchCalm++
+		}
+	} else {
+		a.sketchCalm = 0
+	}
 	return alerts
 }
 

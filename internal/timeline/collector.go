@@ -228,7 +228,8 @@ func (c *Collector) RegisterMetrics(reg *telemetry.Registry) {
 	c.alertsActive = map[string]*telemetry.Gauge{}
 	for _, kind := range []string{core.AlertFlap.String(), core.AlertDrift.String(),
 		core.AlertExporterLoss.String(), core.AlertExporterStale.String(),
-		core.AlertClockSkew.String(), core.AlertHotPrefix.String()} {
+		core.AlertClockSkew.String(), core.AlertHotPrefix.String(),
+		core.AlertSketchShare.String()} {
 		labels := []telemetry.Label{{Name: "kind", Value: kind}}
 		c.alertCount[kind] = reg.LabeledCounter("ipd_alerts_total", labels,
 			"Alerts raised by the timeline analytics.")
@@ -289,6 +290,13 @@ func (c *Collector) OnCycle(s core.CycleSample) []core.Alert {
 	put("expirations", float64(s.Expirations))
 	put("compactions", float64(s.Compactions))
 	put("transitions", float64(c.an.takeTransitions()))
+
+	put("sketch.ranges", float64(s.SketchedRanges))
+	if unclassified := s.Ranges - s.Classified; unclassified > 0 {
+		put("sketch.share", float64(s.SketchedRanges)/float64(unclassified))
+	} else {
+		put("sketch.share", 0)
+	}
 
 	if s.Governed {
 		put("governor_state", float64(s.Governor.State))

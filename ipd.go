@@ -98,6 +98,9 @@ type (
 	// AlertKind enumerates the analytics alerts (flap, drift, exporter
 	// loss/stale/skew).
 	AlertKind = core.AlertKind
+	// SketchStatus is the fixed-memory sketch tier's status (sizing, ε/δ
+	// bound, degrade/hydrate counters) served at /ipd/sketch.
+	SketchStatus = core.SketchStatus
 )
 
 // Event kinds (the full range lifecycle).
@@ -114,6 +117,13 @@ const (
 	EventGovernor     = core.EventGovernor
 	EventAlertRaised  = core.EventAlertRaised
 	EventAlertCleared = core.EventAlertCleared
+	EventStateMode    = core.EventStateMode
+)
+
+// State-mode details carried by EventStateMode events (the Detail field).
+const (
+	StateModeSketched = core.StateModeSketched
+	StateModeExact    = core.StateModeExact
 )
 
 // Alert kinds (the timeline analytics).
@@ -124,6 +134,7 @@ const (
 	AlertExporterStale = core.AlertExporterStale
 	AlertClockSkew     = core.AlertClockSkew
 	AlertHotPrefix     = core.AlertHotPrefix
+	AlertSketchShare   = core.AlertSketchShare
 )
 
 // Reason codes (which threshold comparison decided an event).
@@ -147,6 +158,7 @@ const (
 	ReasonExporterStale    = core.ReasonExporterStale
 	ReasonClockSkew        = core.ReasonClockSkew
 	ReasonHotPrefix        = core.ReasonHotPrefix
+	ReasonSketched         = core.ReasonSketched
 )
 
 // Resource-governor types. A Governor tracks live resource budgets (active
@@ -362,6 +374,15 @@ func NewReplayer() *Replayer { return journal.NewReplayer() }
 // ReplayJournal replays an append-only JSONL decision log (the
 // JournalOptions.Sink format) and returns the state after the last event.
 func ReplayJournal(r io.Reader) (*Replayer, error) { return journal.ReplayJSONL(r) }
+
+// ProjectRanges reduces an engine snapshot to the event-determined fields
+// (partition, classification, sketch provenance), for comparison against a
+// Replayer.Snapshot.
+func ProjectRanges(infos []RangeInfo) []RangeView { return journal.Project(infos) }
+
+// RangeViewsEqual compares a replayed snapshot against a projected engine
+// snapshot, ignoring LastSeq (which the engine does not track).
+func RangeViewsEqual(replayed, engine []RangeView) bool { return journal.Equal(replayed, engine) }
 
 // Crash-safety types. A CheckpointManager rotates CRC-guarded checkpoint
 // files (atomic rename writes, newest-first restore with fallback past
